@@ -1,0 +1,87 @@
+"""Ablation: the effect of the machine parameters B, M and the eps knob.
+
+Not a table of the paper, but the design choices DESIGN.md calls out:
+
+* larger blocks reduce the output term k/B of every structure;
+* a larger buffer pool only helps constructions (SABE relies on the hot
+  path), not cold-cache queries;
+* eps trades base-tree height against per-output cost in the dynamic
+  structure (Theorem 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable, measure_queries
+from repro.bench.harness import make_storage
+from repro.structures import DynamicTopOpenStructure, StaticTopOpenStructure
+from repro.workloads import top_open_queries, uniform_points
+
+N = 2048
+QUERIES = 8
+
+
+def run_block_size_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Ablation -- block size B (static top-open)")
+    points = sorted(uniform_points(N, seed=N), key=lambda p: p.x)
+    queries = top_open_queries(points, QUERIES, selectivity=0.4, seed=N)
+    for block_size in [16, 32, 64, 128]:
+        storage = make_storage(block_size=block_size)
+        structure = StaticTopOpenStructure.build_sorted(storage, points)
+        io_per_query, avg_k = measure_queries(storage, structure, queries)
+        table.add(
+            measured_io=io_per_query,
+            predicted=None,
+            B=block_size,
+            avg_k=round(avg_k, 1),
+            build_io=structure.construction_io,
+        )
+    return table
+
+
+def run_epsilon_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Ablation -- eps knob of the dynamic structure")
+    points = uniform_points(N, seed=N + 1)
+    queries = top_open_queries(points, QUERIES, selectivity=0.4, seed=N + 1)
+    for epsilon in [0.0, 0.25, 0.5, 0.75, 1.0]:
+        storage = make_storage(block_size=64)
+        structure = DynamicTopOpenStructure(storage, points=points, epsilon=epsilon)
+        io_per_query, avg_k = measure_queries(storage, structure, queries)
+        table.add(
+            measured_io=io_per_query,
+            predicted=None,
+            eps=epsilon,
+            height=structure.height(),
+            avg_k=round(avg_k, 1),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def block_table() -> BenchmarkTable:
+    return run_block_size_sweep()
+
+
+@pytest.fixture(scope="module")
+def eps_table() -> BenchmarkTable:
+    return run_epsilon_sweep()
+
+
+def test_block_size_ablation(benchmark, block_table, capsys):
+    """Larger blocks reduce per-query I/Os on output-heavy queries."""
+    with capsys.disabled():
+        block_table.show()
+    measured = block_table.measured_values()
+    assert measured[-1] <= measured[0]
+
+    points = sorted(uniform_points(512, seed=4), key=lambda p: p.x)
+    benchmark(lambda: StaticTopOpenStructure.build_sorted(make_storage(64), points))
+
+
+def test_epsilon_ablation(eps_table, capsys):
+    """Raising eps lowers (or keeps) the base-tree height."""
+    with capsys.disabled():
+        eps_table.show()
+    heights = [row.params["height"] for row in eps_table.rows]
+    assert heights[-1] <= heights[0]

@@ -1,0 +1,85 @@
+"""Baseline comparison (Section 1.2): who wins, and by how much.
+
+Compares, on the same workloads and the same simulated machine:
+
+* the naive scan + external skyline baseline (O((n/B) log_{M/B}(n/B)));
+* the R-tree + BBS heuristic of Papadias et al.;
+* the "externalised internal-memory" structure paying Omega(k) I/Os;
+* this paper's static top-open structure (O(log_B n + k/B)).
+
+The paper's claim is qualitative -- the new structures should beat all three
+baselines by a growing factor as n grows -- and that is what the assertions
+check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import InternalMemoryStructure, NaiveScanSkyline, RTreeBBS
+from repro.bench import BenchmarkTable, measure_queries
+from repro.bench.harness import make_storage
+from repro.structures import StaticTopOpenStructure
+from repro.workloads import anticorrelated_points, top_open_queries, uniform_points
+
+BLOCK_SIZE = 64
+SWEEP = [("uniform", 1024), ("uniform", 4096), ("anticorrelated", 2048)]
+QUERIES = 6
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Baselines vs the paper's top-open structure")
+    for distribution, n in SWEEP:
+        generator = uniform_points if distribution == "uniform" else anticorrelated_points
+        points = generator(n, seed=n)
+        queries = top_open_queries(points, QUERIES, selectivity=0.3, seed=n)
+
+        results = {}
+        for name, factory in [
+            ("paper", lambda s: StaticTopOpenStructure(s, points)),
+            ("naive", lambda s: NaiveScanSkyline(s, points)),
+            ("rtree_bbs", lambda s: RTreeBBS(s, points)),
+            ("internal", lambda s: InternalMemoryStructure(s, points)),
+        ]:
+            storage = make_storage(block_size=BLOCK_SIZE)
+            structure = factory(storage)
+            io_per_query, avg_k = measure_queries(storage, structure, queries)
+            results[name] = io_per_query
+            results["avg_k"] = avg_k
+
+        table.add(
+            measured_io=results["paper"],
+            predicted=None,
+            dataset=distribution,
+            n=n,
+            avg_k=round(results["avg_k"], 1),
+            naive_io=round(results["naive"], 1),
+            rtree_bbs_io=round(results["rtree_bbs"], 1),
+            internal_io=round(results["internal"], 1),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_paper_structure_beats_baselines(benchmark, sweep_table, capsys):
+    """The top-open structure wins against every baseline on every dataset."""
+    with capsys.disabled():
+        sweep_table.show()
+    for row in sweep_table.rows:
+        assert row.measured_io < row.params["naive_io"]
+        assert row.measured_io < row.params["internal_io"]
+    # The winning margin over the naive scan grows with n (uniform rows).
+    uniform_rows = [r for r in sweep_table.rows if r.params["dataset"] == "uniform"]
+    gain_small = uniform_rows[0].params["naive_io"] / max(1.0, uniform_rows[0].measured_io)
+    gain_large = uniform_rows[-1].params["naive_io"] / max(1.0, uniform_rows[-1].measured_io)
+    assert gain_large > gain_small
+
+    points = uniform_points(512, seed=1)
+    storage = make_storage(block_size=BLOCK_SIZE)
+    structure = StaticTopOpenStructure(storage, points)
+    query = top_open_queries(points, 1, selectivity=0.3, seed=1)[0]
+    benchmark(lambda: structure.query(query))

@@ -1,0 +1,72 @@
+"""Theorem 1 (construction): SABE vs classic PPB-tree construction.
+
+Claim: given x-sorted input, the PPB-tree over Sigma(P) is built in O(n/B)
+I/Os, whereas the classic construction pays O(n log_B n).  The sweep builds
+both from the same segment sets and reports I/Os per input point; the SABE
+column should stay near 1/B per point while the cold-cache (classic) column
+grows with log_B n.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import BenchmarkTable
+from repro.bench.harness import make_storage
+from repro.ppbtree.build import build_segment_ppbtree
+from repro.segments import compute_sigma
+from repro.workloads import uniform_points
+
+BLOCK_SIZE = 64
+SWEEP_N = [512, 1024, 2048, 4096]
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Theorem 1 -- SABE vs classic PPB-tree construction")
+    for n in SWEEP_N:
+        points = sorted(uniform_points(n, seed=n), key=lambda p: p.x)
+        segments = compute_sigma(points)
+
+        sabe_storage = make_storage(block_size=BLOCK_SIZE)
+        before = sabe_storage.snapshot()
+        build_segment_ppbtree(sabe_storage, segments)
+        sabe_io = (sabe_storage.snapshot() - before).total
+
+        classic_storage = make_storage(block_size=BLOCK_SIZE)
+        before = classic_storage.snapshot()
+        build_segment_ppbtree(classic_storage, segments, cold_cache=True)
+        classic_io = (classic_storage.snapshot() - before).total
+
+        table.add(
+            measured_io=sabe_io,
+            predicted=max(1.0, n / BLOCK_SIZE),
+            n=n,
+            B=BLOCK_SIZE,
+            sabe_io_per_point=round(sabe_io / n, 3),
+            classic_io=classic_io,
+            classic_io_per_point=round(classic_io / n, 3),
+            log_B_n=round(math.log(n, BLOCK_SIZE), 2),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_sabe_build_is_linear(benchmark, sweep_table, capsys):
+    """SABE construction I/O per point stays bounded while classic grows."""
+    with capsys.disabled():
+        sweep_table.show()
+    per_point = [row.params["sabe_io_per_point"] for row in sweep_table.rows]
+    assert max(per_point) < 2.0  # a small constant of blocks per point
+    # The classic construction should cost strictly more on the largest input.
+    last = sweep_table.rows[-1]
+    assert last.params["classic_io"] > last.measured_io
+
+    points = sorted(uniform_points(512, seed=3), key=lambda p: p.x)
+    segments = compute_sigma(points)
+    benchmark(lambda: build_segment_ppbtree(make_storage(BLOCK_SIZE), segments))

@@ -1,0 +1,60 @@
+"""Section 2.2 / Lemma 2: the segment reduction Sigma(P).
+
+Claims: Sigma(P) is computed from x-sorted input in O(n/B) I/Os, and the
+resulting segment set is nesting and monotonic.  The sweep measures the
+I/Os of the streaming computation against the scan bound n/B.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable
+from repro.bench.harness import make_storage
+from repro.em.file import EMFile
+from repro.segments import compute_sigma, compute_sigma_emfile, is_monotonic, is_nesting
+from repro.workloads import anticorrelated_points, uniform_points
+
+BLOCK_SIZE = 64
+SWEEP = [("uniform", 1024), ("uniform", 4096), ("anticorrelated", 4096)]
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Section 2.2 -- computing Sigma(P) in O(n/B) I/Os")
+    for distribution, n in SWEEP:
+        generator = uniform_points if distribution == "uniform" else anticorrelated_points
+        points = sorted(generator(n, seed=n), key=lambda p: p.x)
+        storage = make_storage(block_size=BLOCK_SIZE)
+        source = EMFile.from_records(storage, points, name="points")
+        before = storage.snapshot()
+        _, count = compute_sigma_emfile(storage, source)
+        io = (storage.snapshot() - before).total
+        segments = compute_sigma(points)
+        table.add(
+            measured_io=io,
+            predicted=2 * max(1, n // BLOCK_SIZE),
+            dataset=distribution,
+            n=n,
+            B=BLOCK_SIZE,
+            segments=count,
+            nesting=is_nesting(segments),
+            monotonic=is_monotonic(segments, samples=16),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_sigma_is_linear_and_well_formed(benchmark, sweep_table, capsys):
+    """Sigma(P) costs O(n/B) I/Os and satisfies Lemma 2 on every dataset."""
+    with capsys.disabled():
+        sweep_table.show()
+    for row in sweep_table.rows:
+        assert row.params["nesting"] and row.params["monotonic"]
+        assert row.ratio is not None and row.ratio < 3.0
+
+    points = sorted(uniform_points(1024, seed=9), key=lambda p: p.x)
+    benchmark(lambda: compute_sigma(points))

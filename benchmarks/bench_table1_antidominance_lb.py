@@ -1,0 +1,87 @@
+"""Table 1, row 4 / Theorem 5: the anti-dominance lower bound.
+
+Claim: any linear-size structure (in the indexability model) needs
+Omega((n/B)^eps + k/B) I/Os for anti-dominance queries in the worst case.
+The experiment builds the (omega, lambda)-input of Lemma 8 with omega = B,
+so every query outputs exactly B points (one "ideal" block), and then
+
+* evaluates standard linear-size block layouts with the indexability
+  analyzer -- the worst query must touch far more than k/B = 1 blocks and
+  the blow-up grows with n; and
+* runs the 4-sided structure (the matching upper bound) on the mirrored
+  workload, showing it pays the predicted (n/B)^eps cost, unlike on the
+  easy top-open workloads of rows 1-3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable
+from repro.bench.harness import make_storage
+from repro.core.queries import FourSidedQuery
+from repro.hardness import IndexabilityAnalyzer, chazelle_liu_input
+from repro.hardness.indexability import indexability_query_lower_bound
+from repro.structures.foursided import FourSidedStructure
+
+BLOCK_SIZE = 16  # omega = B; kept small so omega^lambda stays tractable
+SWEEP_LAMBDA = [2, 3]
+EPSILON = 0.5
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Table 1 row 4 -- anti-dominance lower bound (Lemma 8/9)")
+    for lam in SWEEP_LAMBDA:
+        workload = chazelle_liu_input(BLOCK_SIZE, lam)
+        analyzer = IndexabilityAnalyzer(workload, BLOCK_SIZE)
+        reports = analyzer.evaluate_standard_layouts()
+        worst_layout = min(reports, key=lambda r: r.max_blocks_per_query)
+
+        # The matching upper bound: run the 4-sided structure on the mirrored
+        # anti-dominance workload and measure I/Os of the worst query.
+        storage = make_storage(block_size=BLOCK_SIZE)
+        mirrored = workload.mirrored_points()
+        structure = FourSidedStructure(storage, mirrored, epsilon=EPSILON)
+        worst_structure_io = 0
+        for query in workload.mirrored_queries()[:: max(1, len(workload.queries) // 32)]:
+            storage.drop_cache()
+            before = storage.snapshot()
+            structure.query_four_sided(query.x_lo, query.x_hi, query.y_lo, query.y_hi)
+            worst_structure_io = max(
+                worst_structure_io, (storage.snapshot() - before).total
+            )
+
+        table.add(
+            measured_io=worst_layout.max_blocks_per_query,
+            predicted=indexability_query_lower_bound(workload.n, BLOCK_SIZE, 1.0),
+            n=workload.n,
+            omega=BLOCK_SIZE,
+            lam=lam,
+            ideal_k_over_B=worst_layout.optimal_blocks_per_query,
+            best_layout_avg=round(
+                min(r.avg_blocks_per_query for r in reports), 2
+            ),
+            foursided_worst_io=worst_structure_io,
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_antidominance_is_polynomially_hard(benchmark, sweep_table, capsys):
+    """No standard linear layout answers the worst query in O(k/B) blocks."""
+    with capsys.disabled():
+        sweep_table.show()
+    for row in sweep_table.rows:
+        # The ideal output cost is one block (k = omega = B); every layout
+        # needs several times that on its worst query, and the gap grows with n.
+        assert row.measured_io >= 2 * row.params["ideal_k_over_B"]
+    measured = sweep_table.measured_values()
+    assert measured[-1] > measured[0]
+
+    workload = chazelle_liu_input(BLOCK_SIZE, 2)
+    analyzer = IndexabilityAnalyzer(workload, BLOCK_SIZE)
+    benchmark(lambda: analyzer.evaluate_standard_layouts())

@@ -1,0 +1,74 @@
+"""Table 1, row 7 / Theorem 6 (dynamic part): 4-sided queries under updates.
+
+Claim: the 4-sided structure remains queryable in O((n/B)^eps + k/B) I/Os
+while supporting updates in O(log(n/B)) amortized I/Os.  The experiment
+interleaves insertions and deletions with queries and reports the amortized
+update cost alongside the query cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import BenchmarkTable, measure_queries
+from repro.bench.harness import make_storage
+from repro.structures.foursided import FourSidedStructure, four_sided_query_bound
+from repro.workloads import four_sided_queries, uniform_points
+
+BLOCK_SIZE = 64
+SWEEP_N = [512, 1024, 2048]
+UPDATES = 128
+QUERIES = 8
+EPSILON = 0.5
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Table 1 row 7 -- dynamic 4-sided range skyline")
+    for n in SWEEP_N:
+        storage = make_storage(block_size=BLOCK_SIZE)
+        base = uniform_points(n, seed=n)
+        structure = FourSidedStructure(storage, base, epsilon=EPSILON)
+
+        extra = uniform_points(UPDATES, seed=n + 1)
+        before = storage.snapshot()
+        for index, point in enumerate(extra):
+            structure.insert(point)
+            if index % 4 == 3:
+                structure.delete(base[index])
+        update_io = (storage.snapshot() - before).total / (UPDATES + UPDATES // 4)
+
+        live = structure.points
+        queries = four_sided_queries(live, QUERIES, selectivity=0.4, seed=n)
+        query_io, avg_k = measure_queries(storage, structure, queries)
+        table.add(
+            measured_io=query_io,
+            predicted=four_sided_query_bound(len(live), int(avg_k), BLOCK_SIZE, EPSILON),
+            n=n,
+            B=BLOCK_SIZE,
+            avg_k=round(avg_k, 1),
+            amortized_update_io=round(update_io, 2),
+            update_bound=round(math.log2(max(2, n // BLOCK_SIZE)) + 1, 2),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_dynamic_foursided_update_and_query(benchmark, sweep_table, capsys):
+    """Amortized update I/Os stay logarithmic and queries keep their shape."""
+    with capsys.disabled():
+        sweep_table.show()
+    assert sweep_table.max_ratio_spread() < 15.0
+    for row in sweep_table.rows:
+        assert row.params["amortized_update_io"] < 200 * row.params["update_bound"]
+
+    storage = make_storage(block_size=BLOCK_SIZE)
+    points = uniform_points(512, seed=17)
+    structure = FourSidedStructure(storage, points, epsilon=EPSILON)
+    extra = uniform_points(8, seed=18)
+    benchmark(lambda: [structure.insert(p) for p in extra])

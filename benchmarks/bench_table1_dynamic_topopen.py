@@ -1,0 +1,70 @@
+"""Table 1, row 6 / Theorem 4: dynamic top-open structure.
+
+Claim: O(n/B) space, O(log_{2B^eps}(n/B) + k/B^{1-eps}) query I/Os and
+O(log_{2B^eps}(n/B)) update I/Os, for any eps in [0, 1].  The sweep varies n
+and eps; the ratio columns should stay within a constant band, and larger
+eps should reduce the height-driven part of the cost (shallower base tree)
+at the expense of the per-output term.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable, measure_queries, measure_updates
+from repro.bench.harness import make_storage
+from repro.structures.dynamic_topopen import (
+    DynamicTopOpenStructure,
+    dynamic_query_bound,
+    dynamic_update_bound,
+)
+from repro.workloads import top_open_queries, uniform_points
+
+BLOCK_SIZE = 64
+SWEEP = [(512, 0.0), (2048, 0.0), (512, 0.5), (2048, 0.5), (512, 1.0), (2048, 1.0)]
+QUERIES_PER_CONFIG = 8
+UPDATES_PER_CONFIG = 32
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Table 1 row 6 -- dynamic top-open (I/O-CPQA based)")
+    for n, epsilon in SWEEP:
+        storage = make_storage(block_size=BLOCK_SIZE)
+        points = uniform_points(n, seed=n + int(10 * epsilon))
+        structure = DynamicTopOpenStructure(storage, points=points, epsilon=epsilon)
+        queries = top_open_queries(points, QUERIES_PER_CONFIG, selectivity=0.3, seed=n)
+        query_io, avg_k = measure_queries(storage, structure, queries)
+        extra = uniform_points(UPDATES_PER_CONFIG, seed=n + 999)
+        update_io = measure_updates(storage, structure.insert, extra)
+        table.add(
+            measured_io=query_io,
+            predicted=dynamic_query_bound(n, int(avg_k), BLOCK_SIZE, epsilon),
+            n=n,
+            eps=epsilon,
+            B=BLOCK_SIZE,
+            avg_k=round(avg_k, 1),
+            update_io=round(update_io, 2),
+            update_bound=round(dynamic_update_bound(n, BLOCK_SIZE, epsilon), 2),
+            height=structure.height(),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_dynamic_topopen_shapes(benchmark, sweep_table, capsys):
+    """Query and update I/Os follow the Theorem 4 bounds across n and eps."""
+    with capsys.disabled():
+        sweep_table.show()
+    assert sweep_table.max_ratio_spread() < 12.0
+    for row in sweep_table.rows:
+        assert row.params["update_io"] < 40 * row.params["update_bound"]
+
+    storage = make_storage(block_size=BLOCK_SIZE)
+    points = uniform_points(512, seed=77)
+    structure = DynamicTopOpenStructure(storage, points=points, epsilon=0.5)
+    query = top_open_queries(points, 1, selectivity=0.3, seed=77)[0]
+    benchmark(lambda: structure.query(query))

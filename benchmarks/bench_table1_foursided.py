@@ -1,0 +1,57 @@
+"""Table 1, row 5 / Theorem 6 (static part): 4-sided range skyline queries.
+
+Claim: O(n/B) space and O((n/B)^eps + k/B) query I/Os, which is optimal in
+the indexability model (the matching lower bound is exercised by
+``bench_table1_antidominance_lb``).  The sweep varies n and eps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable, measure_queries
+from repro.bench.harness import make_storage
+from repro.structures.foursided import FourSidedStructure, four_sided_query_bound
+from repro.workloads import four_sided_queries, uniform_points
+
+BLOCK_SIZE = 64
+SWEEP = [(512, 0.5), (1024, 0.5), (2048, 0.5), (2048, 0.25), (2048, 0.75)]
+QUERIES_PER_CONFIG = 8
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Table 1 row 5 -- 4-sided range skyline (static)")
+    for n, epsilon in SWEEP:
+        storage = make_storage(block_size=BLOCK_SIZE)
+        points = uniform_points(n, seed=n + int(100 * epsilon))
+        structure = FourSidedStructure(storage, points, epsilon=epsilon)
+        queries = four_sided_queries(points, QUERIES_PER_CONFIG, selectivity=0.4, seed=n)
+        io_per_query, avg_k = measure_queries(storage, structure, queries)
+        table.add(
+            measured_io=io_per_query,
+            predicted=four_sided_query_bound(n, int(avg_k), BLOCK_SIZE, epsilon),
+            n=n,
+            eps=epsilon,
+            B=BLOCK_SIZE,
+            avg_k=round(avg_k, 1),
+            height=structure.height(),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_foursided_query_shape(benchmark, sweep_table, capsys):
+    """Measured I/Os track (n/B)^eps + k/B within a constant factor."""
+    with capsys.disabled():
+        sweep_table.show()
+    assert sweep_table.max_ratio_spread() < 15.0
+
+    storage = make_storage(block_size=BLOCK_SIZE)
+    points = uniform_points(512, seed=5)
+    structure = FourSidedStructure(storage, points, epsilon=0.5)
+    query = four_sided_queries(points, 1, selectivity=0.4, seed=5)[0]
+    benchmark(lambda: structure.query(query))

@@ -1,0 +1,70 @@
+"""Table 1, row 2 / Corollary 1: top-open queries on a U x U grid.
+
+Claim: O(n/B) space and O(log log_B U + k/B) query I/Os.  The sweep grows
+the universe U for a fixed n; the measured cost should grow (at most) like
+log log_B U, i.e. extremely slowly, and stay far below the log_B n cost of
+the indivisible structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable, measure_queries
+from repro.bench.harness import make_storage
+from repro.structures.grid_topopen import GridTopOpenStructure, grid_query_bound
+from repro.structures.topopen_static import StaticTopOpenStructure
+from repro.workloads import top_open_queries, uniform_points
+
+BLOCK_SIZE = 64
+N = 2048
+SWEEP_U = [1 << 12, 1 << 16, 1 << 20, 1 << 24]
+QUERIES = 10
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Table 1 row 2 -- top-open in the grid universe [U]^2")
+    for universe in SWEEP_U:
+        storage = make_storage(block_size=BLOCK_SIZE)
+        points = uniform_points(N, universe=universe, seed=universe % 100003)
+        points = [p for p in points]
+        structure = GridTopOpenStructure(storage, points, universe=universe)
+        queries = top_open_queries(points, QUERIES, selectivity=0.3, seed=1)
+        io_per_query, avg_k = measure_queries(storage, structure, queries)
+
+        # Reference: the indivisible R^2 structure on the same input.
+        ref_storage = make_storage(block_size=BLOCK_SIZE)
+        reference = StaticTopOpenStructure(ref_storage, points)
+        ref_io, _ = measure_queries(ref_storage, reference, queries)
+
+        table.add(
+            measured_io=io_per_query,
+            predicted=grid_query_bound(universe, int(avg_k), BLOCK_SIZE),
+            n=N,
+            U=universe,
+            B=BLOCK_SIZE,
+            avg_k=round(avg_k, 1),
+            r2_structure_io=round(ref_io, 2),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_grid_query_grows_sublogarithmically(benchmark, sweep_table, capsys):
+    """Cost grows much more slowly than U (doubly-logarithmic shape)."""
+    with capsys.disabled():
+        sweep_table.show()
+    measured = sweep_table.measured_values()
+    # U grows by a factor 4096 across the sweep; the cost may only grow by a
+    # small constant factor beyond the output term.
+    assert max(measured) <= 4.0 * max(1.0, min(measured))
+
+    storage = make_storage(block_size=BLOCK_SIZE)
+    points = uniform_points(512, universe=1 << 16, seed=2)
+    structure = GridTopOpenStructure(storage, points, universe=1 << 16)
+    query = top_open_queries(points, 1, selectivity=0.3, seed=2)[0]
+    benchmark(lambda: structure.query(query))

@@ -1,0 +1,67 @@
+"""Table 1, row 3 / Theorem 2: top-open queries in rank space.
+
+Claim: O(n/B) space and O(1 + k/B) query I/Os.  The sweep grows n while the
+query output size is held roughly constant; the measured I/Os should stay
+flat (no dependence on n), unlike the log_B n term of the R^2 structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable, measure_queries
+from repro.bench.harness import make_storage
+from repro.core.queries import TopOpenQuery
+from repro.structures.grid_topopen import rank_space_query_bound
+from repro.structures.rankspace_topopen import RankSpaceTopOpenStructure
+from repro.workloads import grid_permutation_points
+
+BLOCK_SIZE = 64
+SWEEP_N = [512, 1024, 2048, 4096]
+QUERIES_PER_N = 12
+
+
+def make_queries(n: int, count: int) -> list:
+    """Top-open queries with x-extent ~n/4 and beta in the upper half."""
+    queries = []
+    for i in range(count):
+        start = (i * 97) % max(1, n - n // 4)
+        queries.append(TopOpenQuery(start, start + n // 4, n // 2))
+    return queries
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Table 1 row 3 -- top-open in rank space [O(n)]^2")
+    for n in SWEEP_N:
+        storage = make_storage(block_size=BLOCK_SIZE)
+        points = grid_permutation_points(n, seed=n)
+        structure = RankSpaceTopOpenStructure(storage, points, universe=n)
+        queries = make_queries(n, QUERIES_PER_N)
+        io_per_query, avg_k = measure_queries(storage, structure, queries)
+        table.add(
+            measured_io=io_per_query,
+            predicted=rank_space_query_bound(int(avg_k), BLOCK_SIZE),
+            n=n,
+            B=BLOCK_SIZE,
+            avg_k=round(avg_k, 1),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_rankspace_query_is_constant(benchmark, sweep_table, capsys):
+    """Query I/Os do not grow with n once the output term is accounted for."""
+    with capsys.disabled():
+        sweep_table.show()
+    ratios = sweep_table.ratios()
+    assert max(ratios) / max(1e-9, min(ratios)) < 10.0
+
+    storage = make_storage(block_size=BLOCK_SIZE)
+    points = grid_permutation_points(1024, seed=11)
+    structure = RankSpaceTopOpenStructure(storage, points, universe=1024)
+    query = make_queries(1024, 1)[0]
+    benchmark(lambda: structure.query(query))

@@ -1,0 +1,67 @@
+"""Table 1, row 1 / Theorem 1: static top-open queries in R^2.
+
+Claim: O(n/B) space, O(log_B n + k/B) query I/Os, linear-I/O (SABE)
+construction from x-sorted input.  The table sweeps n and reports the
+measured I/Os per query next to the log_B n + k/B prediction; the ratio
+column should stay within a small constant band as n grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkTable, measure_queries
+from repro.bench.harness import make_storage
+from repro.structures.topopen_static import StaticTopOpenStructure, top_open_query_bound
+from repro.workloads import top_open_queries, uniform_points
+
+BLOCK_SIZE = 64
+SWEEP_N = [512, 1024, 2048, 4096]
+QUERIES_PER_N = 12
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Table 1 row 1 -- static top-open (R^2)")
+    for n in SWEEP_N:
+        storage = make_storage(block_size=BLOCK_SIZE)
+        points = sorted(uniform_points(n, seed=n), key=lambda p: p.x)
+        structure = StaticTopOpenStructure.build_sorted(storage, points)
+        queries = top_open_queries(points, QUERIES_PER_N, selectivity=0.3, seed=n)
+        io_per_query, avg_k = measure_queries(storage, structure, queries)
+        table.add(
+            measured_io=io_per_query,
+            predicted=top_open_query_bound(n, int(avg_k), BLOCK_SIZE),
+            n=n,
+            B=BLOCK_SIZE,
+            avg_k=round(avg_k, 1),
+            build_io=structure.construction_io,
+            space_blocks=structure.block_count(),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_topopen_static_query_shape(benchmark, sweep_table, capsys):
+    """Measured query I/Os track log_B n + k/B within a constant factor."""
+    with capsys.disabled():
+        sweep_table.show()
+    assert sweep_table.max_ratio_spread() < 8.0
+
+    storage = make_storage(block_size=BLOCK_SIZE)
+    points = sorted(uniform_points(1024, seed=7), key=lambda p: p.x)
+    structure = StaticTopOpenStructure.build_sorted(storage, points)
+    query = top_open_queries(points, 1, selectivity=0.3, seed=7)[0]
+    benchmark(lambda: structure.query(query))
+
+
+def test_topopen_static_space_is_linear(sweep_table):
+    """Space in blocks grows linearly with n (within a constant factor)."""
+    rows = sweep_table.rows
+    first, last = rows[0], rows[-1]
+    n_growth = last.params["n"] / first.params["n"]
+    space_growth = last.params["space_blocks"] / max(1, first.params["space_blocks"])
+    assert space_growth < 3.0 * n_growth

@@ -1,0 +1,109 @@
+"""Theorem 3: the I/O-efficient catenable priority queue with attrition.
+
+Claims: FindMin, DeleteMin, InsertAndAttrite and CatenateAndAttrite all run
+in O(1) worst-case I/Os and O(1/b) amortized I/Os, and the queue occupies
+O((n - m)/B) blocks after n inserts/catenations and m DeleteMins.
+
+The experiment runs mixed operation sequences for growing n and several
+record sizes b, reporting worst-case and amortized I/Os per operation and
+the final space against the (n - m)/b prediction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import BenchmarkTable
+from repro.bench.harness import make_storage
+from repro.pqa import IOCPQA
+
+BLOCK_SIZE = 64
+SWEEP = [(2_000, 64), (8_000, 64), (8_000, 16), (8_000, 4)]
+
+
+def run_sequence(n_ops: int, record_capacity: int) -> dict:
+    storage = make_storage(block_size=BLOCK_SIZE, memory_blocks=64)
+    rng = random.Random(n_ops * 31 + record_capacity)
+    queue = IOCPQA.empty(storage, record_capacity)
+    side_queues = []
+    worst = 0
+    deletes = 0
+    inserts = 0
+    before_all = storage.snapshot()
+    for step in range(n_ops):
+        op = rng.random()
+        before = storage.snapshot()
+        if op < 0.60:
+            queue = queue.insert_and_attrite(rng.random(), step)
+            inserts += 1
+        elif op < 0.80:
+            item, queue = queue.delete_min()
+            if item is not None:
+                deletes += 1
+        elif op < 0.95 or not side_queues:
+            side_queues.append(
+                IOCPQA.build(
+                    storage,
+                    [(rng.random(), None) for _ in range(rng.randint(1, 2 * record_capacity))],
+                    record_capacity,
+                )
+            )
+            inserts += 1
+        else:
+            queue = queue.catenate_and_attrite(side_queues.pop())
+            inserts += 1
+        worst = max(worst, (storage.snapshot() - before).total)
+    total_io = (storage.snapshot() - before_all).total
+    return {
+        "amortized": total_io / n_ops,
+        "worst": worst,
+        "space_blocks": len(queue.reachable_record_blocks()),
+        "survivors": len(queue.keys()),
+        "inserts": inserts,
+        "deletes": deletes,
+    }
+
+
+def run_sweep() -> BenchmarkTable:
+    table = BenchmarkTable("Theorem 3 -- I/O-CPQA operation costs and space")
+    for n_ops, b in SWEEP:
+        stats = run_sequence(n_ops, b)
+        table.add(
+            measured_io=stats["amortized"],
+            predicted=1.0 / b,
+            n_ops=n_ops,
+            b=b,
+            worst_case_io=stats["worst"],
+            space_blocks=stats["space_blocks"],
+            space_bound=max(1, stats["survivors"] // b + 1),
+        )
+    return table
+
+
+@pytest.fixture(scope="module")
+def sweep_table() -> BenchmarkTable:
+    return run_sweep()
+
+
+def test_cpqa_amortized_and_worst_case(benchmark, sweep_table, capsys):
+    """Amortized cost scales like 1/b; worst case stays a small constant."""
+    with capsys.disabled():
+        sweep_table.show()
+    for row in sweep_table.rows:
+        assert row.params["worst_case_io"] <= 20  # O(1) worst case
+        assert row.params["space_blocks"] <= 4 * row.params["space_bound"] + 4
+    # Amortized cost per op must drop as the record size b grows.
+    by_b = {row.params["b"]: row.measured_io for row in sweep_table.rows if row.params["n_ops"] == 8_000}
+    assert by_b[64] <= by_b[4]
+
+    storage = make_storage(block_size=BLOCK_SIZE)
+
+    def mixed_ops():
+        q = IOCPQA.empty(storage, 64)
+        for i in range(500):
+            q = q.insert_and_attrite(float(i % 97) + i * 1e-6, i)
+        return q
+
+    benchmark(mixed_ops)

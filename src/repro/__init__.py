@@ -1,0 +1,61 @@
+"""repro -- I/O-efficient planar range skyline reporting and attrition priority queues.
+
+A faithful reproduction of Kejlberg-Rasmussen, Tao, Tsakalidis, Tsichlas and
+Yoon, *"I/O-Efficient Planar Range Skyline and Attrition Priority Queues"*
+(PODS 2013), as a reusable Python library.  Every data structure runs on a
+simulated external-memory machine (:mod:`repro.em`) so that the quantity the
+paper bounds -- block transfers -- is measured exactly.
+
+Quickstart
+----------
+>>> from repro import Point, RangeSkylineIndex, TopOpenQuery
+>>> from repro.em import StorageManager
+>>> index = RangeSkylineIndex(StorageManager(), [Point(1, 5), Point(2, 3), Point(4, 4)])
+>>> [p.as_tuple() for p in index.query(TopOpenQuery(0, 5, 0))]
+[(1.0, 5.0), (4.0, 4.0)]
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+experiments that regenerate every row of the paper's Table 1.
+"""
+
+from repro.core.point import Point
+from repro.core.queries import (
+    AntiDominanceQuery,
+    BottomOpenQuery,
+    ContourQuery,
+    DominanceQuery,
+    FourSidedQuery,
+    LeftOpenQuery,
+    RangeQuery,
+    RightOpenQuery,
+    TopOpenQuery,
+)
+from repro.core.skyline import range_skyline, skyline
+from repro.api import RangeSkylineIndex
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.pqa.iocpqa import IOCPQA
+from repro.pqa.sundar import SundarPQA
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "RangeQuery",
+    "TopOpenQuery",
+    "RightOpenQuery",
+    "BottomOpenQuery",
+    "LeftOpenQuery",
+    "DominanceQuery",
+    "AntiDominanceQuery",
+    "ContourQuery",
+    "FourSidedQuery",
+    "skyline",
+    "range_skyline",
+    "RangeSkylineIndex",
+    "EMConfig",
+    "StorageManager",
+    "IOCPQA",
+    "SundarPQA",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Baselines the paper compares against (Section 1.2).
+
+* :class:`NaiveScanSkyline` -- scan the whole file, filter by the query and
+  run the external-memory skyline algorithm on the survivors:
+  ``O((n/B) log_{M/B}(n/B))`` I/Os per query.
+* :class:`RTreeBBS` -- an STR-packed R-tree traversed with the
+  branch-and-bound skyline (BBS) algorithm of Papadias et al., restricted to
+  the query rectangle.  A heuristic with no worst-case guarantee.
+* :class:`InternalMemoryStructure` -- a pointer-machine-style structure that
+  reports points one at a time, paying the ``Omega(k)`` I/Os the paper
+  attributes to all prior internal-memory solutions.
+"""
+
+from repro.baselines.naive import NaiveScanSkyline
+from repro.baselines.rtree import RTree, RTreeBBS
+from repro.baselines.internal import InternalMemoryStructure
+
+__all__ = ["NaiveScanSkyline", "RTree", "RTreeBBS", "InternalMemoryStructure"]

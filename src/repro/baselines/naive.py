@@ -1,0 +1,66 @@
+"""The naive scan-and-sort baseline (Section 1.2).
+
+"As a naive solution, we can first scan the entire point set P to eliminate
+the points falling outside the query rectangle Q, and then find the skyline
+of the remaining points by the fastest skyline algorithm on non-preprocessed
+input sets.  This expensive solution can incur O((n/B) log_{M/B}(n/B))
+I/Os."  The implementation stores the points in an :class:`~repro.em.EMFile`
+and answers each query by a filtered scan, an external sort by x, and a
+single right-to-left sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.em.file import EMFile
+from repro.em.sorting import external_sort
+from repro.em.storage import StorageManager
+
+
+class NaiveScanSkyline:
+    """Answer range-skyline queries by scanning and sorting the whole file."""
+
+    def __init__(self, storage: StorageManager, points: Iterable[Point]) -> None:
+        self.storage = storage
+        self.file = EMFile.from_records(storage, list(points), name="points")
+
+    def query(self, query: RangeQuery) -> List[Point]:
+        """Skyline of ``P ∩ Q`` via filter -> external sort -> sweep."""
+        survivors = EMFile(self.storage, name="survivors")
+        for point in self.file.scan():
+            if query.contains(point):
+                survivors.append(point)
+        survivors.close()
+        ordered = external_sort(self.storage, survivors, key=lambda p: p.x)
+        # Right-to-left sweep over the x-sorted survivors: a point is maximal
+        # iff its y exceeds the running maximum of everything to its right.
+        # The sweep is done by buffering one block at a time in reverse order.
+        result: List[Point] = []
+        best_y = float("-inf")
+        # The unflushed tail of the sorted file holds the largest x-values, so
+        # it is swept first; then the full blocks are read in reverse order.
+        remainder = list(ordered.scan())[
+            ordered.block_count * self.storage.block_size :
+        ]
+        for point in sorted(remainder, key=lambda p: p.x, reverse=True):
+            if point.y > best_y:
+                result.append(point)
+                best_y = point.y
+        for block_index in reversed(range(ordered.block_count)):
+            block = list(ordered.read_block(block_index))
+            for point in reversed(block):
+                if point.y > best_y:
+                    result.append(point)
+                    best_y = point.y
+        result.sort(key=lambda p: p.x)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.file)
+
+    def block_count(self) -> int:
+        """Blocks occupied by the point file."""
+        return self.file.block_count

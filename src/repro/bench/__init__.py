@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment runners and table reporting.
+
+Every benchmark in ``benchmarks/`` builds its workload through this package
+so that the rows it prints carry the same columns: the experiment id (the
+Table 1 row or theorem being reproduced), the sweep parameters, the measured
+I/Os, the theoretical bound, and their ratio (which should stay roughly
+constant across the sweep when the claimed shape holds).
+"""
+
+from repro.bench.reporting import BenchmarkRow, BenchmarkTable
+from repro.bench.harness import (
+    average_query_ios,
+    measure_build,
+    measure_queries,
+    measure_updates,
+)
+
+__all__ = [
+    "BenchmarkRow",
+    "BenchmarkTable",
+    "measure_queries",
+    "measure_build",
+    "measure_updates",
+    "average_query_ios",
+]

@@ -1,0 +1,95 @@
+"""Tabular reporting of benchmark results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class BenchmarkRow:
+    """One row of a benchmark table: parameters plus measured/predicted cost."""
+
+    params: Dict[str, object]
+    measured_io: float
+    predicted: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.predicted is None or self.predicted == 0:
+            return None
+        return self.measured_io / self.predicted
+
+
+@dataclass
+class BenchmarkTable:
+    """A named collection of rows that can render itself as aligned text."""
+
+    title: str
+    rows: List[BenchmarkRow] = field(default_factory=list)
+
+    def add(
+        self,
+        measured_io: float,
+        predicted: Optional[float] = None,
+        **params: object,
+    ) -> BenchmarkRow:
+        row = BenchmarkRow(params=dict(params), measured_io=measured_io, predicted=predicted)
+        self.rows.append(row)
+        return row
+
+    def column_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for key in row.params:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def render(self) -> str:
+        """Aligned plain-text rendering of the table."""
+        columns = self.column_names() + ["measured I/O", "predicted", "ratio"]
+        body: List[List[str]] = []
+        for row in self.rows:
+            cells = [self._fmt(row.params.get(name, "")) for name in self.column_names()]
+            cells.append(self._fmt(row.measured_io))
+            cells.append(self._fmt(row.predicted) if row.predicted is not None else "-")
+            cells.append(self._fmt(row.ratio) if row.ratio is not None else "-")
+            body.append(cells)
+        widths = [
+            max(len(columns[i]), *(len(line[i]) for line in body)) if body else len(columns[i])
+            for i in range(len(columns))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(columns)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+        for cells in body:
+            lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(cells))))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the table (used from the pytest benches via ``-s`` or capture)."""
+        print()
+        print(self.render())
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    # ------------------------------------------------------------------
+    # Shape checks used by the benchmark assertions
+    # ------------------------------------------------------------------
+    def ratios(self) -> List[float]:
+        return [row.ratio for row in self.rows if row.ratio is not None]
+
+    def max_ratio_spread(self) -> float:
+        """max ratio / min ratio -- close to 1 when the predicted shape holds."""
+        ratios = self.ratios()
+        if not ratios or min(ratios) == 0:
+            return float("inf")
+        return max(ratios) / min(ratios)
+
+    def measured_values(self) -> List[float]:
+        return [row.measured_io for row in self.rows]

@@ -1,0 +1,14 @@
+"""External-memory B-tree substrate.
+
+The structures of Sections 2-5 use B-trees in several roles: the range-max
+B-tree of Theorem 1 (finding ``beta'``), the base trees of the dynamic
+structures, and the generic dictionary every baseline needs.  All variants
+store one node per simulated disk block, so searching a tree of ``n`` keys
+costs ``O(log_B n)`` I/Os, matching the bounds the paper quotes.
+"""
+
+from repro.btree.btree import BTree
+from repro.btree.rangemax import RangeMaxBTree
+from repro.btree.bulk import bulk_load_sorted
+
+__all__ = ["BTree", "RangeMaxBTree", "bulk_load_sorted"]

@@ -1,0 +1,65 @@
+"""Node payloads of the external-memory B-tree.
+
+A node occupies exactly one simulated disk block.  Leaves hold up to ``B``
+``(key, value)`` entries; internal nodes hold up to ``fanout`` child block
+ids with separator keys and an aggregate per child (used by the range-max
+variant).  Payload sizes are checked by the disk model so a node can never
+silently exceed a block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass
+class LeafNode:
+    """A leaf block: sorted keys with their values."""
+
+    keys: List[Any] = field(default_factory=list)
+    values: List[Any] = field(default_factory=list)
+    next_leaf: Optional[int] = None  # sibling pointer for range scans
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def record_size(self) -> int:
+        """Size in records (one per key/value pair)."""
+        return max(1, len(self.keys))
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+@dataclass
+class InternalNode:
+    """An internal block: child pointers, separator keys and aggregates.
+
+    ``separators[i]`` is the largest key in the subtree of ``children[i]``;
+    ``aggregates[i]`` is an application-defined summary (e.g. max y) of that
+    subtree.
+    """
+
+    children: List[int] = field(default_factory=list)
+    separators: List[Any] = field(default_factory=list)
+    aggregates: List[Any] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def record_size(self) -> int:
+        """Size in records (one per child entry)."""
+        return max(1, len(self.children))
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def child_index_for(self, key: Any) -> int:
+        """Index of the child whose subtree should contain ``key``."""
+        for index, separator in enumerate(self.separators):
+            if key <= separator:
+                return index
+        return len(self.children) - 1

@@ -1,0 +1,49 @@
+"""Geometric core: points, dominance, query variants and skyline algorithms.
+
+This package has no dependency on the external-memory simulator; it provides
+the vocabulary (points, rectangles, staircases) and the in-memory reference
+algorithms that the I/O structures are validated against.
+"""
+
+from repro.core.point import Point, dominates, strictly_dominates
+from repro.core.queries import (
+    AntiDominanceQuery,
+    BottomOpenQuery,
+    ContourQuery,
+    DominanceQuery,
+    FourSidedQuery,
+    LeftOpenQuery,
+    RangeQuery,
+    RightOpenQuery,
+    TopOpenQuery,
+)
+from repro.core.skyline import (
+    range_skyline,
+    skyline,
+    skyline_divide_and_conquer,
+    skyline_of_sorted,
+)
+from repro.core.staircase import Staircase
+from repro.core.rankspace import RankSpaceMap, to_rank_space
+
+__all__ = [
+    "Point",
+    "dominates",
+    "strictly_dominates",
+    "RangeQuery",
+    "TopOpenQuery",
+    "RightOpenQuery",
+    "BottomOpenQuery",
+    "LeftOpenQuery",
+    "DominanceQuery",
+    "AntiDominanceQuery",
+    "ContourQuery",
+    "FourSidedQuery",
+    "skyline",
+    "skyline_of_sorted",
+    "skyline_divide_and_conquer",
+    "range_skyline",
+    "Staircase",
+    "RankSpaceMap",
+    "to_rank_space",
+]

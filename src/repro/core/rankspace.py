@@ -1,0 +1,104 @@
+"""Rank-space reduction (Section 3, Theorem 2 / Corollary 1).
+
+The rank-space structure assumes the universe is ``[O(n)]^2``.  An arbitrary
+point set is mapped there by replacing each coordinate with its rank; query
+coordinates are mapped by predecessor search.  The external structure of
+Corollary 1 performs that predecessor search in ``O(log log_B U)`` I/Os --
+we model it with a van Emde Boas style cost formula on top of a plain sorted
+array (the I/O charge is what matters; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+
+
+@dataclass
+class RankSpaceMap:
+    """A bidirectional mapping between original coordinates and their ranks."""
+
+    xs: List[float]
+    ys: List[float]
+
+    @classmethod
+    def build(cls, points: Iterable[Point]) -> "RankSpaceMap":
+        pts = list(points)
+        return cls(xs=sorted(p.x for p in pts), ys=sorted(p.y for p in pts))
+
+    @property
+    def universe(self) -> int:
+        """Size of each rank-space dimension (= number of points)."""
+        return len(self.xs)
+
+    # ------------------------------------------------------------------
+    # Point mapping
+    # ------------------------------------------------------------------
+    def to_rank(self, point: Point) -> Point:
+        """Map a data point to its rank-space image."""
+        rx = bisect.bisect_left(self.xs, point.x)
+        ry = bisect.bisect_left(self.ys, point.y)
+        return Point(rx, ry, point.ident)
+
+    def from_rank(self, point: Point) -> Point:
+        """Map a rank-space point back to original coordinates."""
+        return Point(self.xs[int(point.x)], self.ys[int(point.y)], point.ident)
+
+    # ------------------------------------------------------------------
+    # Query mapping (predecessor-search semantics)
+    # ------------------------------------------------------------------
+    def x_rank_of_query(self, value: float, side: str) -> float:
+        """Rank-space value representing query coordinate ``value``.
+
+        ``side='lo'`` gives the rank of the successor (lower bounds must not
+        drop points whose coordinate equals or exceeds ``value``);
+        ``side='hi'`` gives the rank of the predecessor.
+        """
+        return _rank_of_query(self.xs, value, side)
+
+    def y_rank_of_query(self, value: float, side: str) -> float:
+        return _rank_of_query(self.ys, value, side)
+
+    def map_query(self, query: RangeQuery) -> RangeQuery:
+        """Map a query rectangle into rank space."""
+        return RangeQuery(
+            x_lo=self.x_rank_of_query(query.x_lo, "lo"),
+            x_hi=self.x_rank_of_query(query.x_hi, "hi"),
+            y_lo=self.y_rank_of_query(query.y_lo, "lo"),
+            y_hi=self.y_rank_of_query(query.y_hi, "hi"),
+        )
+
+    def predecessor_search_cost(self, block_size: int) -> int:
+        """Modelled ``O(log log_B U)`` I/O cost of one coordinate conversion."""
+        universe = max(2, self.universe)
+        log_b_u = max(2.0, math.log(universe, max(2, block_size)))
+        return max(1, math.ceil(math.log2(log_b_u)))
+
+
+def to_rank_space(points: Sequence[Point]) -> Tuple[List[Point], RankSpaceMap]:
+    """Map an arbitrary point set into rank space.
+
+    Returns the mapped points and the :class:`RankSpaceMap` needed to map
+    queries and un-map results.
+    """
+    mapping = RankSpaceMap.build(points)
+    return [mapping.to_rank(p) for p in points], mapping
+
+
+def _rank_of_query(sorted_values: List[float], value: float, side: str) -> float:
+    if value == math.inf:
+        return math.inf
+    if value == -math.inf:
+        return -math.inf
+    if side == "lo":
+        # Smallest rank whose coordinate is >= value.
+        return bisect.bisect_left(sorted_values, value)
+    if side == "hi":
+        # Largest rank whose coordinate is <= value.
+        return bisect.bisect_right(sorted_values, value) - 1
+    raise ValueError(f"side must be 'lo' or 'hi', got {side!r}")

@@ -1,0 +1,105 @@
+"""In-memory reference skyline algorithms.
+
+These are the "ground truth" against which every external-memory structure
+is validated, plus the building blocks the baselines reuse.  All of them
+return maximal points sorted by increasing x (hence decreasing y).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+
+
+def skyline(points: Iterable[Point]) -> List[Point]:
+    """The maxima (skyline) of an arbitrary point collection.
+
+    Sort-based sweep: sort by decreasing x (ties by decreasing y) and keep a
+    running maximum of y.  ``O(n log n)`` time, the standard internal-memory
+    algorithm.
+    """
+    ordered = sorted(points, key=lambda p: (-p.x, -p.y))
+    result: List[Point] = []
+    best_y = float("-inf")
+    for point in ordered:
+        if point.y > best_y:
+            result.append(point)
+            best_y = point.y
+    result.reverse()
+    return result
+
+
+def skyline_of_sorted(points_sorted_by_x: Sequence[Point]) -> List[Point]:
+    """Skyline of points already sorted by increasing x.
+
+    A single right-to-left pass; used by constructions that already hold an
+    x-sorted list (e.g. the SABE pipeline) to avoid re-sorting.
+    """
+    result: List[Point] = []
+    best_y = float("-inf")
+    for point in reversed(points_sorted_by_x):
+        if point.y > best_y:
+            result.append(point)
+            best_y = point.y
+    result.reverse()
+    return result
+
+
+def skyline_divide_and_conquer(points: Sequence[Point]) -> List[Point]:
+    """Divide-and-conquer skyline (kept as an independent cross-check).
+
+    Splits by x-median, recurses, and removes from the left half every point
+    dominated by the highest point of the right half -- mirroring the
+    Overmars--van Leeuwen merge step that the dynamic structure (Section 4)
+    re-implements with attrition.
+    """
+    pts = sorted(points, key=lambda p: (p.x, p.y))
+    if not pts:
+        return []
+    return _dac(pts)
+
+
+def _dac(pts: List[Point]) -> List[Point]:
+    if len(pts) <= 2:
+        return skyline_of_sorted(pts)
+    mid = len(pts) // 2
+    left = _dac(pts[:mid])
+    right = _dac(pts[mid:])
+    if not right:
+        return left
+    top_right_y = right[0].y
+    surviving_left = [p for p in left if p.y > top_right_y]
+    return surviving_left + right
+
+
+def range_skyline(points: Iterable[Point], query: RangeQuery) -> List[Point]:
+    """Reference answer to a range-skyline query: skyline of ``P ∩ Q``."""
+    return skyline(query.filter(points))
+
+
+def highest_point(points: Iterable[Point]) -> Optional[Point]:
+    """The point with the maximum y-coordinate (None for an empty input)."""
+    best: Optional[Point] = None
+    for point in points:
+        if best is None or point.y > best.y:
+            best = point
+    return best
+
+
+def is_skyline(points: Sequence[Point], candidate: Sequence[Point]) -> bool:
+    """Whether ``candidate`` is exactly the skyline of ``points``."""
+    expected = {(p.x, p.y) for p in skyline(points)}
+    got = {(p.x, p.y) for p in candidate}
+    return expected == got
+
+
+def count_dominated_pairs(points: Sequence[Point]) -> int:
+    """Number of ordered pairs (p, q) with p dominating q (test utility)."""
+    count = 0
+    for p in points:
+        for q in points:
+            if p is not q and p.dominates(q):
+                count += 1
+    return count

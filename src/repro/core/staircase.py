@@ -1,0 +1,123 @@
+"""Staircase representation of a skyline.
+
+A skyline "naturally forms an orthogonal staircase where increasing
+x-coordinates imply decreasing y-coordinates" (Section 1).  The structures
+in :mod:`repro.structures` manipulate these staircases constantly: finding
+the point just right of another in the staircase, clipping a staircase to a
+y-threshold, merging staircases under dominance, etc.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.point import Point
+from repro.core.skyline import skyline
+
+
+class Staircase:
+    """An immutable skyline stored sorted by increasing x (decreasing y)."""
+
+    def __init__(self, points: Iterable[Point], already_maximal: bool = False) -> None:
+        pts = list(points)
+        if not already_maximal:
+            pts = skyline(pts)
+        else:
+            pts = sorted(pts, key=lambda p: p.x)
+        self._points: List[Point] = pts
+        self._xs: List[float] = [p.x for p in pts]
+        self._validate()
+
+    def _validate(self) -> None:
+        for prev, curr in zip(self._points, self._points[1:]):
+            if not (prev.x < curr.x and prev.y > curr.y):
+                raise ValueError(
+                    "staircase points must strictly increase in x and decrease in y"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> Point:
+        return self._points[index]
+
+    def points(self) -> List[Point]:
+        """The staircase points, sorted by increasing x."""
+        return list(self._points)
+
+    def is_empty(self) -> bool:
+        return not self._points
+
+    # ------------------------------------------------------------------
+    # Queries used by the range-skyline structures
+    # ------------------------------------------------------------------
+    def highest(self) -> Optional[Point]:
+        """The highest (leftmost) point of the staircase."""
+        return self._points[0] if self._points else None
+
+    def lowest(self) -> Optional[Point]:
+        """The lowest (rightmost) point of the staircase."""
+        return self._points[-1] if self._points else None
+
+    def above(self, y_threshold: float) -> List[Point]:
+        """All staircase points with y-coordinate strictly above ``y_threshold``."""
+        return [p for p in self._points if p.y > y_threshold]
+
+    def right_neighbour(self, point: Point) -> Optional[Point]:
+        """The staircase point immediately to the right of ``point``.
+
+        The query algorithm of Theorem 2 repeatedly needs "the point just to
+        the right of ``highend(v)`` in the staircase of S".
+        """
+        index = bisect.bisect_right(self._xs, point.x)
+        if index < len(self._points):
+            return self._points[index]
+        return None
+
+    def dominator_exists(self, point: Point) -> bool:
+        """Whether some staircase point dominates ``point``."""
+        index = bisect.bisect_left(self._xs, point.x)
+        return index < len(self._points) and self._points[index].y >= point.y
+
+    def first_in_x_range(self, x_lo: float, x_hi: float) -> Optional[Point]:
+        """The leftmost staircase point with x in ``[x_lo, x_hi]``."""
+        index = bisect.bisect_left(self._xs, x_lo)
+        if index < len(self._points) and self._points[index].x <= x_hi:
+            return self._points[index]
+        return None
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def merge(self, other: "Staircase") -> "Staircase":
+        """The skyline of the union of the two staircases."""
+        return Staircase(self.points() + other.points())
+
+    def restrict(self, x_lo: float = float("-inf"), x_hi: float = float("inf"),
+                 y_lo: float = float("-inf")) -> "Staircase":
+        """Staircase points inside ``[x_lo, x_hi] x [y_lo, inf[``.
+
+        Note this is the skyline restricted to the range, not the skyline of
+        the restricted point set (the two differ for 4-sided queries).
+        """
+        selected = [
+            p
+            for p in self._points
+            if x_lo <= p.x <= x_hi and p.y >= y_lo
+        ]
+        return Staircase(selected, already_maximal=True)
+
+    @classmethod
+    def of(cls, points: Sequence[Point]) -> "Staircase":
+        """Build the staircase of an arbitrary point set."""
+        return cls(points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Staircase({self._points!r})"

@@ -1,0 +1,40 @@
+"""External-memory (I/O model) simulation substrate.
+
+The classic Aggarwal--Vitter external-memory model charges one unit of cost
+per *block transfer* between an unbounded disk and a memory of ``M`` words,
+where each block holds ``B`` consecutive words; CPU work is free.  The paper
+states all of its bounds in this model, so the reproduction measures exactly
+this quantity: every data structure in :mod:`repro.structures` stores its
+nodes through this package and every benchmark reports the resulting I/O
+counters.
+
+Public surface
+--------------
+:class:`EMConfig`      -- the (B, M) parameters of a simulated machine.
+:class:`IOStats`       -- read/write counters with snapshot arithmetic.
+:class:`DiskModel`     -- block-addressed object store that counts transfers.
+:class:`BufferPool`    -- LRU cache of blocks with pinning, on top of a disk.
+:class:`StorageManager`-- convenience facade combining the three above.
+:class:`EMFile`        -- sequential record file (append / scan) with blocked I/O.
+:func:`external_sort`  -- multiway external merge sort with exact I/O counts.
+"""
+
+from repro.em.config import EMConfig
+from repro.em.counters import IOStats
+from repro.em.disk import BlockId, DiskFullError, DiskModel
+from repro.em.cache import BufferPool
+from repro.em.storage import StorageManager
+from repro.em.file import EMFile
+from repro.em.sorting import external_sort
+
+__all__ = [
+    "EMConfig",
+    "IOStats",
+    "BlockId",
+    "DiskModel",
+    "DiskFullError",
+    "BufferPool",
+    "StorageManager",
+    "EMFile",
+    "external_sort",
+]

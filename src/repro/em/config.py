@@ -1,0 +1,73 @@
+"""Machine parameters of the simulated external-memory model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EMConfig:
+    """Parameters of a simulated external-memory machine.
+
+    Attributes
+    ----------
+    block_size:
+        ``B`` -- the number of records (words) that fit in one disk block.
+    memory_blocks:
+        ``M / B`` -- how many blocks the buffer pool may hold at once.
+        The paper's tall-cache style assumption ``M >= B^2`` is not required,
+        but ``memory_blocks`` must be at least 4 so that a constant number of
+        blocks can be pinned while still leaving room for normal traffic.
+    """
+
+    block_size: int = 64
+    memory_blocks: int = 32
+
+    def __post_init__(self) -> None:
+        if self.block_size < 2:
+            raise ValueError(f"block_size must be >= 2, got {self.block_size}")
+        if self.memory_blocks < 4:
+            raise ValueError(
+                f"memory_blocks must be >= 4, got {self.memory_blocks}"
+            )
+
+    @property
+    def memory_words(self) -> int:
+        """Total memory capacity ``M`` expressed in records (words)."""
+        return self.block_size * self.memory_blocks
+
+    def blocks_for(self, n_records: int) -> int:
+        """Number of blocks needed to hold ``n_records`` records."""
+        if n_records <= 0:
+            return 0
+        return math.ceil(n_records / self.block_size)
+
+    def log_b(self, n: int) -> float:
+        """``log_B(n)`` -- the branching-factor logarithm used by B-tree bounds."""
+        if n <= 1:
+            return 1.0
+        return max(1.0, math.log(n, max(2, self.block_size)))
+
+    def scan_cost(self, n_records: int) -> int:
+        """The cost of one sequential scan over ``n_records`` records."""
+        return self.blocks_for(n_records)
+
+    def sort_cost(self, n_records: int) -> float:
+        """The sorting bound ``(n/B) * log_{M/B}(n/B)`` of Aggarwal--Vitter."""
+        n_blocks = self.blocks_for(n_records)
+        if n_blocks <= 1:
+            return 1.0
+        fanout = max(2, self.memory_blocks - 1)
+        return n_blocks * max(1.0, math.log(n_blocks, fanout))
+
+    def with_block_size(self, block_size: int) -> "EMConfig":
+        """A copy of this configuration with a different ``B``."""
+        return EMConfig(block_size=block_size, memory_blocks=self.memory_blocks)
+
+    def with_memory_blocks(self, memory_blocks: int) -> "EMConfig":
+        """A copy of this configuration with a different buffer-pool size."""
+        return EMConfig(block_size=self.block_size, memory_blocks=memory_blocks)
+
+
+DEFAULT_CONFIG = EMConfig()

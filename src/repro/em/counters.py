@@ -1,0 +1,111 @@
+"""I/O accounting for the simulated disk."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters of block transfers performed by a :class:`~repro.em.DiskModel`.
+
+    ``reads`` and ``writes`` count *block transfers*, the only cost the
+    external-memory model charges for.  ``allocations`` and ``frees`` are
+    bookkeeping counters (free in the cost model) that the space accounting
+    of the benchmarks uses.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of charged block transfers."""
+        return self.reads + self.writes
+
+    def record_read(self, count: int = 1) -> None:
+        """Charge ``count`` block reads."""
+        self.reads += count
+
+    def record_write(self, count: int = 1) -> None:
+        """Charge ``count`` block writes."""
+        self.writes += count
+
+    def record_allocation(self, count: int = 1) -> None:
+        """Note that ``count`` blocks were allocated (not charged)."""
+        self.allocations += count
+
+    def record_free(self, count: int = 1) -> None:
+        """Note that ``count`` blocks were released (not charged)."""
+        self.frees += count
+
+    def snapshot(self) -> "IOSnapshot":
+        """An immutable copy of the current counter values."""
+        return IOSnapshot(
+            reads=self.reads,
+            writes=self.writes,
+            allocations=self.allocations,
+            frees=self.frees,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IOStats(reads={self.reads}, writes={self.writes}, "
+            f"total={self.total})"
+        )
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """A frozen view of :class:`IOStats` used to measure deltas."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            reads=self.reads - other.reads,
+            writes=self.writes - other.writes,
+            allocations=self.allocations - other.allocations,
+            frees=self.frees - other.frees,
+        )
+
+
+@dataclass
+class IOMeter:
+    """Context manager measuring the I/Os performed inside a ``with`` block.
+
+    Example
+    -------
+    >>> stats = IOStats()
+    >>> with IOMeter(stats) as meter:
+    ...     stats.record_read(3)
+    >>> meter.delta.reads
+    3
+    """
+
+    stats: IOStats
+    delta: IOSnapshot = field(default_factory=IOSnapshot)
+    _start: IOSnapshot = field(default_factory=IOSnapshot)
+
+    def __enter__(self) -> "IOMeter":
+        self._start = self.stats.snapshot()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.delta = self.stats.snapshot() - self._start

@@ -1,0 +1,149 @@
+"""The simulated block-addressed disk.
+
+A :class:`DiskModel` stores arbitrary Python payloads, one per block address,
+and charges one read or write to its :class:`~repro.em.counters.IOStats` per
+block transferred.  Payload *size* is expressed in records: a payload
+declaring more than ``B`` records does not fit in one block and is rejected,
+which is how the reproduction enforces the paper's space discipline (e.g.
+buffers of the I/O-CPQA holding at most ``4b <= 4B`` elements, PPB-tree nodes
+holding at most ``B`` entries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.em.config import EMConfig
+from repro.em.counters import IOStats
+
+BlockId = int
+
+
+class DiskFullError(RuntimeError):
+    """Raised when a bounded disk runs out of blocks."""
+
+
+class BlockOverflowError(ValueError):
+    """Raised when a payload declares more records than fit in one block."""
+
+
+class DiskModel:
+    """A block-addressed object store with exact I/O accounting.
+
+    Parameters
+    ----------
+    config:
+        The machine parameters (block size ``B``; the memory bound is
+        enforced by :class:`~repro.em.cache.BufferPool`, not here).
+    stats:
+        Counter object to charge transfers to.  Several disks may share one
+        ``IOStats`` when an experiment wants a single global I/O figure.
+    capacity_blocks:
+        Optional bound on the number of live blocks (``None`` = unbounded
+        disk, as in the model).
+    size_of:
+        Optional callable mapping a payload to its size in records.  The
+        default understands ``None`` (size 0), objects exposing
+        ``record_size()`` and sized containers; anything else counts as one
+        record.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EMConfig] = None,
+        stats: Optional[IOStats] = None,
+        capacity_blocks: Optional[int] = None,
+        size_of: Optional[Callable[[Any], int]] = None,
+    ) -> None:
+        self.config = config or EMConfig()
+        self.stats = stats if stats is not None else IOStats()
+        self.capacity_blocks = capacity_blocks
+        self._size_of = size_of or _default_record_size
+        self._blocks: Dict[BlockId, Any] = {}
+        self._next_id: BlockId = 1
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self) -> BlockId:
+        """Reserve a fresh block address (no transfer is charged)."""
+        if (
+            self.capacity_blocks is not None
+            and self.block_count() >= self.capacity_blocks
+        ):
+            raise DiskFullError(
+                f"disk capacity of {self.capacity_blocks} blocks exhausted"
+            )
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = None
+        self.stats.record_allocation()
+        return block_id
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block address (no transfer is charged)."""
+        if block_id not in self._blocks:
+            raise KeyError(f"block {block_id} is not allocated")
+        del self._blocks[block_id]
+        self.stats.record_free()
+
+    def block_count(self) -> int:
+        """Number of currently allocated blocks (the structure's space)."""
+        return len(self._blocks)
+
+    def is_allocated(self, block_id: BlockId) -> bool:
+        """Whether ``block_id`` refers to a live block."""
+        return block_id in self._blocks
+
+    # ------------------------------------------------------------------
+    # Transfers (the only operations that cost I/Os)
+    # ------------------------------------------------------------------
+    def read_block(self, block_id: BlockId) -> Any:
+        """Transfer one block from disk to memory; charges one read."""
+        if block_id not in self._blocks:
+            raise KeyError(f"block {block_id} is not allocated")
+        self.stats.record_read()
+        return self._blocks[block_id]
+
+    def write_block(self, block_id: BlockId, payload: Any) -> None:
+        """Transfer one block from memory to disk; charges one write."""
+        if block_id not in self._blocks:
+            raise KeyError(f"block {block_id} is not allocated")
+        size = self._size_of(payload)
+        if size > self.config.block_size:
+            raise BlockOverflowError(
+                f"payload of {size} records exceeds block size "
+                f"{self.config.block_size}"
+            )
+        self.stats.record_write()
+        self._blocks[block_id] = payload
+
+    def write_new(self, payload: Any) -> BlockId:
+        """Allocate a block and write ``payload`` into it (one write)."""
+        block_id = self.allocate()
+        self.write_block(block_id, payload)
+        return block_id
+
+    # ------------------------------------------------------------------
+    # Inspection helpers (free: used by tests and invariant checkers only)
+    # ------------------------------------------------------------------
+    def peek(self, block_id: BlockId) -> Any:
+        """Read a block without charging an I/O.
+
+        Only tests and invariant checkers may use this; production code paths
+        must go through :meth:`read_block` so that every access is costed.
+        """
+        return self._blocks[block_id]
+
+
+def _default_record_size(payload: Any) -> int:
+    """Best-effort size, in records, of a block payload."""
+    if payload is None:
+        return 0
+    record_size = getattr(payload, "record_size", None)
+    if callable(record_size):
+        return int(record_size())
+    try:
+        return len(payload)
+    except TypeError:
+        return 1

@@ -1,0 +1,109 @@
+"""Convenience facade bundling disk, buffer pool and counters.
+
+Every data structure in the library takes a :class:`StorageManager` so that
+experiments can (a) share one I/O counter across several structures and
+(b) control the block size ``B`` and buffer-pool size ``M/B`` in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.em.cache import BufferPool
+from repro.em.config import EMConfig
+from repro.em.counters import IOMeter, IOSnapshot, IOStats
+from repro.em.disk import BlockId, DiskModel
+
+
+class StorageManager:
+    """A simulated machine: one disk, one buffer pool, one set of counters."""
+
+    def __init__(
+        self,
+        config: Optional[EMConfig] = None,
+        stats: Optional[IOStats] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.config = config or EMConfig()
+        self.stats = stats if stats is not None else IOStats()
+        self.disk = DiskModel(config=self.config, stats=self.stats)
+        self.pool: Optional[BufferPool] = (
+            BufferPool(self.disk, self.config.memory_blocks) if use_cache else None
+        )
+
+    # ------------------------------------------------------------------
+    # Block-level access (cache-aware)
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        """``B`` -- records per block."""
+        return self.config.block_size
+
+    def read(self, block_id: BlockId) -> Any:
+        """Read a block (through the buffer pool when one is configured)."""
+        if self.pool is not None:
+            return self.pool.get(block_id)
+        return self.disk.read_block(block_id)
+
+    def write(self, block_id: BlockId, payload: Any) -> None:
+        """Write a block (write-back through the buffer pool if configured)."""
+        if self.pool is not None:
+            self.pool.put(block_id, payload)
+        else:
+            self.disk.write_block(block_id, payload)
+
+    def create(self, payload: Any) -> BlockId:
+        """Allocate a fresh block holding ``payload``."""
+        if self.pool is not None:
+            return self.pool.create(payload)
+        return self.disk.write_new(payload)
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block."""
+        if self.pool is not None:
+            self.pool.invalidate(block_id)
+        self.disk.free(block_id)
+
+    def pin(self, block_id: BlockId) -> Any:
+        """Pin a block in memory (no-op passthrough read without a pool)."""
+        if self.pool is not None:
+            return self.pool.pin(block_id)
+        return self.disk.read_block(block_id)
+
+    def unpin(self, block_id: BlockId) -> None:
+        """Release a pin acquired with :meth:`pin`."""
+        if self.pool is not None:
+            self.pool.unpin(block_id)
+
+    def flush(self) -> None:
+        """Force all dirty cached blocks to disk."""
+        if self.pool is not None:
+            self.pool.flush()
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    def snapshot(self) -> IOSnapshot:
+        """Snapshot of the I/O counters (flushing nothing)."""
+        return self.stats.snapshot()
+
+    def meter(self) -> IOMeter:
+        """``with storage.meter() as m: ...`` measures I/Os of the block."""
+        return IOMeter(self.stats)
+
+    def io_total(self) -> int:
+        """Total charged block transfers so far."""
+        return self.stats.total
+
+    def blocks_in_use(self) -> int:
+        """Current number of allocated blocks (space usage)."""
+        return self.disk.block_count()
+
+    def reset_stats(self) -> None:
+        """Zero the I/O counters (space accounting is unaffected)."""
+        self.stats.reset()
+
+    def drop_cache(self) -> None:
+        """Flush and empty the buffer pool (cold-cache measurements)."""
+        if self.pool is not None:
+            self.pool.evict_all()

@@ -1,0 +1,36 @@
+"""Hardness machinery: the lower-bound workload and indexability analysis.
+
+Lemma 8 constructs, for parameters ``omega`` and ``lambda``, a set of
+``omega^lambda`` points and ``lambda * omega^(lambda-1)`` anti-dominance
+queries such that each query outputs exactly ``omega`` points and any two
+queries share at most one point.  Plugging this workload into the
+indexability theorem of Hellerstein et al. yields the
+``Omega((n/B)^eps + k/B)`` query lower bound of Theorem 5 for any
+linear-size structure.
+
+This package builds the workload explicitly (:func:`chazelle_liu_input`)
+and provides :class:`IndexabilityAnalyzer`, which evaluates a concrete block
+layout against the workload: for each query it computes the minimum number
+of blocks that cover the query's output, the quantity the lower bound
+constrains.
+"""
+
+from repro.hardness.chazelle_liu import (
+    ChazelleLiuWorkload,
+    chazelle_liu_input,
+    rho,
+)
+from repro.hardness.indexability import (
+    IndexabilityAnalyzer,
+    indexability_query_lower_bound,
+    pointer_machine_space_lower_bound,
+)
+
+__all__ = [
+    "ChazelleLiuWorkload",
+    "chazelle_liu_input",
+    "rho",
+    "IndexabilityAnalyzer",
+    "indexability_query_lower_bound",
+    "pointer_machine_space_lower_bound",
+]

@@ -1,0 +1,147 @@
+"""The low-discrepancy lower-bound workload of Lemma 8.
+
+For integers ``omega, lam >= 1`` the construction produces ``n = omega^lam``
+points ``{(i, rho_omega(i))}`` where ``rho_omega(i)`` reverses the base-omega
+digits of ``i`` and complements each digit, together with
+``lam * omega^(lam-1)`` queries.  Every query's answer (the skyline inside an
+anti-dominance range, after mirroring) has exactly ``omega`` points, and any
+two queries share at most one answer point -- the (2, omega)-favourable
+property that drives the indexability lower bound of Theorem 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import AntiDominanceQuery
+
+
+def rho(i: int, omega: int, lam: int) -> int:
+    """``rho_omega(i)``: reverse the base-omega digits of ``i`` and complement them."""
+    digits = []
+    value = i
+    for _ in range(lam):
+        digits.append(value % omega)
+        value //= omega
+    # ``digits`` holds the base-omega representation least-significant first;
+    # reversing the digit order of ``i`` therefore means reading ``digits``
+    # most-significant-last, i.e. keeping this order while complementing.
+    result = 0
+    for digit in digits:
+        result = result * omega + (omega - digit - 1)
+    return result
+
+
+@dataclass(frozen=True)
+class LowerBoundQuery:
+    """One query of the workload, in both of its equivalent forms.
+
+    ``corner`` is the corner of the *dominance* (upper-right) range in the
+    original coordinates; ``expected`` is the exact answer set (the minima of
+    the points inside that range, equivalently the skyline of the mirrored
+    anti-dominance range).
+    """
+
+    corner: Tuple[float, float]
+    expected: Tuple[Point, ...]
+
+    @property
+    def output_size(self) -> int:
+        return len(self.expected)
+
+
+@dataclass
+class ChazelleLiuWorkload:
+    """The (omega, lam)-input: points plus the (2, omega)-favourable queries."""
+
+    omega: int
+    lam: int
+    points: List[Point]
+    queries: List[LowerBoundQuery]
+
+    @property
+    def n(self) -> int:
+        return len(self.points)
+
+    def mirrored_points(self) -> List[Point]:
+        """Points mirrored so the queries become anti-dominance skyline queries."""
+        n = self.n
+        return [Point(n - 1 - p.x, n - 1 - p.y, p.ident) for p in self.points]
+
+    def mirrored_queries(self) -> List[AntiDominanceQuery]:
+        """The anti-dominance form of the queries over :meth:`mirrored_points`."""
+        n = self.n
+        return [
+            AntiDominanceQuery(n - 1 - query.corner[0], n - 1 - query.corner[1])
+            for query in self.queries
+        ]
+
+    def mirrored_expected(self, query_index: int) -> List[Point]:
+        """Expected answer of the mirrored query ``query_index``."""
+        n = self.n
+        return [
+            Point(n - 1 - p.x, n - 1 - p.y, p.ident)
+            for p in self.queries[query_index].expected
+        ]
+
+
+def chazelle_liu_input(omega: int, lam: int) -> ChazelleLiuWorkload:
+    """Build the (omega, lam)-input of Lemma 8."""
+    if omega < 2 or lam < 1:
+        raise ValueError("need omega >= 2 and lam >= 1")
+    n = omega ** lam
+    points = [Point(float(i), float(rho(i, omega, lam)), ident=i) for i in range(n)]
+    by_y = {int(p.y): p for p in points}
+
+    queries: List[LowerBoundQuery] = []
+    # Internal trie nodes at depth d correspond to fixed prefixes of length d
+    # of the y-values written in base omega (most significant digit first).
+    for depth in range(lam):
+        subtree_size = omega ** (lam - depth)
+        stride = omega ** (lam - depth - 1)
+        for prefix_index in range(omega ** depth):
+            y_base = prefix_index * subtree_size
+            subtree_ys = range(y_base, y_base + subtree_size)
+            for start in range(stride):
+                group_ys = [y_base + start + j * stride for j in range(omega)]
+                group = [by_y[y] for y in group_ys]
+                corner = (
+                    min(p.x for p in group) - 0.5,
+                    min(p.y for p in group) - 0.5,
+                )
+                queries.append(
+                    LowerBoundQuery(corner=corner, expected=tuple(group))
+                )
+            del subtree_ys
+    return ChazelleLiuWorkload(omega=omega, lam=lam, points=points, queries=queries)
+
+
+def verify_workload(workload: ChazelleLiuWorkload) -> bool:
+    """Check the two properties of Lemma 8 by brute force (test utility).
+
+    Property (i): every query's expected set is exactly the set of minima of
+    the points dominating its corner.  Property (ii): two distinct queries
+    share at most one point.
+    """
+    points = workload.points
+    for query in workload.queries:
+        qx, qy = query.corner
+        inside = [p for p in points if p.x >= qx and p.y >= qy]
+        minima = [
+            p
+            for p in inside
+            if not any(
+                o is not p and o.x <= p.x and o.y <= p.y for o in inside
+            )
+        ]
+        if {p.ident for p in minima} != {p.ident for p in query.expected}:
+            return False
+    for i, first in enumerate(workload.queries):
+        ids_first = {p.ident for p in first.expected}
+        for second in workload.queries[i + 1 :]:
+            shared = ids_first & {p.ident for p in second.expected}
+            if len(shared) > 1:
+                return False
+    return True

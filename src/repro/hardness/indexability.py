@@ -1,0 +1,129 @@
+"""Indexability-model analysis (Theorem 5, Lemma 9, Theorem 7).
+
+The indexability model of Hellerstein et al. abstracts a structure as an
+assignment of data items to size-B blocks (possibly with redundancy); the
+cost of a query is the minimum number of blocks covering its answer.  The
+workload of Lemma 8 forces every layout of bounded redundancy to pay
+polynomially many blocks on some query, which is the content of Theorem 5.
+
+:class:`IndexabilityAnalyzer` measures that quantity for concrete layouts
+(x-sorted, y-sorted, Z-order) so the lower-bound benchmark can show the
+blow-up empirically, alongside the closed-form bounds below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.point import Point
+from repro.hardness.chazelle_liu import ChazelleLiuWorkload
+
+
+def indexability_query_lower_bound(n: int, block_size: int, redundancy: float) -> float:
+    """The Omega((n/B)^{1/(25c)}) bound of Lemma 9 for space ``c * n/B`` blocks."""
+    blocks = max(2.0, n / max(1, block_size))
+    exponent = 1.0 / (25.0 * max(1.0, redundancy))
+    return blocks ** exponent
+
+
+def pointer_machine_space_lower_bound(n: int, gamma: float = 1.0) -> float:
+    """The Omega(n log n / log log n) space bound of Theorem 7."""
+    if n < 4:
+        return float(n)
+    return n * math.log2(n) / math.log2(math.log2(n))
+
+
+@dataclass
+class LayoutReport:
+    """Blocks-per-query statistics of one layout against the workload."""
+
+    name: str
+    blocks_used: int
+    min_blocks_per_query: int
+    avg_blocks_per_query: float
+    max_blocks_per_query: int
+    optimal_blocks_per_query: float  # ceil(omega / B): the k/B ideal
+
+
+class IndexabilityAnalyzer:
+    """Evaluate concrete block layouts against a Lemma 8 workload."""
+
+    def __init__(self, workload: ChazelleLiuWorkload, block_size: int) -> None:
+        self.workload = workload
+        self.block_size = block_size
+
+    # ------------------------------------------------------------------
+    # Layouts
+    # ------------------------------------------------------------------
+    def layout_by(self, key: Callable[[Point], float]) -> Dict[int, int]:
+        """Assign each point (by ident) to a block id under a sort order."""
+        ordered = sorted(self.workload.points, key=key)
+        return {
+            point.ident: index // self.block_size
+            for index, point in enumerate(ordered)
+        }
+
+    def x_sorted_layout(self) -> Dict[int, int]:
+        """Points packed into blocks by increasing x."""
+        return self.layout_by(lambda p: p.x)
+
+    def y_sorted_layout(self) -> Dict[int, int]:
+        """Points packed into blocks by increasing y."""
+        return self.layout_by(lambda p: p.y)
+
+    def z_order_layout(self) -> Dict[int, int]:
+        """Points packed by Morton (Z-order) code, a common spatial layout."""
+
+        def morton(point: Point) -> int:
+            x, y = int(point.x), int(point.y)
+            code = 0
+            for bit in range(32):
+                code |= ((x >> bit) & 1) << (2 * bit)
+                code |= ((y >> bit) & 1) << (2 * bit + 1)
+            return code
+
+        return self.layout_by(morton)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, name: str, layout: Dict[int, int]) -> LayoutReport:
+        """Blocks-per-query statistics of ``layout`` over all workload queries."""
+        per_query: List[int] = []
+        for query in self.workload.queries:
+            blocks = {layout[point.ident] for point in query.expected}
+            per_query.append(len(blocks))
+        omega = self.workload.omega
+        return LayoutReport(
+            name=name,
+            blocks_used=len(set(layout.values())),
+            min_blocks_per_query=min(per_query),
+            avg_blocks_per_query=sum(per_query) / len(per_query),
+            max_blocks_per_query=max(per_query),
+            optimal_blocks_per_query=math.ceil(omega / self.block_size),
+        )
+
+    def evaluate_standard_layouts(self) -> List[LayoutReport]:
+        """Reports for the x-sorted, y-sorted and Z-order layouts."""
+        return [
+            self.evaluate("x-sorted", self.x_sorted_layout()),
+            self.evaluate("y-sorted", self.y_sorted_layout()),
+            self.evaluate("z-order", self.z_order_layout()),
+        ]
+
+    def access_overhead(self, layout: Dict[int, int]) -> float:
+        """The access overhead ``A``: worst-case blocks x B / output size."""
+        worst = 0.0
+        for query in self.workload.queries:
+            blocks = {layout[point.ident] for point in query.expected}
+            worst = max(worst, len(blocks) * self.block_size / len(query.expected))
+        return worst
+
+    def theorem_space_bound(self) -> float:
+        """The (lam/12) * omega^lam / B block bound of the indexability theorem."""
+        return (
+            self.workload.lam / 12.0 * (self.workload.omega ** self.workload.lam)
+            / self.block_size
+        )

@@ -1,0 +1,59 @@
+"""Node and entry payloads of the multiversion B-tree."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, List
+
+INF = math.inf
+
+
+@dataclass
+class MVEntry:
+    """A versioned entry.
+
+    For leaf nodes ``value`` is the stored payload (a segment); for internal
+    nodes it is the block id of a child.  The entry is *live* during the
+    half-open version interval ``[start, end)``; ``end = inf`` means it has
+    not been (logically) deleted yet.
+    """
+
+    key: Any
+    start: float
+    end: float = INF
+    value: Any = None
+
+    def alive_at(self, version: float) -> bool:
+        """Whether the entry belongs to the snapshot of ``version``."""
+        return self.start <= version < self.end
+
+    @property
+    def alive_now(self) -> bool:
+        """Whether the entry is live in the current (latest) version."""
+        return self.end == INF
+
+
+@dataclass
+class MVNode:
+    """One block of the multiversion B-tree (leaf or internal)."""
+
+    is_leaf: bool
+    entries: List[MVEntry] = field(default_factory=list)
+
+    def record_size(self) -> int:
+        """Size in records (one per entry)."""
+        return max(1, len(self.entries))
+
+    def live_entries(self, version: float = INF) -> List[MVEntry]:
+        """Entries alive at ``version`` (current version by default)."""
+        if version == INF:
+            return [entry for entry in self.entries if entry.alive_now]
+        return [entry for entry in self.entries if entry.alive_at(version)]
+
+    def live_count(self) -> int:
+        """Number of currently live entries."""
+        return sum(1 for entry in self.entries if entry.alive_now)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,310 @@
+"""The multiversion (partially persistent) B-tree.
+
+Updates are applied to the *current* version, which must be non-decreasing
+over the lifetime of the tree (the sweep over x-coordinates guarantees
+this).  Past versions remain queryable forever: ``range_query(version, lo,
+hi)`` and ``scan_from(version, lo, visitor)`` run against the snapshot
+B-tree of ``version`` in ``O(log_B n + k/B)`` I/Os, because every node
+guarantees a minimum number of entries alive at each version it spans
+(the weak version condition of Becker et al.).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.em.storage import StorageManager
+from repro.ppbtree.nodes import INF, MVEntry, MVNode
+
+
+class MultiversionBTree:
+    """A partially persistent B-tree over totally ordered keys."""
+
+    def __init__(self, storage: StorageManager, capacity: Optional[int] = None) -> None:
+        self.storage = storage
+        # Leave slack below the block size so that the transient growth of a
+        # node during a restructuring step never exceeds one block.
+        base = capacity or storage.block_size
+        self.capacity = max(8, base - 4)
+        self.live_min = max(2, self.capacity // 5)
+        self.strong_low = max(self.live_min + 1, (2 * self.capacity) // 5)
+        self.strong_high = max(self.strong_low + 2, (4 * self.capacity) // 5)
+        # roots[i] = (first version covered, block id); kept sorted by version.
+        self.roots: List[Tuple[float, int]] = []
+        self.current_version = -INF
+        self.update_count = 0
+        self.version_copies = 0
+
+    # ------------------------------------------------------------------
+    # Updates (applied at non-decreasing versions)
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any, version: float) -> None:
+        """Insert ``key -> value`` effective from ``version`` on."""
+        self._advance_version(version)
+        self.update_count += 1
+        if not self.roots:
+            root = MVNode(is_leaf=True, entries=[MVEntry(key, version, INF, value)])
+            root_id = self.storage.create(root)
+            self.roots.append((version, root_id))
+            return
+        while True:
+            path = self._descend_current(key)
+            leaf_id, leaf = path[-1]
+            if len(leaf.entries) + 1 > self.capacity:
+                self._restructure(path, version)
+                continue
+            leaf.entries.append(MVEntry(key, version, INF, value))
+            leaf.entries.sort(key=lambda e: (e.key, e.start))
+            self.storage.write(leaf_id, leaf)
+            return
+
+    def delete(self, key: Any, version: float) -> bool:
+        """Logically delete the live entry with ``key`` as of ``version``."""
+        self._advance_version(version)
+        if not self.roots:
+            return False
+        self.update_count += 1
+        path = self._descend_current(key)
+        leaf_id, leaf = path[-1]
+        target = None
+        for entry in leaf.entries:
+            if entry.alive_now and entry.key == key:
+                target = entry
+                break
+        if target is None:
+            return False
+        target.end = version
+        self.storage.write(leaf_id, leaf)
+        if leaf.live_count() < self.live_min and len(path) > 1:
+            self._restructure(path, version)
+        return True
+
+    def _advance_version(self, version: float) -> None:
+        if version < self.current_version:
+            raise ValueError(
+                f"versions must be non-decreasing: {version} < {self.current_version}"
+            )
+        self.current_version = version
+
+    # ------------------------------------------------------------------
+    # Queries against arbitrary versions
+    # ------------------------------------------------------------------
+    def root_for(self, version: float) -> Optional[int]:
+        """Block id of the root of the snapshot at ``version``."""
+        candidate: Optional[int] = None
+        for start, root_id in self.roots:
+            if start <= version:
+                candidate = root_id
+            else:
+                break
+        return candidate
+
+    def range_query(self, version: float, key_lo: Any, key_hi: Any) -> List[Any]:
+        """Values of entries alive at ``version`` with key in ``[key_lo, key_hi]``."""
+        results: List[Any] = []
+
+        def visitor(key: Any, value: Any) -> bool:
+            if key > key_hi:
+                return False
+            results.append(value)
+            return True
+
+        self.scan_from(version, key_lo, visitor)
+        return results
+
+    def scan_from(
+        self, version: float, key_lo: Any, visitor: Callable[[Any, Any], bool]
+    ) -> None:
+        """Visit entries alive at ``version`` with key >= ``key_lo`` in key order.
+
+        ``visitor(key, value)`` returns ``False`` to stop the scan.  Because
+        every node on the snapshot holds Omega(capacity) live entries, the
+        cost is ``O(log_B n + k/B)`` I/Os for ``k`` visited entries.
+        """
+        root_id = self.root_for(version)
+        if root_id is None:
+            return
+        self._scan_node(root_id, version, key_lo, visitor)
+
+    def _scan_node(
+        self,
+        node_id: int,
+        version: float,
+        key_lo: Any,
+        visitor: Callable[[Any, Any], bool],
+    ) -> bool:
+        """Returns ``False`` when the visitor asked to stop."""
+        node: MVNode = self.storage.read(node_id)
+        live = sorted(node.live_entries(version), key=lambda e: e.key)
+        if node.is_leaf:
+            for entry in live:
+                if entry.key < key_lo:
+                    continue
+                if not visitor(entry.key, entry.value):
+                    return False
+            return True
+        for index, entry in enumerate(live):
+            upper = live[index + 1].key if index + 1 < len(live) else INF
+            # The child rooted at ``entry`` covers keys in [entry.key, upper)
+            # within this snapshot; the first child also covers keys below
+            # its router.
+            if upper <= key_lo and index + 1 < len(live):
+                continue
+            if not self._scan_node(entry.value, version, key_lo, visitor):
+                return False
+        return True
+
+    def snapshot_items(self, version: float) -> List[Tuple[Any, Any]]:
+        """All (key, value) pairs alive at ``version`` in key order."""
+        items: List[Tuple[Any, Any]] = []
+
+        def visitor(key: Any, value: Any) -> bool:
+            items.append((key, value))
+            return True
+
+        self.scan_from(version, -INF, visitor)
+        return items
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    def block_count(self) -> int:
+        """Number of blocks ever created for this tree (the paper's space)."""
+        return self._count_blocks()
+
+    def _count_blocks(self) -> int:
+        self.storage.flush()
+        seen: set = set()
+        stack = [root_id for _, root_id in self.roots]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            node: MVNode = self.storage.disk.peek(node_id)
+            if not node.is_leaf:
+                stack.extend(entry.value for entry in node.entries)
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    # Descent and restructuring (the version-copy machinery)
+    # ------------------------------------------------------------------
+    def _descend_current(self, key: Any) -> List[Tuple[int, MVNode]]:
+        """Path of (block id, node) from the current root to the target leaf."""
+        root_id = self.roots[-1][1]
+        path: List[Tuple[int, MVNode]] = []
+        node_id = root_id
+        while True:
+            node: MVNode = self.storage.read(node_id)
+            path.append((node_id, node))
+            if node.is_leaf:
+                return path
+            live = sorted(
+                (e for e in node.entries if e.alive_now), key=lambda e: e.key
+            )
+            chosen = live[0]
+            for entry in live:
+                if entry.key <= key:
+                    chosen = entry
+                else:
+                    break
+            node_id = chosen.value
+
+    def _restructure(self, path: List[Tuple[int, MVNode]], version: float) -> None:
+        """Version-copy the last node of ``path`` (merging / splitting as needed)."""
+        node_id, node = path[-1]
+        parent = path[-2] if len(path) > 1 else None
+        self.version_copies += 1
+
+        live = [e for e in node.entries if e.alive_now]
+        for entry in live:
+            entry.end = version
+        self.storage.write(node_id, node)
+        copied = [MVEntry(e.key, version, INF, e.value) for e in live]
+        dead_ids = [node_id]
+
+        # Merge with a live sibling when too few entries survive.
+        if parent is not None and len(copied) < self.strong_low:
+            sibling = self._take_sibling(parent, node_id, version)
+            if sibling is not None:
+                sibling_id, sibling_live = sibling
+                copied.extend(
+                    MVEntry(e.key, version, INF, e.value) for e in sibling_live
+                )
+                dead_ids.append(sibling_id)
+
+        copied.sort(key=lambda e: e.key)
+        new_nodes: List[Tuple[int, MVNode]] = []
+        if len(copied) > self.strong_high:
+            mid = len(copied) // 2
+            halves = [copied[:mid], copied[mid:]]
+        else:
+            halves = [copied]
+        for half in halves:
+            new_node = MVNode(is_leaf=node.is_leaf, entries=half)
+            new_id = self.storage.create(new_node)
+            new_nodes.append((new_id, new_node))
+
+        if parent is None:
+            self._install_new_root(new_nodes, version)
+            return
+        parent_id, parent_node = parent
+        # End the parent entries of every dead child and add routers for the
+        # new nodes.
+        for entry in parent_node.entries:
+            if entry.alive_now and entry.value in dead_ids:
+                entry.end = version
+        for new_id, new_node in new_nodes:
+            router = min(e.key for e in new_node.entries) if new_node.entries else -INF
+            parent_node.entries.append(MVEntry(router, version, INF, new_id))
+        parent_node.entries.sort(key=lambda e: (e.key, e.start))
+        self.storage.write(parent_id, parent_node)
+        if (
+            len(parent_node.entries) > self.capacity
+            or parent_node.live_count() < self.live_min
+        ):
+            self._restructure(path[:-1], version)
+
+    def _take_sibling(
+        self, parent: Tuple[int, MVNode], node_id: int, version: float
+    ) -> Optional[Tuple[int, List[MVEntry]]]:
+        """Pick a live sibling of ``node_id``, end its live entries, return them."""
+        parent_id, parent_node = parent
+        live_children = sorted(
+            (e for e in parent_node.entries if e.alive_now), key=lambda e: e.key
+        )
+        position = next(
+            (i for i, e in enumerate(live_children) if e.value == node_id), None
+        )
+        if position is None:
+            return None
+        sibling_entry: Optional[MVEntry] = None
+        if position + 1 < len(live_children):
+            sibling_entry = live_children[position + 1]
+        elif position > 0:
+            sibling_entry = live_children[position - 1]
+        if sibling_entry is None:
+            return None
+        sibling_id = sibling_entry.value
+        sibling: MVNode = self.storage.read(sibling_id)
+        sibling_live = [e for e in sibling.entries if e.alive_now]
+        for entry in sibling_live:
+            entry.end = version
+        self.storage.write(sibling_id, sibling)
+        return sibling_id, sibling_live
+
+    def _install_new_root(
+        self, new_nodes: List[Tuple[int, MVNode]], version: float
+    ) -> None:
+        if len(new_nodes) == 1:
+            self.roots.append((version, new_nodes[0][0]))
+            return
+        entries = []
+        for new_id, new_node in new_nodes:
+            router = min(e.key for e in new_node.entries) if new_node.entries else -INF
+            entries.append(MVEntry(router, version, INF, new_id))
+        is_leaf = False
+        root = MVNode(is_leaf=is_leaf, entries=entries)
+        root_id = self.storage.create(root)
+        self.roots.append((version, root_id))

@@ -1,0 +1,27 @@
+"""Priority queues with attrition (PQAs).
+
+The paper's independent contribution (Section 4.1) is an I/O-efficient
+*catenable* PQA: besides ``FindMin``, ``DeleteMin`` and ``InsertAndAttrite``
+it supports ``CatenateAndAttrite`` merging two queues while attriting every
+element of the first queue that is >= the minimum of the second, all in O(1)
+worst-case I/Os and O(1/b) amortized I/Os for records of ``b`` elements.
+
+Two implementations are provided:
+
+* :class:`SundarPQA` -- the classic internal-memory PQA of Sundar (1989),
+  used as the correctness oracle and the "previous work" baseline.
+* :class:`IOCPQA` -- the external-memory catenable PQA.  It keeps the
+  surviving elements (which always form a strictly increasing sequence in
+  queue order) in immutable block-sized records organised as a persistent
+  concatenation tree whose descriptors cache minima, so catenation and
+  insertion perform no block transfers at all, attrition of partial records
+  is done lazily through a *cap* value, and DeleteMin touches each record
+  block only once.  See DESIGN.md §5 for how this relates to the paper's
+  deque-of-records formulation.
+"""
+
+from repro.pqa.sundar import SundarPQA
+from repro.pqa.iocpqa import IOCPQA
+from repro.pqa.checker import check_queue_invariants, queue_elements
+
+__all__ = ["SundarPQA", "IOCPQA", "check_queue_invariants", "queue_elements"]

@@ -1,0 +1,101 @@
+"""Invariant checking for priority queues with attrition.
+
+The paper maintains invariants I.1--I.9 over its record/deque
+representation; the corresponding invariants for the representation used
+here (DESIGN.md §5) are:
+
+C.1  the surviving content, read in queue order, is strictly increasing;
+C.2  the cached minimum of every descriptor equals the first surviving
+     element of its subtree;
+C.3  every record-leaf view is non-empty (its first element is below the
+     leaf's cap);
+C.4  record blocks hold at most ``record_capacity`` elements.
+
+``check_queue_invariants`` asserts all four and is called from the tests
+(including the hypothesis-driven ones).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.pqa.iocpqa import IOCPQA, _Concat, _MemLeaf, _RecordLeaf
+
+
+class InvariantViolation(AssertionError):
+    """Raised when an I/O-CPQA value violates its structural invariants."""
+
+
+def queue_elements(queue: IOCPQA) -> List[Tuple[Any, Any]]:
+    """All surviving elements of ``queue`` (reads records without charging).
+
+    Uses :meth:`DiskModel.peek` so invariant checks do not perturb the I/O
+    counters of the experiment being checked.
+    """
+    queue.storage.flush()
+    result: List[Tuple[Any, Any]] = []
+    if queue._root is not None:
+        _collect_free(queue, queue._root, result)
+    result.extend(queue._tail)
+    return result
+
+
+def check_queue_invariants(queue: IOCPQA) -> None:
+    """Assert invariants C.1--C.4 for ``queue``."""
+    elements = queue_elements(queue)
+    keys = [key for key, _ in elements]
+    for previous, current in zip(keys, keys[1:]):
+        if not previous < current:
+            raise InvariantViolation(
+                f"queue content is not strictly increasing: {previous!r} !< {current!r}"
+            )
+    if queue._root is not None:
+        _check_node(queue, queue._root)
+    if queue._tail:
+        tail_keys = [key for key, _ in queue._tail]
+        if sorted(tail_keys) != list(tail_keys) or len(set(tail_keys)) != len(tail_keys):
+            raise InvariantViolation("tail buffer is not strictly increasing")
+        if len(queue._tail) > queue.record_capacity:
+            raise InvariantViolation("tail buffer exceeds the record capacity")
+
+
+def _check_node(queue: IOCPQA, node: Any) -> Tuple[Any, Any]:
+    """Check a descriptor subtree; returns its (first surviving element, ok)."""
+    if isinstance(node, _Concat):
+        left_first = _check_node(queue, node.left)
+        _check_node(queue, node.right)
+        if node.min_item != left_first:
+            raise InvariantViolation("concat node caches a stale minimum")
+        return left_first
+    if isinstance(node, _MemLeaf):
+        if not node.items:
+            raise InvariantViolation("empty in-memory leaf descriptor")
+        return node.items[0]
+    if isinstance(node, _RecordLeaf):
+        records = queue.storage.disk.peek(node.block_id)
+        if len(records) > queue.record_capacity:
+            raise InvariantViolation("record block exceeds the record capacity")
+        if node.offset >= len(records):
+            raise InvariantViolation("record leaf offset out of range")
+        first = records[node.offset]
+        if first[0] >= node.cap:
+            raise InvariantViolation("record leaf view is empty (min >= cap)")
+        if node.min_item != first:
+            raise InvariantViolation("record leaf caches a stale minimum")
+        return first
+    raise InvariantViolation(f"unknown descriptor node type: {type(node)!r}")
+
+
+def _collect_free(queue: IOCPQA, node: Any, out: List[Tuple[Any, Any]]) -> None:
+    if isinstance(node, _Concat):
+        _collect_free(queue, node.left, out)
+        _collect_free(queue, node.right, out)
+        return
+    if isinstance(node, _MemLeaf):
+        out.extend(node.items)
+        return
+    records = queue.storage.disk.peek(node.block_id)
+    for item in records[node.offset :]:
+        if item[0] >= node.cap:
+            break
+        out.append(item)

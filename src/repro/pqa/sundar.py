@@ -1,0 +1,89 @@
+"""The classic internal-memory priority queue with attrition (Sundar 1989).
+
+Used as a reference oracle in tests and as the "previous work" baseline in
+the PQA benchmarks.  Because the surviving content of a PQA is always a
+strictly increasing sequence in insertion order, a plain Python list with
+binary-search truncation implements the semantics exactly; Sundar's paper
+is about achieving O(1) worst-case time, which is irrelevant for an oracle.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+
+
+class SundarPQA(Generic[K]):
+    """An internal-memory PQA over totally ordered keys with payloads."""
+
+    def __init__(self, items: Optional[Iterable[Tuple[K, Any]]] = None) -> None:
+        # Keys strictly increase from front (minimum) to back.
+        self._keys: List[K] = []
+        self._payloads: List[Any] = []
+        if items is not None:
+            for key, payload in items:
+                self.insert_and_attrite(key, payload)
+
+    # ------------------------------------------------------------------
+    # Core PQA operations
+    # ------------------------------------------------------------------
+    def find_min(self) -> Optional[Tuple[K, Any]]:
+        """The minimum element, or ``None`` when the queue is empty."""
+        if not self._keys:
+            return None
+        return self._keys[0], self._payloads[0]
+
+    def delete_min(self) -> Optional[Tuple[K, Any]]:
+        """Remove and return the minimum element (``None`` when empty)."""
+        if not self._keys:
+            return None
+        key = self._keys.pop(0)
+        payload = self._payloads.pop(0)
+        return key, payload
+
+    def insert_and_attrite(self, key: K, payload: Any = None) -> None:
+        """Insert ``key`` and attrite every element >= ``key``."""
+        cut = bisect.bisect_left(self._keys, key)
+        del self._keys[cut:]
+        del self._payloads[cut:]
+        self._keys.append(key)
+        self._payloads.append(payload)
+
+    def catenate_and_attrite(self, other: "SundarPQA[K]") -> "SundarPQA[K]":
+        """Append ``other`` to this queue, attriting elements >= min(other).
+
+        Returns ``self`` (both inputs are consumed, mirroring the paper's
+        destructive ephemeral semantics).
+        """
+        other_min = other.find_min()
+        if other_min is not None:
+            cut = bisect.bisect_left(self._keys, other_min[0])
+            del self._keys[cut:]
+            del self._payloads[cut:]
+        self._keys.extend(other._keys)
+        self._payloads.extend(other._payloads)
+        other._keys = []
+        other._payloads = []
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def is_empty(self) -> bool:
+        return not self._keys
+
+    def keys(self) -> List[K]:
+        """Surviving keys in queue (= increasing) order."""
+        return list(self._keys)
+
+    def items(self) -> List[Tuple[K, Any]]:
+        """Surviving (key, payload) pairs in queue order."""
+        return list(zip(self._keys, self._payloads))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SundarPQA({self._keys!r})"

@@ -1,0 +1,49 @@
+"""Checkers for the nesting and monotonicity properties of Lemma 2.
+
+These are used by tests (including property-based tests over random point
+sets) and by the SABE construction's internal assertions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.segments.segment import HorizontalSegment
+
+
+def is_nesting(segments: Sequence[HorizontalSegment]) -> bool:
+    """Whether every pair of x-intervals is disjoint or nested (Lemma 2)."""
+    ordered = sorted(segments, key=lambda s: (s.x_left, -s.x_right))
+    # Sweep with a stack of currently open intervals; a violation manifests
+    # as an interval that starts inside an open one but ends after it.
+    stack: List[HorizontalSegment] = []
+    for segment in ordered:
+        while stack and stack[-1].x_right <= segment.x_left:
+            stack.pop()
+        if stack and segment.x_right > stack[-1].x_right:
+            return False
+        stack.append(segment)
+    return True
+
+
+def is_monotonic(segments: Sequence[HorizontalSegment], samples: int = 64) -> bool:
+    """Whether on every vertical line the stabbed segments grow with y (Lemma 2).
+
+    We verify the property on the vertical lines through every segment's left
+    endpoint (plus ``samples`` evenly spaced extra lines), which is exhaustive
+    for the finite arrangement induced by the segments.
+    """
+    if not segments:
+        return True
+    xs = sorted({s.x_left for s in segments})
+    finite_rights = [s.x_right for s in segments if not s.is_unbounded]
+    if finite_rights:
+        span = max(finite_rights) - min(xs)
+        extra = [min(xs) + span * i / max(1, samples) for i in range(samples)]
+        xs = sorted(set(xs) | set(extra))
+    for x in xs:
+        stabbed = sorted((s for s in segments if s.covers_x(x)), key=lambda s: s.y)
+        lengths = [s.length for s in stabbed]
+        if any(b < a for a, b in zip(lengths, lengths[1:])):
+            return False
+    return True

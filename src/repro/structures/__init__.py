@@ -1,0 +1,37 @@
+"""External-memory range-skyline structures (the paper's main results).
+
+===========================  ==========================================
+Structure                    Paper result
+===========================  ==========================================
+StaticTopOpenStructure       Theorem 1  (R^2, O(log_B n + k/B) query)
+RayDragStructure             Lemma 4    (ray dragging in O(1) I/Os)
+FewPointStructure            Lemma 5    (top-open on few points)
+RankSpaceTopOpenStructure    Theorem 2  (rank space, O(1 + k/B) query)
+GridTopOpenStructure         Corollary 1 ([U]^2, O(log log_B U + k/B))
+DynamicTopOpenStructure      Theorem 4  (dynamic, I/O-CPQA based)
+FourSidedStructure           Theorem 6  (4-sided, O((n/B)^eps + k/B))
+===========================  ==========================================
+
+All structures share the same conventions: points come from
+:mod:`repro.core`, blocks are charged through a
+:class:`~repro.em.StorageManager`, and queries return the maximal points of
+``P`` intersected with the query rectangle, sorted by increasing x.
+"""
+
+from repro.structures.topopen_static import StaticTopOpenStructure
+from repro.structures.raydrag import RayDragStructure
+from repro.structures.fewpoint import FewPointStructure
+from repro.structures.rankspace_topopen import RankSpaceTopOpenStructure
+from repro.structures.grid_topopen import GridTopOpenStructure
+from repro.structures.dynamic_topopen import DynamicTopOpenStructure
+from repro.structures.foursided import FourSidedStructure
+
+__all__ = [
+    "StaticTopOpenStructure",
+    "RayDragStructure",
+    "FewPointStructure",
+    "RankSpaceTopOpenStructure",
+    "GridTopOpenStructure",
+    "DynamicTopOpenStructure",
+    "FourSidedStructure",
+]

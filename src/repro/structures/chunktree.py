@@ -1,0 +1,195 @@
+"""The chunk tree skeleton shared by the rank-space top-open structure.
+
+Theorem 2 divides the x-dimension of the rank-space universe into chunks of
+``lambda = B log2 U`` consecutive columns, builds a complete binary tree
+over the chunks, and augments every node ``u`` with:
+
+* ``high(u)``      -- the (at most) B highest points of the skyline of P(u);
+* ``highend(u)``   -- the lowest point of ``high(u)`` when |high(u)| = B;
+* ``MAX(u)``       -- the skyline of the union of ``high(v)`` over the right
+                      siblings of the path from ``highend(u)``'s chunk to u;
+
+and every leaf chunk ``z`` with, for every proper ancestor ``u``:
+
+* ``LMAX(z, u)`` / ``RMAX(z, u)`` -- the skylines of the unions of
+  ``high(v)`` over the left / right siblings of the path from z to u.
+
+The skeleton (child pointers, chunk ranges) is kept in memory -- it is
+O(U / lambda) words, asymptotically smaller than the data -- while every
+point list above is stored in blocks and read through the storage manager,
+so all I/O charged to queries is real.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.skyline import skyline
+from repro.em.storage import StorageManager
+
+AnnotatedPoint = Tuple[Point, int]  # (point, source node id)
+
+
+@dataclass
+class ChunkTreeNode:
+    """A node of the complete binary tree over chunks."""
+
+    node_id: int
+    level: int
+    chunk_lo: int  # inclusive chunk index range covered by the subtree
+    chunk_hi: int  # exclusive
+    left: Optional["ChunkTreeNode"] = None
+    right: Optional["ChunkTreeNode"] = None
+    parent: Optional["ChunkTreeNode"] = None
+    high_block: Optional[int] = None
+    high_size: int = 0
+    highend: Optional[Point] = None
+    max_blocks: List[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def is_left_child(self) -> bool:
+        return self.parent is not None and self.parent.left is self
+
+    def is_right_child(self) -> bool:
+        return self.parent is not None and self.parent.right is self
+
+
+class BlockedPointList:
+    """Helper for storing an x-sorted annotated point list in B-sized blocks."""
+
+    def __init__(self, storage: StorageManager) -> None:
+        self.storage = storage
+
+    def write(self, points: Sequence[AnnotatedPoint]) -> List[int]:
+        """Store ``points`` (sorted by x) into consecutive blocks."""
+        block_size = self.storage.block_size
+        block_ids: List[int] = []
+        for start in range(0, len(points), block_size):
+            chunk = list(points[start : start + block_size])
+            block_ids.append(self.storage.create(chunk))
+        return block_ids
+
+    def read_above(
+        self, block_ids: Sequence[int], y_threshold: float
+    ) -> List[AnnotatedPoint]:
+        """The prefix of the stored staircase with y strictly above ``y_threshold``.
+
+        Because the list is a staircase (x increasing, y decreasing), the
+        qualifying points form a prefix, so only ``O(1 + k/B)`` blocks are
+        read.
+        """
+        result: List[AnnotatedPoint] = []
+        for block_id in block_ids:
+            block: List[AnnotatedPoint] = self.storage.read(block_id)
+            for point, source in block:
+                if point.y > y_threshold:
+                    result.append((point, source))
+                else:
+                    return result
+        return result
+
+
+def build_chunk_tree(num_chunks: int) -> Tuple[ChunkTreeNode, List[ChunkTreeNode]]:
+    """A complete binary tree over ``num_chunks`` leaves (padded to a power of 2).
+
+    Returns the root and the list of leaf nodes indexed by chunk.
+    """
+    if num_chunks < 1:
+        raise ValueError("need at least one chunk")
+    leaf_count = 1 << max(0, math.ceil(math.log2(num_chunks)))
+    counter = [0]
+
+    def make(level: int, lo: int, hi: int) -> ChunkTreeNode:
+        node = ChunkTreeNode(node_id=counter[0], level=level, chunk_lo=lo, chunk_hi=hi)
+        counter[0] += 1
+        if hi - lo > 1:
+            mid = (lo + hi) // 2
+            node.left = make(level + 1, lo, mid)
+            node.right = make(level + 1, mid, hi)
+            node.left.parent = node
+            node.right.parent = node
+        return node
+
+    root = make(0, 0, leaf_count)
+    leaves: List[ChunkTreeNode] = [None] * leaf_count  # type: ignore[list-item]
+
+    def collect(node: ChunkTreeNode) -> None:
+        if node.is_leaf:
+            leaves[node.chunk_lo] = node
+            return
+        collect(node.left)  # type: ignore[arg-type]
+        collect(node.right)  # type: ignore[arg-type]
+
+    collect(root)
+    return root, leaves[:leaf_count]
+
+
+def path_to_child_of(leaf: ChunkTreeNode, ancestor: ChunkTreeNode) -> List[ChunkTreeNode]:
+    """Nodes on the path from ``leaf`` up to (and including) the child of ``ancestor``."""
+    path: List[ChunkTreeNode] = []
+    node: Optional[ChunkTreeNode] = leaf
+    while node is not None and node is not ancestor:
+        path.append(node)
+        node = node.parent
+    if node is not ancestor:
+        raise ValueError("ancestor is not actually an ancestor of leaf")
+    return path
+
+
+def right_siblings(path: Sequence[ChunkTreeNode]) -> List[ChunkTreeNode]:
+    """Right siblings of the nodes on ``path``, ordered by increasing x-range."""
+    siblings = [
+        node.parent.right
+        for node in path
+        if node.is_left_child() and node.parent is not None and node.parent.right is not None
+    ]
+    return sorted(siblings, key=lambda node: node.chunk_lo)
+
+
+def left_siblings(path: Sequence[ChunkTreeNode]) -> List[ChunkTreeNode]:
+    """Left siblings of the nodes on ``path``, ordered by increasing x-range."""
+    siblings = [
+        node.parent.left
+        for node in path
+        if node.is_right_child() and node.parent is not None and node.parent.left is not None
+    ]
+    return sorted(siblings, key=lambda node: node.chunk_lo)
+
+
+def lowest_common_ancestor(a: ChunkTreeNode, b: ChunkTreeNode) -> ChunkTreeNode:
+    """LCA of two nodes of the chunk tree."""
+    ancestors = set()
+    node: Optional[ChunkTreeNode] = a
+    while node is not None:
+        ancestors.add(id(node))
+        node = node.parent
+    node = b
+    while node is not None:
+        if id(node) in ancestors:
+            return node
+        node = node.parent
+    raise ValueError("nodes belong to different trees")
+
+
+def annotated_skyline(
+    groups: Sequence[Tuple[int, Sequence[Point]]]
+) -> List[AnnotatedPoint]:
+    """Skyline of the union of several ``high`` sets, keeping source labels.
+
+    ``groups`` is a list of ``(node_id, points)``; the result is sorted by
+    increasing x, each surviving point annotated with the node it came from.
+    """
+    source_of: Dict[Tuple[float, float], int] = {}
+    union: List[Point] = []
+    for node_id, points in groups:
+        for point in points:
+            union.append(point)
+            source_of[(point.x, point.y)] = node_id
+    maxima = skyline(union)
+    return [(point, source_of[(point.x, point.y)]) for point in maxima]

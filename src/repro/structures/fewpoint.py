@@ -1,0 +1,105 @@
+"""The few-point top-open structure of Lemma 5.
+
+For a chunk-sized point set (``n <= (B log U)^{O(1)}``) the structure
+answers a top-open query in ``O(1 + k/B)`` I/Os:
+
+1. a ray-dragging query (Lemma 4) finds ``p``, the lowest skyline point of
+   ``P ∩ Q`` -- the first point hit by the ray ``x_hi x [y_lo, U]`` dragged
+   left;
+2. starting at ``p``'s position in the snapshot of the PPB-tree over
+   ``Sigma(P)`` at version ``x_p``, segments are reported bottom-up until
+   one starts left of ``x_lo`` (Observations 1 and 2), which never reads a
+   block that does not contribute ~B output points.
+
+The per-chunk PPB-tree has constant height for chunk-sized inputs, so the
+initial descent replaces the paper's host-leaf pointers at no asymptotic
+cost (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.em.storage import StorageManager
+from repro.ppbtree.build import build_segment_ppbtree
+from repro.ppbtree.ppbtree import MultiversionBTree
+from repro.segments.reduction import compute_sigma
+from repro.segments.segment import HorizontalSegment
+from repro.structures.raydrag import RayDragStructure
+
+
+class FewPointStructure:
+    """Top-open range skyline reporting on a small ("chunk") point set."""
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        points: Iterable[Point],
+        universe: Optional[int] = None,
+    ) -> None:
+        self.storage = storage
+        self.points = sorted(points, key=lambda p: p.x)
+        self.universe = universe or max(2, len(self.points))
+        self.segments: List[HorizontalSegment] = compute_sigma(self.points)
+        self.ppb_tree: MultiversionBTree = build_segment_ppbtree(
+            storage, self.segments
+        )
+        self.ray_drag = RayDragStructure(storage, self.points, universe=self.universe)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query: RangeQuery) -> List[Point]:
+        """Maxima of the chunk inside a top-open rectangle, sorted by x."""
+        if not query.is_top_open:
+            raise ValueError("FewPointStructure answers top-open queries only")
+        return self.query_top_open(query.x_lo, query.x_hi, query.y_lo)
+
+    def query_top_open(self, x_lo: float, x_hi: float, y_lo: float) -> List[Point]:
+        """Answer ``[x_lo, x_hi] x [y_lo, inf[`` in O(1 + k/B) I/Os."""
+        if not self.points:
+            return []
+        lowest = self.ray_drag.drag_left(x_hi, y_lo)
+        if lowest is None or lowest.x < x_lo:
+            return []
+        return self._report_upwards(lowest, x_lo)
+
+    def lowest_result_point(self, x_hi: float, y_lo: float) -> Optional[Point]:
+        """The lowest skyline point of ``P ∩ ([-inf, x_hi] x [y_lo, inf[)``."""
+        return self.ray_drag.drag_left(x_hi, y_lo)
+
+    def _report_upwards(self, lowest: Point, x_lo: float) -> List[Point]:
+        """Walk the snapshot at ``x = lowest.x`` upwards from ``lowest.y``."""
+        reported: List[Point] = []
+
+        def visitor(key: float, segment: HorizontalSegment) -> bool:
+            point = segment.source
+            if point is None:
+                return True
+            if point.x < x_lo:
+                return False
+            reported.append(point)
+            return True
+
+        self.ppb_tree.scan_from(lowest.x, lowest.y, visitor)
+        reported.sort(key=lambda p: p.x)
+        return reported
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def block_count(self) -> int:
+        """Blocks of the two components."""
+        return self.ppb_tree.block_count() + self.ray_drag.block_count()
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def x_range(self) -> Sequence[float]:
+        """The x-extent ``(min, max)`` of the chunk (empty chunks give inf bounds)."""
+        if not self.points:
+            return (math.inf, -math.inf)
+        return (self.points[0].x, self.points[-1].x)

@@ -1,0 +1,327 @@
+"""The rank-space top-open structure of Theorem 2 (O(1 + k/B) query I/Os).
+
+The structure externalises the internal-memory structure of Brodal and
+Tsakalidis over a chunk tree (see :mod:`repro.structures.chunktree`) and
+plugs in the few-point structure of Lemma 5 inside every chunk, so that a
+top-open query over the rank-space universe ``[U]^2`` costs a constant
+number of block reads plus ``O(k/B)`` for the output.
+
+The query follows the four steps of Section 3.3 and the recursive reporting
+procedure of Lemma 6.  Strict y-thresholds (the ``]beta, U]`` rectangles of
+the paper) are implemented by nudging the inclusive threshold up with
+``math.nextafter``, which is exact for the integer coordinates of rank
+space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.core.skyline import skyline
+from repro.em.storage import StorageManager
+from repro.structures.chunktree import (
+    AnnotatedPoint,
+    BlockedPointList,
+    ChunkTreeNode,
+    annotated_skyline,
+    build_chunk_tree,
+    left_siblings,
+    lowest_common_ancestor,
+    path_to_child_of,
+    right_siblings,
+)
+from repro.structures.fewpoint import FewPointStructure
+
+
+def _strictly_above(threshold: float) -> float:
+    """Inclusive lower bound equivalent to the strict bound ``> threshold``."""
+    if math.isinf(threshold):
+        return threshold
+    return math.nextafter(threshold, math.inf)
+
+
+class RankSpaceTopOpenStructure:
+    """Linear-space, O(1 + k/B)-query top-open structure on rank-space points."""
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        points: Iterable[Point],
+        universe: Optional[int] = None,
+    ) -> None:
+        self.storage = storage
+        self.points = sorted(points, key=lambda p: p.x)
+        self.universe = int(universe or (max((p.x for p in self.points), default=1) + 1))
+        self.block_size = storage.block_size
+        self.chunk_width = max(
+            1, self.block_size * max(1, math.ceil(math.log2(max(2, self.universe))))
+        )
+        num_chunks = max(1, math.ceil(self.universe / self.chunk_width))
+        self.root, self.leaves = build_chunk_tree(num_chunks)
+        self.num_chunks = len(self.leaves)
+        self._blocked = BlockedPointList(storage)
+        self._chunk_points: List[List[Point]] = [[] for _ in range(self.num_chunks)]
+        for point in self.points:
+            self._chunk_points[self._chunk_index(point.x)].append(point)
+        self.chunk_structures: List[FewPointStructure] = [
+            FewPointStructure(storage, chunk_points, universe=self.universe)
+            for chunk_points in self._chunk_points
+        ]
+        # LMAX / RMAX blocks keyed by (chunk index, ancestor node id).
+        self._lmax: Dict[Tuple[int, int], List[int]] = {}
+        self._rmax: Dict[Tuple[int, int], List[int]] = {}
+        self._high_points: Dict[int, List[Point]] = {}
+        self._build_augmentation()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _chunk_index(self, x: float) -> int:
+        index = int(x // self.chunk_width)
+        return min(max(index, 0), self.num_chunks - 1)
+
+    def _build_augmentation(self) -> None:
+        self._compute_high(self.root)
+        self._compute_max(self.root)
+        for chunk_index, leaf in enumerate(self.leaves):
+            ancestor = leaf.parent
+            while ancestor is not None:
+                # Siblings are taken for path nodes *strictly below* the child
+                # of the ancestor, so that LMAX(z, u) / RMAX(z, u) tile exactly
+                # the chunks between z and the boundary of its side of u --
+                # the sets the query steps 2 and 3 consume.
+                path = path_to_child_of(leaf, ancestor)[:-1]
+                lefts = left_siblings(path)
+                rights = right_siblings(path)
+                self._lmax[(chunk_index, ancestor.node_id)] = self._blocked.write(
+                    annotated_skyline(
+                        [(v.node_id, self._high_points[v.node_id]) for v in lefts]
+                    )
+                )
+                self._rmax[(chunk_index, ancestor.node_id)] = self._blocked.write(
+                    annotated_skyline(
+                        [(v.node_id, self._high_points[v.node_id]) for v in rights]
+                    )
+                )
+                ancestor = ancestor.parent
+
+    def _compute_high(self, node: ChunkTreeNode) -> List[Point]:
+        """Bottom-up skyline merge; stores high(u) and returns skyline(P(u))."""
+        if node.is_leaf:
+            chunk_points = (
+                self._chunk_points[node.chunk_lo]
+                if node.chunk_lo < self.num_chunks
+                else []
+            )
+            node_skyline = skyline(chunk_points)
+        else:
+            left_sky = self._compute_high(node.left)  # type: ignore[arg-type]
+            right_sky = self._compute_high(node.right)  # type: ignore[arg-type]
+            if right_sky:
+                top_y = right_sky[0].y
+                node_skyline = [p for p in left_sky if p.y > top_y] + right_sky
+            else:
+                node_skyline = list(left_sky)
+        high = node_skyline[: self.block_size]
+        self._high_points[node.node_id] = high
+        node.high_size = len(high)
+        node.high_block = self.storage.create(list(high)) if high else None
+        node.highend = high[-1] if len(high) == self.block_size else None
+        return node_skyline
+
+    def _compute_max(self, node: ChunkTreeNode) -> None:
+        if node.is_leaf:
+            return
+        if node.highend is not None:
+            chunk = self.leaves[self._chunk_index(node.highend.x)]
+            path = path_to_child_of(chunk, node)
+            rights = right_siblings(path)
+            node.max_blocks = self._blocked.write(
+                annotated_skyline(
+                    [(v.node_id, self._high_points[v.node_id]) for v in rights]
+                )
+            )
+        self._compute_max(node.left)  # type: ignore[arg-type]
+        self._compute_max(node.right)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query: RangeQuery) -> List[Point]:
+        """Maxima of ``P`` inside a top-open rectangle, sorted by x."""
+        if not query.is_top_open:
+            raise ValueError(
+                "RankSpaceTopOpenStructure answers top-open queries only"
+            )
+        return self.query_top_open(query.x_lo, query.x_hi, query.y_lo)
+
+    def query_top_open(self, x_lo: float, x_hi: float, y_lo: float) -> List[Point]:
+        """Answer ``[x_lo, x_hi] x [y_lo, inf[`` following Section 3.3."""
+        if not self.points:
+            return []
+        x_lo_clamped = max(x_lo, 0)
+        x_hi_clamped = min(x_hi, self.universe)
+        if x_lo_clamped > x_hi_clamped:
+            return []
+        z1_index = self._chunk_index(x_lo_clamped)
+        z2_index = self._chunk_index(x_hi_clamped)
+        if z1_index == z2_index:
+            return self.chunk_structures[z1_index].query_top_open(x_lo, x_hi, y_lo)
+        z1, z2 = self.leaves[z1_index], self.leaves[z2_index]
+        lca = lowest_common_ancestor(z1, z2)
+        collected: Dict[Tuple[float, float], Point] = {}
+
+        def emit(points: Iterable[Point]) -> None:
+            for point in points:
+                collected[(point.x, point.y)] = point
+
+        # ``beta_exclusive`` is an *exclusive* lower bound on the y-coordinates
+        # still worth reporting: initially just below the query's beta (so that
+        # points with y exactly beta qualify), afterwards the highest reported y.
+        beta_exclusive = y_lo if math.isinf(y_lo) else math.nextafter(y_lo, -math.inf)
+
+        # Step 1: the rightmost chunk.
+        step1 = self.chunk_structures[z2_index].query_top_open(x_lo, x_hi, y_lo)
+        emit(step1)
+        beta_exclusive = max([beta_exclusive] + [p.y for p in step1])
+
+        # Step 2: left siblings of z2's path (middle subtrees, right part).
+        beta_exclusive = self._process_side(
+            z2_index, lca, self._lmax, beta_exclusive, emit
+        )
+
+        # Step 3: right siblings of z1's path (middle subtrees, left part).
+        beta_exclusive = self._process_side(
+            z1_index, lca, self._rmax, beta_exclusive, emit
+        )
+
+        # Step 4: the leftmost chunk, above everything reported so far.
+        emit(
+            self.chunk_structures[z1_index].query_top_open(
+                x_lo, x_hi, _strictly_above(beta_exclusive)
+            )
+        )
+
+        result = sorted(collected.values(), key=lambda p: p.x)
+        return result
+
+    def _process_side(
+        self,
+        chunk_index: int,
+        lca: ChunkTreeNode,
+        side_blocks: Dict[Tuple[int, int], List[int]],
+        beta_exclusive: float,
+        emit,
+    ) -> float:
+        """Steps 2/3 of the query: scan LMAX/RMAX and recurse where needed.
+
+        ``beta_exclusive`` is an exclusive lower bound; the returned value is
+        the updated exclusive bound (the highest y reported so far).
+        """
+        blocks = side_blocks.get((chunk_index, lca.node_id), [])
+        annotated = self._blocked.read_above(blocks, beta_exclusive)
+        emit(point for point, _ in annotated)
+        if not annotated:
+            return beta_exclusive
+        per_node: Dict[int, List[Point]] = {}
+        for point, source in annotated:
+            per_node.setdefault(source, []).append(point)
+        staircase = [point for point, _ in annotated]
+        for node_id, points in per_node.items():
+            if len(points) < self.block_size:
+                continue
+            node = self._find_node(lca, node_id)
+            if node is None or node.highend is None:
+                continue
+            beta_i = self._next_staircase_y(
+                staircase, node.highend, default=beta_exclusive
+            )
+            emit(self._report_above(node, beta_i))
+        return max(beta_exclusive, max(point.y for point, _ in annotated))
+
+    def _next_staircase_y(
+        self, staircase: Sequence[Point], anchor: Point, default: float
+    ) -> float:
+        """y of the point just right of ``anchor`` in ``staircase`` (or default)."""
+        for point in staircase:
+            if point.x > anchor.x:
+                return point.y
+        return default
+
+    def _find_node(
+        self, ancestor: ChunkTreeNode, node_id: int
+    ) -> Optional[ChunkTreeNode]:
+        stack = [ancestor]
+        while stack:
+            node = stack.pop()
+            if node.node_id == node_id:
+                return node
+            if not node.is_leaf:
+                stack.append(node.left)  # type: ignore[arg-type]
+                stack.append(node.right)  # type: ignore[arg-type]
+        return None
+
+    # ------------------------------------------------------------------
+    # Lemma 6: skyline of P(u) restricted to y > beta
+    # ------------------------------------------------------------------
+    def _report_above(self, node: ChunkTreeNode, beta: float) -> List[Point]:
+        if node.is_leaf:
+            structure = self.chunk_structures[node.chunk_lo]
+            return structure.query_top_open(
+                -math.inf, math.inf, _strictly_above(beta)
+            )
+        high = self._read_high(node)
+        qualifying = [p for p in high if p.y > beta]
+        if node.highend is None or len(qualifying) < self.block_size:
+            return qualifying
+        result: List[Point] = list(qualifying)
+        annotated = self._blocked.read_above(node.max_blocks, beta)
+        result.extend(point for point, _ in annotated)
+        staircase = [point for point, _ in annotated]
+        per_node: Dict[int, List[Point]] = {}
+        for point, source in annotated:
+            per_node.setdefault(source, []).append(point)
+        for node_id, points in per_node.items():
+            if len(points) < self.block_size:
+                continue
+            child = self._find_node(node, node_id)
+            if child is None or child.highend is None:
+                continue
+            beta_i = self._next_staircase_y(staircase, child.highend, default=beta)
+            result.extend(self._report_above(child, beta_i))
+        # Points sharing highend(u)'s chunk but to its right.
+        p = node.highend
+        chunk = self.leaves[self._chunk_index(p.x)]
+        beta_0 = staircase[0].y if staircase else beta
+        structure = self.chunk_structures[chunk.chunk_lo]
+        result.extend(
+            structure.query_top_open(
+                _strictly_above(p.x), math.inf, _strictly_above(beta_0)
+            )
+        )
+        deduped: Dict[Tuple[float, float], Point] = {
+            (point.x, point.y): point for point in result
+        }
+        return list(deduped.values())
+
+    def _read_high(self, node: ChunkTreeNode) -> List[Point]:
+        if node.high_block is None:
+            return []
+        return list(self.storage.read(node.high_block))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def block_count(self) -> int:
+        """Blocks allocated for chunk structures and augmentation lists."""
+        total = sum(structure.block_count() for structure in self.chunk_structures)
+        total += sum(1 for node_id in self._high_points if self._high_points[node_id])
+        total += sum(len(blocks) for blocks in self._lmax.values())
+        total += sum(len(blocks) for blocks in self._rmax.values())
+        return total

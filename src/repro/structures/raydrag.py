@@ -1,0 +1,159 @@
+"""The ray-dragging structure of Lemma 4.
+
+Given a set ``S`` of ``m`` points in ``[U]^2`` with ``m = (B log U)^{O(1)}``
+and a vertical ray ``rho = alpha x [beta, U]``, the query reports the first
+point of ``S`` hit when the ray is dragged to the left -- equivalently the
+*rightmost* point with ``x <= alpha`` and ``y >= beta``.
+
+The paper packs the per-node ``Y*max`` sets into O(1) blocks using word
+tricks (the "minute structure"); here each such set is one block payload of
+at most ``fanout`` points (asserted against the block size), so each node
+inspection is one block transfer and the constant-height descent costs O(1)
+I/Os exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.point import Point
+from repro.em.storage import StorageManager
+
+
+@dataclass
+class _RayDragNode:
+    """One node of the ray-drag tree (stored in one block)."""
+
+    is_leaf: bool
+    # For leaves: the points themselves (sorted by x).  For internal nodes:
+    # the highest point of each child ("Y*max") plus the child block ids and
+    # each child's x-range upper bound.
+    points: List[Point]
+    children: List[int]
+    child_x_max: List[float]
+
+    def record_size(self) -> int:
+        return max(1, len(self.points))
+
+
+class RayDragStructure:
+    """Constant-height structure answering leftward ray-dragging queries."""
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        points: Sequence[Point],
+        universe: Optional[int] = None,
+        fanout: Optional[int] = None,
+    ) -> None:
+        self.storage = storage
+        self.points = sorted(points, key=lambda p: p.x)
+        universe = universe or max(2, len(self.points))
+        b = storage.block_size * max(1.0, math.log2(max(2, universe)))
+        default_fanout = max(4, int(round(b ** (1.0 / 3.0))))
+        self.fanout = min(fanout or default_fanout, storage.block_size)
+        self.leaf_capacity = storage.block_size
+        self.root_id: Optional[int] = None
+        self.height = 0
+        if self.points:
+            self.root_id = self._build(self.points)
+
+    # ------------------------------------------------------------------
+    # Construction (bottom-up, linear I/Os)
+    # ------------------------------------------------------------------
+    def _build(self, points: List[Point]) -> int:
+        level_ids: List[int] = []
+        level_summaries: List[Point] = []
+        level_x_max: List[float] = []
+        for start in range(0, len(points), self.leaf_capacity):
+            chunk = points[start : start + self.leaf_capacity]
+            node = _RayDragNode(
+                is_leaf=True, points=list(chunk), children=[], child_x_max=[]
+            )
+            level_ids.append(self.storage.create(node))
+            level_summaries.append(max(chunk, key=lambda p: p.y))
+            level_x_max.append(chunk[-1].x)
+        self.height = 1
+        while len(level_ids) > 1:
+            next_ids: List[int] = []
+            next_summaries: List[Point] = []
+            next_x_max: List[float] = []
+            for start in range(0, len(level_ids), self.fanout):
+                ids = level_ids[start : start + self.fanout]
+                summaries = level_summaries[start : start + self.fanout]
+                x_maxes = level_x_max[start : start + self.fanout]
+                node = _RayDragNode(
+                    is_leaf=False,
+                    points=list(summaries),
+                    children=list(ids),
+                    child_x_max=list(x_maxes),
+                )
+                next_ids.append(self.storage.create(node))
+                next_summaries.append(max(summaries, key=lambda p: p.y))
+                next_x_max.append(x_maxes[-1])
+            level_ids, level_summaries, level_x_max = (
+                next_ids,
+                next_summaries,
+                next_x_max,
+            )
+            self.height += 1
+        return level_ids[0]
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def drag_left(self, alpha: float, beta: float) -> Optional[Point]:
+        """The rightmost point with ``x <= alpha`` and ``y >= beta`` (or None)."""
+        if self.root_id is None:
+            return None
+        return self._drag(self.root_id, alpha, beta)
+
+    def _drag(self, node_id: int, alpha: float, beta: float) -> Optional[Point]:
+        node: _RayDragNode = self.storage.read(node_id)
+        if node.is_leaf:
+            best: Optional[Point] = None
+            for point in node.points:
+                if point.x <= alpha and point.y >= beta:
+                    if best is None or point.x > best.x:
+                        best = point
+            return best
+        # Children are x-disjoint and ordered; find the boundary child (the
+        # last child whose x-range can contain alpha) and try it first -- its
+        # points are the rightmost candidates.
+        boundary = None
+        for index in range(len(node.children)):
+            child_min_x = node.child_x_max[index - 1] if index > 0 else -math.inf
+            if child_min_x < alpha:
+                boundary = index
+            else:
+                break
+        if boundary is None:
+            return None
+        if node.child_x_max[boundary] > alpha or node.points[boundary].y >= beta:
+            found = self._drag(node.children[boundary], alpha, beta)
+            if found is not None:
+                return found
+        # Fall back to the rightmost fully-covered child whose highest point
+        # clears beta; every point of such a child already satisfies x <= alpha.
+        for index in range(boundary - 1, -1, -1):
+            if node.points[index].y >= beta:
+                return self._drag(node.children[index], alpha, beta)
+        return None
+
+    def block_count(self) -> int:
+        """Blocks occupied by the structure."""
+        if self.root_id is None:
+            return 0
+        count = 0
+        stack = [self.root_id]
+        while stack:
+            node: _RayDragNode = self.storage.read(stack.pop())
+            count += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return count
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,25 @@
+"""Synthetic datasets and query workloads for the benchmarks and examples."""
+
+from repro.workloads.points import (
+    anticorrelated_points,
+    clustered_points,
+    correlated_points,
+    grid_permutation_points,
+    uniform_points,
+)
+from repro.workloads.queries import (
+    anti_dominance_queries,
+    four_sided_queries,
+    top_open_queries,
+)
+
+__all__ = [
+    "uniform_points",
+    "correlated_points",
+    "anticorrelated_points",
+    "clustered_points",
+    "grid_permutation_points",
+    "top_open_queries",
+    "four_sided_queries",
+    "anti_dominance_queries",
+]

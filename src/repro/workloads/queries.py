@@ -1,0 +1,61 @@
+"""Query-workload generators matched to the query variants of Figure 2."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.point import Point
+from repro.core.queries import AntiDominanceQuery, FourSidedQuery, TopOpenQuery
+
+
+def _extent(points: Sequence[Point]) -> tuple:
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return min(xs), max(xs), min(ys), max(ys)
+
+
+def top_open_queries(
+    points: Sequence[Point],
+    count: int,
+    selectivity: float = 0.2,
+    seed: Optional[int] = None,
+) -> List[TopOpenQuery]:
+    """Top-open rectangles whose x-extent covers ~``selectivity`` of the data."""
+    rng = random.Random(seed)
+    x_lo, x_hi, y_lo, y_hi = _extent(points)
+    width = (x_hi - x_lo) * selectivity
+    queries = []
+    for _ in range(count):
+        start = rng.uniform(x_lo, max(x_lo, x_hi - width))
+        beta = rng.uniform(y_lo, y_hi)
+        queries.append(TopOpenQuery(start, start + width, beta))
+    return queries
+
+
+def four_sided_queries(
+    points: Sequence[Point],
+    count: int,
+    selectivity: float = 0.2,
+    seed: Optional[int] = None,
+) -> List[FourSidedQuery]:
+    """Fully bounded rectangles covering ~``selectivity`` of each dimension."""
+    rng = random.Random(seed)
+    x_lo, x_hi, y_lo, y_hi = _extent(points)
+    width = (x_hi - x_lo) * selectivity
+    height = (y_hi - y_lo) * selectivity
+    queries = []
+    for _ in range(count):
+        sx = rng.uniform(x_lo, max(x_lo, x_hi - width))
+        sy = rng.uniform(y_lo, max(y_lo, y_hi - height))
+        queries.append(FourSidedQuery(sx, sx + width, sy, sy + height))
+    return queries
+
+
+def anti_dominance_queries(
+    points: Sequence[Point], count: int, seed: Optional[int] = None
+) -> List[AntiDominanceQuery]:
+    """Anti-dominance (lower-left quadrant) queries anchored at random points."""
+    rng = random.Random(seed)
+    anchors = [points[rng.randrange(len(points))] for _ in range(count)]
+    return [AntiDominanceQuery(anchor.x, anchor.y) for anchor in anchors]

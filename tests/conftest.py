@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.point import Point
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+
+
+@pytest.fixture
+def storage() -> StorageManager:
+    """A small simulated machine (B=16, 16 frames) for unit tests."""
+    return StorageManager(EMConfig(block_size=16, memory_blocks=16))
+
+
+@pytest.fixture
+def big_storage() -> StorageManager:
+    """A larger machine used by integration tests."""
+    return StorageManager(EMConfig(block_size=32, memory_blocks=32))
+
+
+def make_points(n: int, universe: int = 10_000, seed: int = 0) -> list:
+    """Random points in general position (distinct x and y coordinates)."""
+    rng = random.Random(seed)
+    xs = rng.sample(range(universe), n)
+    ys = rng.sample(range(universe), n)
+    return [Point(float(x), float(y), ident=i) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+@pytest.fixture
+def points_200() -> list:
+    return make_points(200, seed=1)
+
+
+@pytest.fixture
+def points_500() -> list:
+    return make_points(500, seed=2)

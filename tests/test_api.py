@@ -1,0 +1,99 @@
+"""Tests for the top-level RangeSkylineIndex facade."""
+
+import random
+
+import pytest
+
+from repro import (
+    AntiDominanceQuery,
+    BottomOpenQuery,
+    ContourQuery,
+    DominanceQuery,
+    FourSidedQuery,
+    LeftOpenQuery,
+    Point,
+    RangeSkylineIndex,
+    RightOpenQuery,
+    TopOpenQuery,
+    range_skyline,
+)
+from repro.em import EMConfig, StorageManager
+
+
+def make_storage():
+    return StorageManager(EMConfig(block_size=16, memory_blocks=32))
+
+
+def random_points(n, universe, seed):
+    rng = random.Random(seed)
+    xs = rng.sample(range(universe), n)
+    ys = rng.sample(range(universe), n)
+    return [Point(x, y, i) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+def all_variant_queries(universe, count, seed):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        a, b = sorted(rng.sample(range(universe), 2))
+        c, d = sorted(rng.sample(range(universe), 2))
+        queries.extend(
+            [
+                TopOpenQuery(a, b, c),
+                RightOpenQuery(a, c, d),
+                LeftOpenQuery(b, c, d),
+                BottomOpenQuery(a, b, d),
+                FourSidedQuery(a, b, c, d),
+                DominanceQuery(a, c),
+                AntiDominanceQuery(b, d),
+                ContourQuery(b),
+            ]
+        )
+    return queries
+
+
+def test_static_index_answers_every_variant():
+    points = random_points(180, 2000, 1)
+    index = RangeSkylineIndex(make_storage(), points)
+    for query in all_variant_queries(2000, 15, 2):
+        expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+        assert sorted((p.x, p.y) for p in index.query(query)) == expected
+    assert len(index) == 180
+    assert index.io_total() > 0
+
+
+def test_dynamic_index_supports_updates():
+    points = random_points(160, 2000, 3)
+    index = RangeSkylineIndex(make_storage(), points[:80], dynamic=True)
+    live = list(points[:80])
+    for point in points[80:120]:
+        index.insert(point)
+        live.append(point)
+    for victim in list(live[:15]):
+        assert index.delete(victim)
+        live.remove(victim)
+    assert not index.delete(Point(-5, -5))
+    for query in all_variant_queries(2000, 10, 4):
+        expected = sorted((p.x, p.y) for p in range_skyline(live, query))
+        assert sorted((p.x, p.y) for p in index.query(query)) == expected
+
+
+def test_static_index_rejects_updates():
+    index = RangeSkylineIndex(make_storage(), [Point(1, 1)])
+    with pytest.raises(TypeError):
+        index.insert(Point(2, 2))
+    with pytest.raises(TypeError):
+        index.delete(Point(1, 1))
+
+
+def test_skyline_and_empty_index():
+    points = random_points(80, 1000, 5)
+    index = RangeSkylineIndex(make_storage(), points)
+    from repro import skyline
+
+    assert sorted((p.x, p.y) for p in index.skyline()) == sorted(
+        (p.x, p.y) for p in skyline(points)
+    )
+    empty = RangeSkylineIndex(make_storage(), [])
+    assert empty.query(TopOpenQuery(0, 10, 0)) == []
+    assert len(empty) == 0

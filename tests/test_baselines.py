@@ -1,0 +1,109 @@
+"""Tests for the baselines (naive scan, R-tree BBS, internal-memory)."""
+
+import random
+
+from repro.baselines import InternalMemoryStructure, NaiveScanSkyline, RTree, RTreeBBS
+from repro.baselines.rtree import Rect
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery, RangeQuery, TopOpenQuery
+from repro.core.skyline import range_skyline
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+
+
+def make_storage(block_size=16):
+    return StorageManager(EMConfig(block_size=block_size, memory_blocks=8))
+
+
+def random_points(n, universe, seed):
+    rng = random.Random(seed)
+    xs = rng.sample(range(universe), n)
+    ys = rng.sample(range(universe), n)
+    return [Point(x, y, i) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+def random_queries(universe, count, seed):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        x_lo, x_hi = sorted(rng.sample(range(universe), 2))
+        y_lo, y_hi = sorted(rng.sample(range(universe), 2))
+        queries.append(FourSidedQuery(x_lo, x_hi, y_lo, y_hi))
+        queries.append(TopOpenQuery(x_lo, x_hi, y_lo))
+    return queries
+
+
+def test_rect_helpers():
+    rect = Rect.of_points([Point(1, 2), Point(3, 0)])
+    assert (rect.x_lo, rect.x_hi, rect.y_lo, rect.y_hi) == (1, 3, 0, 2)
+    assert rect.upper_right() == (3, 2)
+    assert rect.intersects(RangeQuery(x_lo=2, x_hi=4, y_lo=1, y_hi=5))
+    assert not rect.intersects(RangeQuery(x_lo=4, x_hi=5))
+    merged = Rect.of_rects([rect, Rect(10, 11, 10, 11)])
+    assert merged.x_hi == 11 and merged.y_lo == 0
+
+
+def test_all_baselines_agree_with_brute_force():
+    points = random_points(250, 3000, 1)
+    queries = random_queries(3000, 30, 2)
+    structures = [
+        NaiveScanSkyline(make_storage(), points),
+        RTreeBBS(make_storage(), points),
+        InternalMemoryStructure(make_storage(), points),
+    ]
+    for query in queries:
+        expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+        for structure in structures:
+            got = sorted((p.x, p.y) for p in structure.query(query))
+            assert got == expected
+
+
+def test_baselines_handle_empty_results_and_sizes():
+    points = random_points(60, 500, 3)
+    empty_query = FourSidedQuery(1000, 2000, 1000, 2000)
+    naive = NaiveScanSkyline(make_storage(), points)
+    bbs = RTreeBBS(make_storage(), points)
+    internal = InternalMemoryStructure(make_storage(), points)
+    assert naive.query(empty_query) == []
+    assert bbs.query(empty_query) == []
+    assert internal.query(empty_query) == []
+    assert len(naive) == len(bbs) == len(internal) == 60
+    assert naive.block_count() > 0
+    assert bbs.block_count() > 0
+    assert internal.block_count() == 60
+
+
+def test_rtree_packing_respects_block_size():
+    points = random_points(400, 8000, 4)
+    storage = make_storage(block_size=16)
+    tree = RTree(storage, points)
+    assert tree.block_count() >= 400 // 16
+    empty = RTree(make_storage(), [])
+    assert empty.block_count() == 0
+
+
+def test_naive_query_cost_scales_with_n():
+    small = random_points(200, 4000, 5)
+    large = random_points(1600, 40_000, 6)
+    query = TopOpenQuery(0, 1e9, -1e9)
+    costs = {}
+    for name, points in [("small", small), ("large", large)]:
+        storage = make_storage(block_size=16)
+        structure = NaiveScanSkyline(storage, points)
+        before = storage.snapshot()
+        structure.query(query)
+        costs[name] = (storage.snapshot() - before).total
+    assert costs["large"] > 4 * costs["small"]
+
+
+def test_internal_structure_pays_omega_k():
+    points = random_points(300, 5000, 7)
+    storage = make_storage(block_size=16)
+    structure = InternalMemoryStructure(storage, points)
+    query = TopOpenQuery(0, 5000, -1)
+    storage.drop_cache()
+    before = storage.snapshot()
+    result = structure.query(query)
+    io = (storage.snapshot() - before).total
+    # Every candidate point costs at least one block read.
+    assert io >= len(result)

@@ -1,0 +1,151 @@
+"""Tests for the external-memory B-tree, bulk loading and range-max variant."""
+
+import random
+
+import pytest
+
+from repro.btree import BTree, RangeMaxBTree, bulk_load_sorted
+from repro.core.point import Point
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+
+
+def make_storage(block_size=8):
+    return StorageManager(EMConfig(block_size=block_size, memory_blocks=16))
+
+
+def test_insert_search_and_membership():
+    tree = BTree(make_storage())
+    keys = random.Random(0).sample(range(10_000), 400)
+    for key in keys:
+        tree.insert(key, key * 2)
+    assert len(tree) == 400
+    for key in keys[:50]:
+        assert tree.search(key) == key * 2
+        assert key in tree
+    assert tree.search(-1) is None
+    assert tree.height() >= 2
+
+
+def test_insert_overwrites_existing_key():
+    tree = BTree(make_storage())
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert len(tree) == 1
+    assert tree.search(1) == "b"
+
+
+def test_range_scan_and_items():
+    tree = BTree(make_storage())
+    for key in range(200):
+        tree.insert(key, -key)
+    scanned = list(tree.range_scan(50, 75))
+    assert [k for k, _ in scanned] == list(range(50, 76))
+    assert [k for k, _ in tree.items()] == list(range(200))
+
+
+def test_min_max_predecessor_successor():
+    tree = BTree(make_storage())
+    for key in range(0, 100, 2):
+        tree.insert(key, key)
+    assert tree.min_entry() == (0, 0)
+    assert tree.max_entry() == (98, 98)
+    assert tree.predecessor(51) == (50, 50)
+    assert tree.successor(51) == (52, 52)
+    assert tree.predecessor(-1) is None
+    assert tree.successor(99) is None
+
+
+def test_delete_and_rebalance():
+    tree = BTree(make_storage())
+    keys = list(range(300))
+    random.Random(1).shuffle(keys)
+    for key in keys:
+        tree.insert(key, key)
+    removed = keys[:200]
+    for key in removed:
+        assert tree.delete(key)
+    assert not tree.delete(removed[0])
+    assert len(tree) == 100
+    for key in removed[:20]:
+        assert tree.search(key) is None
+    for key in keys[200:220]:
+        assert tree.search(key) == key
+
+
+def test_empty_tree_behaviour():
+    tree = BTree(make_storage())
+    assert tree.is_empty()
+    assert tree.search(1) is None
+    assert tree.min_entry() is None and tree.max_entry() is None
+    assert not tree.delete(1)
+    assert list(tree.items()) == []
+
+
+def test_validation_of_parameters():
+    with pytest.raises(ValueError):
+        BTree(make_storage(), leaf_capacity=1)
+    with pytest.raises(ValueError):
+        BTree(make_storage(), fanout=2)
+
+
+def test_bulk_load_matches_incremental():
+    storage = make_storage()
+    entries = [(i, i * i) for i in range(500)]
+    tree = bulk_load_sorted(storage, entries)
+    assert len(tree) == 500
+    assert tree.search(123) == 123 * 123
+    assert [k for k, _ in tree.range_scan(100, 110)] == list(range(100, 111))
+    with pytest.raises(ValueError):
+        bulk_load_sorted(storage, [(2, 0), (1, 0)])
+    empty = bulk_load_sorted(storage, [])
+    assert empty.is_empty()
+
+
+def test_bulk_load_is_cheaper_than_incremental():
+    entries = [(i, i) for i in range(2000)]
+    bulk_storage = make_storage()
+    before = bulk_storage.snapshot()
+    bulk_load_sorted(bulk_storage, entries)
+    bulk_io = (bulk_storage.snapshot() - before).total
+
+    inc_storage = make_storage()
+    before = inc_storage.snapshot()
+    tree = BTree(inc_storage)
+    for key, value in entries:
+        inc_storage.drop_cache()
+        tree.insert(key, value)
+    incremental_io = (inc_storage.snapshot() - before).total
+    assert bulk_io < incremental_io
+
+
+def test_range_aggregate_requires_hook():
+    tree = BTree(make_storage())
+    tree.insert(1, 1)
+    with pytest.raises(ValueError):
+        tree.range_aggregate(0, 2)
+
+
+def test_range_max_btree_matches_brute_force():
+    rng = random.Random(2)
+    points = [Point(x, rng.randrange(10_000), i) for i, x in enumerate(rng.sample(range(10_000), 300))]
+    storage = make_storage(block_size=16)
+    tree = RangeMaxBTree.build_sorted(storage, sorted(points, key=lambda p: p.x))
+    for _ in range(100):
+        lo, hi = sorted(rng.sample(range(10_000), 2))
+        inside = [p.y for p in points if lo <= p.x <= hi]
+        expected = max(inside) if inside else None
+        assert tree.max_y_in(lo, hi) == expected
+    assert len(tree) == 300
+
+
+def test_range_max_btree_updates():
+    storage = make_storage(block_size=16)
+    tree = RangeMaxBTree(storage)
+    points = [Point(i, 100 - i, i) for i in range(50)]
+    for point in points:
+        tree.insert(point)
+    assert tree.max_y_in(10, 20) == 90
+    assert tree.highest_point_in(10, 20) == Point(10, 90, 10)
+    assert tree.delete(Point(10, 90, 10))
+    assert tree.max_y_in(10, 20) == 89

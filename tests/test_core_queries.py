@@ -1,0 +1,75 @@
+"""Unit tests for the query rectangle variants of Figure 2."""
+
+import math
+
+import pytest
+
+from repro.core.point import Point
+from repro.core.queries import (
+    AntiDominanceQuery,
+    BottomOpenQuery,
+    ContourQuery,
+    DominanceQuery,
+    FourSidedQuery,
+    LeftOpenQuery,
+    RangeQuery,
+    RightOpenQuery,
+    TopOpenQuery,
+    classify,
+)
+
+
+def test_invalid_ranges_rejected():
+    with pytest.raises(ValueError):
+        RangeQuery(x_lo=2, x_hi=1)
+    with pytest.raises(ValueError):
+        RangeQuery(y_lo=3, y_hi=2)
+
+
+def test_containment_and_filter():
+    query = FourSidedQuery(0, 10, 0, 10)
+    inside = Point(5, 5)
+    outside = Point(11, 5)
+    assert query.contains(inside) and not query.contains(outside)
+    assert query.filter([inside, outside]) == [inside]
+
+
+def test_shape_predicates():
+    assert TopOpenQuery(0, 1, 0).is_top_open
+    assert RightOpenQuery(0, 0, 1).is_right_open
+    assert BottomOpenQuery(0, 1, 5).is_bottom_open
+    assert LeftOpenQuery(1, 0, 5).is_left_open
+    assert FourSidedQuery(0, 1, 0, 1).is_four_sided
+    assert DominanceQuery(0, 0).open_side_count == 2
+    assert ContourQuery(3).open_side_count == 3
+
+
+@pytest.mark.parametrize(
+    "query, label",
+    [
+        (TopOpenQuery(0, 1, 0), "top-open"),
+        (RightOpenQuery(0, 0, 1), "right-open"),
+        (BottomOpenQuery(0, 1, 1), "bottom-open"),
+        (LeftOpenQuery(1, 0, 1), "left-open"),
+        (DominanceQuery(0, 0), "dominance"),
+        (AntiDominanceQuery(0, 0), "anti-dominance"),
+        (ContourQuery(1), "contour"),
+        (FourSidedQuery(0, 1, 0, 1), "4-sided"),
+        (RangeQuery(), "unbounded"),
+    ],
+)
+def test_classification(query, label):
+    assert classify(query) == label
+
+
+def test_dominance_query_matches_definition():
+    query = DominanceQuery(2, 3)
+    assert query.contains(Point(2, 3))
+    assert query.contains(Point(10, 10))
+    assert not query.contains(Point(1, 10))
+
+
+def test_contour_query_is_halfplane():
+    query = ContourQuery(5)
+    assert query.contains(Point(-100, math.inf if False else 42))
+    assert not query.contains(Point(6, 0))

@@ -1,0 +1,107 @@
+"""Unit and property-based tests for the in-memory skyline algorithms."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery
+from repro.core.skyline import (
+    count_dominated_pairs,
+    highest_point,
+    is_skyline,
+    range_skyline,
+    skyline,
+    skyline_divide_and_conquer,
+    skyline_of_sorted,
+)
+
+
+def brute_force_skyline(points):
+    return [
+        p
+        for p in points
+        if not any(q is not p and q.dominates(p) for q in points)
+    ]
+
+
+def random_points(n, seed):
+    rng = random.Random(seed)
+    xs = rng.sample(range(10 * n), n)
+    ys = rng.sample(range(10 * n), n)
+    return [Point(x, y, i) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+def test_skyline_matches_brute_force():
+    points = random_points(200, 0)
+    expected = sorted(brute_force_skyline(points), key=lambda p: p.x)
+    assert skyline(points) == expected
+    assert skyline_of_sorted(sorted(points, key=lambda p: p.x)) == expected
+    assert sorted(skyline_divide_and_conquer(points), key=lambda p: p.x) == expected
+
+
+def test_skyline_is_staircase():
+    points = random_points(300, 1)
+    result = skyline(points)
+    for a, b in zip(result, result[1:]):
+        assert a.x < b.x and a.y > b.y
+
+
+def test_empty_and_singleton():
+    assert skyline([]) == []
+    assert skyline([Point(1, 1)]) == [Point(1, 1)]
+    assert highest_point([]) is None
+    assert highest_point([Point(1, 2), Point(3, 1)]) == Point(1, 2)
+
+
+def test_range_skyline_respects_rectangle():
+    points = random_points(150, 2)
+    query = FourSidedQuery(100, 900, 100, 900)
+    result = range_skyline(points, query)
+    inside = [p for p in points if query.contains(p)]
+    assert sorted(result, key=lambda p: p.x) == sorted(
+        brute_force_skyline(inside), key=lambda p: p.x
+    )
+
+
+def test_is_skyline_and_dominated_pairs():
+    points = [Point(1, 3), Point(2, 2), Point(3, 1), Point(0, 0)]
+    assert is_skyline(points, points[:3])
+    assert not is_skyline(points, points)
+    assert count_dominated_pairs(points) == 3
+
+
+point_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    min_size=0,
+    max_size=60,
+    unique_by=(lambda t: t[0], lambda t: t[1]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(point_lists)
+def test_skyline_property_no_dominated_and_complete(coords):
+    points = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+    result = skyline(points)
+    result_set = {(p.x, p.y) for p in result}
+    # No reported point is dominated by any input point.
+    for p in result:
+        assert not any(q.dominates(p) for q in points)
+    # Every non-reported point is dominated by someone.
+    for p in points:
+        if (p.x, p.y) not in result_set:
+            assert any(q.dominates(p) for q in points)
+
+
+@settings(max_examples=40, deadline=None)
+@given(point_lists)
+def test_divide_and_conquer_agrees_with_sweep(coords):
+    points = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+    assert sorted(skyline_divide_and_conquer(points), key=lambda p: (p.x, p.y)) == sorted(
+        skyline(points), key=lambda p: (p.x, p.y)
+    )

@@ -1,0 +1,81 @@
+"""Tests for the staircase helper and the rank-space reduction."""
+
+import math
+
+import pytest
+
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery, TopOpenQuery
+from repro.core.rankspace import RankSpaceMap, to_rank_space
+from repro.core.staircase import Staircase
+
+
+def sample_points():
+    return [Point(1, 9), Point(3, 7), Point(5, 5), Point(7, 3), Point(9, 1)]
+
+
+def test_staircase_construction_from_arbitrary_points():
+    points = [Point(1, 9), Point(2, 1), Point(3, 7), Point(4, 2), Point(5, 5)]
+    staircase = Staircase(points)
+    assert [p.x for p in staircase.points()] == [1, 3, 5]
+
+
+def test_staircase_validation_rejects_non_staircase():
+    with pytest.raises(ValueError):
+        Staircase([Point(1, 1), Point(2, 2)], already_maximal=True)
+
+
+def test_staircase_queries():
+    staircase = Staircase(sample_points(), already_maximal=True)
+    assert len(staircase) == 5
+    assert staircase.highest() == Point(1, 9)
+    assert staircase.lowest() == Point(9, 1)
+    assert staircase.above(4) == [Point(1, 9), Point(3, 7), Point(5, 5)]
+    assert staircase.right_neighbour(Point(3, 7)) == Point(5, 5)
+    assert staircase.right_neighbour(Point(9, 1)) is None
+    assert staircase.dominator_exists(Point(4, 4))
+    assert not staircase.dominator_exists(Point(10, 10))
+    assert staircase.first_in_x_range(2, 6) == Point(3, 7)
+    assert staircase.first_in_x_range(10, 12) is None
+    assert staircase[0] == Point(1, 9)
+    assert not staircase.is_empty()
+
+
+def test_staircase_merge_and_restrict():
+    a = Staircase([Point(1, 9), Point(5, 5)], already_maximal=True)
+    b = Staircase([Point(3, 7), Point(7, 3)], already_maximal=True)
+    merged = a.merge(b)
+    assert [p.x for p in merged.points()] == [1, 3, 5, 7]
+    restricted = merged.restrict(x_lo=2, x_hi=6, y_lo=6)
+    assert [p.x for p in restricted.points()] == [3]
+    empty = Staircase([])
+    assert empty.is_empty() and empty.highest() is None and empty.lowest() is None
+
+
+def test_rank_space_roundtrip():
+    points = [Point(10, 300), Point(20, 100), Point(30, 200)]
+    ranked, mapping = to_rank_space(points)
+    assert sorted((p.x, p.y) for p in ranked) == [(0, 2), (1, 0), (2, 1)]
+    for original, rank in zip(points, ranked):
+        assert mapping.from_rank(rank) == original
+    assert mapping.universe == 3
+
+
+def test_rank_space_query_mapping_preserves_answers():
+    points = [Point(10, 300, 0), Point(20, 100, 1), Point(30, 200, 2), Point(40, 400, 3)]
+    ranked, mapping = to_rank_space(points)
+    query = FourSidedQuery(15, 35, 150, 450)
+    mapped = mapping.map_query(query)
+    original_inside = {p.ident for p in points if query.contains(p)}
+    rank_inside = {p.ident for p in ranked if mapped.contains(p)}
+    assert original_inside == rank_inside
+
+
+def test_rank_space_infinite_bounds_and_costs():
+    mapping = RankSpaceMap.build([Point(1, 1), Point(2, 2)])
+    query = TopOpenQuery(-math.inf, math.inf, -math.inf)
+    mapped = mapping.map_query(query)
+    assert mapped.x_lo == -math.inf and mapped.x_hi == math.inf
+    assert mapping.predecessor_search_cost(block_size=16) >= 1
+    with pytest.raises(ValueError):
+        mapping.x_rank_of_query(1.0, "middle")

@@ -1,0 +1,89 @@
+"""Unit tests for the buffer pool (LRU, pinning, write-back)."""
+
+import pytest
+
+from repro.em.cache import BufferPool, BufferPoolError
+from repro.em.config import EMConfig
+from repro.em.disk import DiskModel
+
+
+def make_pool(frames=2, block_size=8):
+    disk = DiskModel(EMConfig(block_size=block_size, memory_blocks=4))
+    return disk, BufferPool(disk, capacity_blocks=frames)
+
+
+def test_cache_hit_costs_nothing():
+    disk, pool = make_pool()
+    block = disk.write_new([1])
+    pool.get(block)
+    reads_before = disk.stats.reads
+    pool.get(block)
+    assert disk.stats.reads == reads_before
+    assert pool.hits == 1 and pool.misses == 1
+    assert 0 < pool.hit_rate < 1
+
+
+def test_lru_eviction_writes_back_dirty_frames():
+    disk, pool = make_pool(frames=2)
+    a = disk.allocate()
+    b = disk.allocate()
+    c = disk.allocate()
+    pool.put(a, ["a"])
+    pool.put(b, ["b"])
+    writes_before = disk.stats.writes
+    pool.put(c, ["c"])  # evicts a (dirty) -> one write-back
+    assert disk.stats.writes == writes_before + 1
+    assert disk.peek(a) == ["a"]
+
+
+def test_pinned_blocks_are_not_evicted():
+    disk, pool = make_pool(frames=2)
+    a = disk.write_new(["a"])
+    b = disk.allocate()
+    c = disk.allocate()
+    pool.pin(a)
+    pool.put(b, ["b"])
+    pool.put(c, ["c"])
+    assert pool.contains(a)
+    assert a in pool.pinned_blocks()
+    pool.unpin(a)
+    assert a not in pool.pinned_blocks()
+
+
+def test_unpin_without_pin_raises():
+    disk, pool = make_pool()
+    a = disk.write_new(["a"])
+    with pytest.raises(BufferPoolError):
+        pool.unpin(a)
+
+
+def test_put_unallocated_block_raises():
+    _, pool = make_pool()
+    with pytest.raises(BufferPoolError):
+        pool.put(999, ["x"])
+
+
+def test_flush_and_evict_all():
+    disk, pool = make_pool(frames=4)
+    a = pool.create(["a"])
+    b = pool.create(["b"])
+    pool.flush(a)
+    assert disk.peek(a) == ["a"]
+    pool.evict_all()
+    assert disk.peek(b) == ["b"]
+    assert pool.resident_count() == 0
+
+
+def test_write_through_writes_immediately():
+    disk, pool = make_pool()
+    a = disk.allocate()
+    pool.put(a, ["x"], write_through=True)
+    assert disk.peek(a) == ["x"]
+
+
+def test_invalidate_drops_frame_without_writeback():
+    disk, pool = make_pool()
+    a = disk.write_new(["old"])
+    pool.put(a, ["new"])
+    pool.invalidate(a)
+    assert disk.peek(a) == ["old"]

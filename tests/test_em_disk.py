@@ -1,0 +1,93 @@
+"""Unit tests for the simulated disk and I/O counters."""
+
+import pytest
+
+from repro.em.config import EMConfig
+from repro.em.counters import IOMeter, IOStats
+from repro.em.disk import BlockOverflowError, DiskFullError, DiskModel
+
+
+def test_allocate_and_rw_charges_transfers():
+    disk = DiskModel(EMConfig(block_size=8, memory_blocks=4))
+    block = disk.allocate()
+    assert disk.stats.total == 0  # allocation is free
+    disk.write_block(block, [1, 2, 3])
+    assert disk.stats.writes == 1
+    assert disk.read_block(block) == [1, 2, 3]
+    assert disk.stats.reads == 1
+
+
+def test_write_new_combines_allocate_and_write():
+    disk = DiskModel(EMConfig(block_size=8, memory_blocks=4))
+    block = disk.write_new([1])
+    assert disk.is_allocated(block)
+    assert disk.stats.writes == 1
+
+
+def test_block_overflow_is_rejected():
+    disk = DiskModel(EMConfig(block_size=4, memory_blocks=4))
+    block = disk.allocate()
+    with pytest.raises(BlockOverflowError):
+        disk.write_block(block, list(range(5)))
+
+
+def test_capacity_limit():
+    disk = DiskModel(EMConfig(block_size=4, memory_blocks=4), capacity_blocks=2)
+    disk.allocate()
+    disk.allocate()
+    with pytest.raises(DiskFullError):
+        disk.allocate()
+
+
+def test_free_releases_blocks_and_counts():
+    disk = DiskModel(EMConfig(block_size=4, memory_blocks=4))
+    block = disk.write_new([1])
+    assert disk.block_count() == 1
+    disk.free(block)
+    assert disk.block_count() == 0
+    assert disk.stats.frees == 1
+    with pytest.raises(KeyError):
+        disk.read_block(block)
+
+
+def test_unknown_block_access_raises():
+    disk = DiskModel(EMConfig(block_size=4, memory_blocks=4))
+    with pytest.raises(KeyError):
+        disk.read_block(42)
+    with pytest.raises(KeyError):
+        disk.write_block(42, [])
+    with pytest.raises(KeyError):
+        disk.free(42)
+
+
+def test_peek_does_not_charge():
+    disk = DiskModel(EMConfig(block_size=4, memory_blocks=4))
+    block = disk.write_new([7])
+    before = disk.stats.total
+    assert disk.peek(block) == [7]
+    assert disk.stats.total == before
+
+
+def test_iostats_snapshot_delta_and_meter():
+    stats = IOStats()
+    stats.record_read(2)
+    first = stats.snapshot()
+    stats.record_write(3)
+    delta = stats.snapshot() - first
+    assert delta.reads == 0 and delta.writes == 3
+    with IOMeter(stats) as meter:
+        stats.record_read()
+    assert meter.delta.reads == 1
+    stats.reset()
+    assert stats.total == 0
+
+
+def test_record_size_protocol():
+    class Sized:
+        def record_size(self):
+            return 3
+
+    disk = DiskModel(EMConfig(block_size=4, memory_blocks=4))
+    block = disk.allocate()
+    disk.write_block(block, Sized())  # fits: 3 <= 4
+    assert disk.stats.writes == 1

@@ -1,0 +1,94 @@
+"""Tests for EMFile, RecordWriter and the external merge sort."""
+
+import random
+
+import pytest
+
+from repro.em.config import EMConfig
+from repro.em.file import EMFile, RecordWriter
+from repro.em.sorting import external_sort, merge_sorted_files
+from repro.em.storage import StorageManager
+
+
+def make_storage(block_size=8, memory_blocks=4):
+    return StorageManager(EMConfig(block_size=block_size, memory_blocks=memory_blocks))
+
+
+def test_emfile_roundtrip_and_block_count():
+    storage = make_storage()
+    data = list(range(50))
+    emfile = EMFile.from_records(storage, data, name="t")
+    assert list(emfile.scan()) == data
+    assert len(emfile) == 50
+    assert emfile.block_count == 50 // 8 + (1 if 50 % 8 else 0)
+
+
+def test_emfile_scan_includes_unflushed_tail():
+    storage = make_storage()
+    emfile = EMFile(storage)
+    emfile.extend(range(10))  # 8 flushed + 2 in tail
+    assert list(emfile.scan()) == list(range(10))
+    emfile.close()
+    assert emfile.block_count == 2
+
+
+def test_emfile_read_block_bounds():
+    storage = make_storage()
+    emfile = EMFile.from_records(storage, range(20))
+    assert list(emfile.read_block(0)) == list(range(8))
+    with pytest.raises(IndexError):
+        emfile.read_block(10)
+
+
+def test_record_writer_context_manager():
+    storage = make_storage()
+    with RecordWriter(storage, name="w") as writer:
+        for value in range(12):
+            writer.emit(value)
+    assert list(writer.result().scan()) == list(range(12))
+
+
+def test_external_sort_sorts_and_counts_io():
+    storage = make_storage(block_size=8, memory_blocks=4)
+    rng = random.Random(0)
+    data = [rng.random() for _ in range(300)]
+    source = EMFile.from_records(storage, data)
+    before = storage.snapshot()
+    result = external_sort(storage, source)
+    delta = storage.snapshot() - before
+    assert list(result.scan()) == sorted(data)
+    # Sorting must cost at least one pass over the data.
+    assert delta.total >= source.block_count
+
+
+def test_external_sort_with_key_and_empty_input():
+    storage = make_storage()
+    empty = EMFile.from_records(storage, [])
+    assert list(external_sort(storage, empty).scan()) == []
+    data = [(i, -i) for i in range(40)]
+    source = EMFile.from_records(storage, data)
+    result = external_sort(storage, source, key=lambda pair: pair[1])
+    assert list(result.scan()) == sorted(data, key=lambda pair: pair[1])
+
+
+def test_merge_sorted_files():
+    storage = make_storage()
+    left = EMFile.from_records(storage, [1, 3, 5, 7])
+    right = EMFile.from_records(storage, [2, 4, 6])
+    merged = merge_sorted_files(storage, left, right)
+    assert list(merged.scan()) == [1, 2, 3, 4, 5, 6, 7]
+
+
+def test_config_validation_and_costs():
+    with pytest.raises(ValueError):
+        EMConfig(block_size=1)
+    with pytest.raises(ValueError):
+        EMConfig(block_size=8, memory_blocks=2)
+    config = EMConfig(block_size=8, memory_blocks=4)
+    assert config.blocks_for(17) == 3
+    assert config.blocks_for(0) == 0
+    assert config.memory_words == 32
+    assert config.scan_cost(16) == 2
+    assert config.sort_cost(1000) > config.scan_cost(1000)
+    assert config.with_block_size(16).block_size == 16
+    assert config.with_memory_blocks(8).memory_blocks == 8

@@ -1,0 +1,82 @@
+"""Tests for the lower-bound workload (Lemma 8) and indexability analysis."""
+
+import pytest
+
+from repro.core.skyline import range_skyline
+from repro.hardness import (
+    IndexabilityAnalyzer,
+    chazelle_liu_input,
+    indexability_query_lower_bound,
+    pointer_machine_space_lower_bound,
+    rho,
+)
+from repro.hardness.chazelle_liu import verify_workload
+
+
+def test_rho_reverses_and_complements_digits():
+    # omega = 10, lam = 3: i = 123 -> digits 1,2,3 -> reversed 3,2,1 ->
+    # complement (9-d) -> 6,7,8 -> 678.
+    assert rho(123, 10, 3) == 678
+    assert rho(0, 2, 3) == 7  # 000 -> 111
+    assert rho(5, 2, 3) == rho(0b101, 2, 3) == 0b010
+
+
+def test_workload_sizes_match_lemma8():
+    for omega, lam in [(2, 3), (4, 2), (3, 3)]:
+        workload = chazelle_liu_input(omega, lam)
+        assert workload.n == omega ** lam
+        assert len(workload.queries) == lam * omega ** (lam - 1)
+        assert all(q.output_size == omega for q in workload.queries)
+
+
+def test_workload_satisfies_lemma8_properties():
+    workload = chazelle_liu_input(3, 3)
+    assert verify_workload(workload)
+
+
+def test_queries_share_at_most_one_point():
+    workload = chazelle_liu_input(4, 2)
+    for i, first in enumerate(workload.queries):
+        first_ids = {p.ident for p in first.expected}
+        for second in workload.queries[i + 1 :]:
+            assert len(first_ids & {p.ident for p in second.expected}) <= 1
+
+
+def test_mirrored_form_is_an_anti_dominance_skyline_workload():
+    workload = chazelle_liu_input(4, 2)
+    mirrored = workload.mirrored_points()
+    for index, query in enumerate(workload.mirrored_queries()):
+        expected = sorted((p.x, p.y) for p in workload.mirrored_expected(index))
+        got = sorted((p.x, p.y) for p in range_skyline(mirrored, query))
+        assert expected == got
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        chazelle_liu_input(1, 2)
+    with pytest.raises(ValueError):
+        chazelle_liu_input(2, 0)
+
+
+def test_indexability_analyzer_layouts_and_overhead():
+    workload = chazelle_liu_input(4, 3)
+    analyzer = IndexabilityAnalyzer(workload, block_size=4)
+    reports = analyzer.evaluate_standard_layouts()
+    assert {r.name for r in reports} == {"x-sorted", "y-sorted", "z-order"}
+    for report in reports:
+        assert report.blocks_used == workload.n // 4
+        assert report.min_blocks_per_query >= 1
+        assert report.max_blocks_per_query >= report.min_blocks_per_query
+        # No linear layout reaches the ideal k/B cost on its worst query.
+        assert report.max_blocks_per_query > report.optimal_blocks_per_query
+    layout = analyzer.x_sorted_layout()
+    assert analyzer.access_overhead(layout) >= 1.0
+    assert analyzer.theorem_space_bound() > 0
+
+
+def test_lower_bound_formulas():
+    assert indexability_query_lower_bound(2 ** 20, 64, 1.0) > indexability_query_lower_bound(
+        2 ** 10, 64, 1.0
+    )
+    assert pointer_machine_space_lower_bound(2 ** 16) > 2 ** 16
+    assert pointer_machine_space_lower_bound(2) == 2

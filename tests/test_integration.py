@@ -1,0 +1,142 @@
+"""Integration and cross-structure property tests.
+
+Every structure of the library answers the same queries on the same data;
+these tests check they all agree with each other (and with the in-memory
+reference) across query shapes, and that the documented I/O hierarchy
+(paper structures beating the baselines) holds end to end.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NaiveScanSkyline, RTreeBBS
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery, TopOpenQuery
+from repro.core.skyline import range_skyline
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.structures import (
+    DynamicTopOpenStructure,
+    FourSidedStructure,
+    StaticTopOpenStructure,
+)
+from repro.workloads import top_open_queries, uniform_points
+
+
+def make_storage(block_size=16):
+    return StorageManager(EMConfig(block_size=block_size, memory_blocks=32))
+
+
+def test_all_top_open_structures_agree():
+    points = uniform_points(300, seed=31)
+    static = StaticTopOpenStructure(make_storage(), points)
+    dynamic = DynamicTopOpenStructure(make_storage(), points=points, epsilon=0.5)
+    four_sided = FourSidedStructure(make_storage(), points, epsilon=0.5)
+    bbs = RTreeBBS(make_storage(), points)
+    for query in top_open_queries(points, 25, selectivity=0.4, seed=32):
+        reference = sorted((p.x, p.y) for p in range_skyline(points, query))
+        for structure in [static, dynamic, four_sided, bbs]:
+            assert sorted((p.x, p.y) for p in structure.query(query)) == reference
+
+
+def test_four_sided_and_naive_agree_on_all_rectangles():
+    points = uniform_points(250, seed=33)
+    structure = FourSidedStructure(make_storage(), points, epsilon=0.5)
+    naive = NaiveScanSkyline(make_storage(), points)
+    rng = random.Random(34)
+    values = sorted(p.x for p in points) + sorted(p.y for p in points)
+    for _ in range(25):
+        x_lo, x_hi = sorted(rng.sample(values, 2))
+        y_lo, y_hi = sorted(rng.sample(values, 2))
+        query = FourSidedQuery(x_lo, x_hi, y_lo, y_hi)
+        assert sorted((p.x, p.y) for p in structure.query(query)) == sorted(
+            (p.x, p.y) for p in naive.query(query)
+        )
+
+
+def test_paper_structure_beats_naive_on_io():
+    points = uniform_points(2000, seed=35)
+    queries = top_open_queries(points, 5, selectivity=0.3, seed=35)
+
+    paper_storage = make_storage(block_size=32)
+    paper = StaticTopOpenStructure(paper_storage, points)
+    naive_storage = make_storage(block_size=32)
+    naive = NaiveScanSkyline(naive_storage, points)
+
+    def cost(storage, structure):
+        total = 0
+        for query in queries:
+            storage.drop_cache()
+            before = storage.snapshot()
+            structure.query(query)
+            total += (storage.snapshot() - before).total
+        return total
+
+    assert cost(paper_storage, paper) < cost(naive_storage, naive)
+
+
+def test_dynamic_structure_tracks_a_changing_dataset():
+    """Insert, delete and query in waves; results always match brute force."""
+    rng = random.Random(36)
+    structure = DynamicTopOpenStructure(make_storage(), epsilon=0.5)
+    live = []
+    for wave in range(5):
+        new_points = [
+            Point(rng.uniform(0, 1000) + wave, rng.uniform(0, 1000) + wave, wave * 100 + i)
+            for i in range(40)
+        ]
+        for point in new_points:
+            structure.insert(point)
+            live.append(point)
+        for _ in range(10):
+            victim = live.pop(rng.randrange(len(live)))
+            assert structure.delete(victim)
+        query = TopOpenQuery(100, 900, 400)
+        assert sorted((p.x, p.y) for p in structure.query(query)) == sorted(
+            (p.x, p.y) for p in range_skyline(live, query)
+        )
+
+
+coordinates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    ),
+    min_size=1,
+    max_size=60,
+    unique_by=(lambda t: t[0], lambda t: t[1]),
+)
+rectangles = st.tuples(
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=500),
+    st.integers(min_value=0, max_value=500),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(coordinates, rectangles)
+def test_four_sided_structure_property(coords, rectangle):
+    """FourSidedStructure == brute force on arbitrary inputs and rectangles."""
+    points = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+    x_lo, x_hi = sorted(rectangle[:2])
+    y_lo, y_hi = sorted(rectangle[2:])
+    query = FourSidedQuery(x_lo, x_hi, y_lo, y_hi)
+    structure = FourSidedStructure(make_storage(block_size=8), points, epsilon=0.5)
+    expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+    assert sorted((p.x, p.y) for p in structure.query(query)) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(coordinates, rectangles)
+def test_static_top_open_structure_property(coords, rectangle):
+    """StaticTopOpenStructure == brute force on arbitrary inputs."""
+    points = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+    x_lo, x_hi = sorted(rectangle[:2])
+    query = TopOpenQuery(x_lo, x_hi, rectangle[2])
+    structure = StaticTopOpenStructure(make_storage(block_size=8), points)
+    expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+    assert sorted((p.x, p.y) for p in structure.query(query)) == expected

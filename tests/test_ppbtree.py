@@ -1,0 +1,139 @@
+"""Tests for the multiversion (partially persistent) B-tree."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.point import Point
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.ppbtree import MultiversionBTree, build_segment_ppbtree, sweep_events
+from repro.ppbtree.nodes import MVEntry, MVNode
+from repro.segments import compute_sigma
+
+
+def make_storage(block_size=16):
+    return StorageManager(EMConfig(block_size=block_size, memory_blocks=16))
+
+
+def random_points(n, seed):
+    rng = random.Random(seed)
+    xs = rng.sample(range(10 * n), n)
+    ys = rng.sample(range(10 * n), n)
+    return sorted(
+        (Point(x, y, i) for i, (x, y) in enumerate(zip(xs, ys))), key=lambda p: p.x
+    )
+
+
+def test_entry_and_node_liveness():
+    entry = MVEntry(key=5, start=1, end=3, value="v")
+    assert entry.alive_at(1) and entry.alive_at(2.9) and not entry.alive_at(3)
+    assert not entry.alive_now
+    node = MVNode(is_leaf=True, entries=[entry, MVEntry(1, 0, value="w")])
+    assert node.live_count() == 1
+    assert len(node.live_entries(2)) == 2
+    assert node.record_size() == 2
+
+
+def test_versions_must_be_non_decreasing():
+    tree = MultiversionBTree(make_storage())
+    tree.insert(1, "a", version=5)
+    with pytest.raises(ValueError):
+        tree.insert(2, "b", version=4)
+
+
+def test_snapshot_queries_reflect_history():
+    tree = MultiversionBTree(make_storage())
+    tree.insert(10, "ten", version=0)
+    tree.insert(20, "twenty", version=1)
+    tree.delete(10, version=2)
+    tree.insert(30, "thirty", version=3)
+    assert [k for k, _ in tree.snapshot_items(0)] == [10]
+    assert [k for k, _ in tree.snapshot_items(1)] == [10, 20]
+    assert [k for k, _ in tree.snapshot_items(2)] == [20]
+    assert [k for k, _ in tree.snapshot_items(3)] == [20, 30]
+    assert tree.range_query(3, 25, 100) == ["thirty"]
+    assert tree.range_query(-1, 0, 100) == []
+
+
+def test_delete_of_absent_key_is_noop():
+    tree = MultiversionBTree(make_storage())
+    assert not tree.delete(5, version=0)
+    tree.insert(5, "x", version=1)
+    assert not tree.delete(6, version=2)
+    assert tree.delete(5, version=3)
+
+
+def test_interval_liveness_against_reference():
+    """Random interval workload: every snapshot matches a brute-force replay."""
+    rng = random.Random(7)
+    tree = MultiversionBTree(make_storage(block_size=16))
+    intervals = []
+    for i in range(300):
+        start = i
+        end = i + rng.randint(1, 60)
+        key = rng.random()
+        intervals.append((key, start, end))
+    events = []
+    for key, start, end in intervals:
+        events.append((start, 1, key))
+        events.append((end, 0, key))
+    events.sort()
+    for time, kind, key in events:
+        if kind == 1:
+            tree.insert(key, key, version=time)
+        else:
+            tree.delete(key, version=time)
+    for probe in [0.5, 10.5, 50.5, 150.5, 299.5, 330.5]:
+        expected = sorted(k for k, s, e in intervals if s <= probe < e)
+        got = sorted(k for k, _ in tree.snapshot_items(probe))
+        assert got == expected
+
+
+def test_scan_from_supports_early_termination():
+    tree = MultiversionBTree(make_storage())
+    for i in range(100):
+        tree.insert(i, i, version=0)
+    visited = []
+
+    def visitor(key, value):
+        visited.append(key)
+        return len(visited) < 5
+
+    tree.scan_from(0, 50, visitor)
+    assert visited == [50, 51, 52, 53, 54]
+
+
+def test_sweep_events_order():
+    points = random_points(50, 1)
+    segments = compute_sigma(points)
+    events = sweep_events(segments)
+    xs = [x for x, _, _ in events]
+    assert xs == sorted(xs)
+    bounded = [s for s in segments if not math.isinf(s.x_right)]
+    assert len(events) == len(segments) + len(bounded)
+
+
+def test_segment_ppbtree_snapshots_match_live_segments():
+    points = random_points(250, 2)
+    segments = compute_sigma(points)
+    tree = build_segment_ppbtree(make_storage(), segments)
+    rng = random.Random(3)
+    for _ in range(25):
+        x = rng.uniform(0, 2500)
+        expected = sorted(s.y for s in segments if s.covers_x(x))
+        got = sorted(k for k, _ in tree.snapshot_items(x))
+        assert got == expected
+    assert tree.block_count() > 0
+    assert tree.version_copies > 0
+
+
+def test_segment_ppbtree_space_is_linear():
+    points = random_points(600, 4)
+    segments = compute_sigma(points)
+    storage = make_storage(block_size=32)
+    tree = build_segment_ppbtree(storage, segments)
+    blocks = tree.block_count()
+    # O(n/B) blocks with a generous constant.
+    assert blocks <= 12 * (len(points) / 32 + 1)

@@ -1,0 +1,193 @@
+"""Tests for the I/O-efficient catenable priority queue with attrition."""
+
+import random
+
+import pytest
+
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.pqa import IOCPQA, SundarPQA, check_queue_invariants
+from repro.pqa.checker import InvariantViolation
+
+
+def make_storage():
+    return StorageManager(EMConfig(block_size=16, memory_blocks=16))
+
+
+def test_empty_queue_behaviour():
+    queue = IOCPQA.empty(make_storage(), record_capacity=4)
+    assert queue.is_empty()
+    assert queue.find_min() is None and queue.min_key() is None
+    item, same = queue.delete_min()
+    assert item is None and same.is_empty()
+    assert queue.keys() == []
+    check_queue_invariants(queue)
+
+
+def test_build_applies_attrition_in_insertion_order():
+    storage = make_storage()
+    queue = IOCPQA.build(storage, [(5, "a"), (3, "b"), (8, "c"), (2, "d"), (7, "e")], 4)
+    assert queue.keys() == [2, 7]
+    assert [payload for _, payload in queue.items()] == ["d", "e"]
+    check_queue_invariants(queue)
+
+
+def test_insert_and_attrite_matches_oracle():
+    storage = make_storage()
+    queue = IOCPQA.empty(storage, record_capacity=4)
+    oracle = SundarPQA()
+    rng = random.Random(1)
+    for i in range(400):
+        key = rng.random()
+        queue = queue.insert_and_attrite(key, i)
+        oracle.insert_and_attrite(key, i)
+        if i % 50 == 0:
+            check_queue_invariants(queue)
+    assert queue.keys() == oracle.keys()
+
+
+def test_delete_min_returns_items_in_order():
+    storage = make_storage()
+    items = [(i, f"p{i}") for i in range(40)]
+    queue = IOCPQA.build(storage, items, record_capacity=4)
+    drained = []
+    while True:
+        item, queue = queue.delete_min()
+        if item is None:
+            break
+        drained.append(item)
+    assert drained == items
+
+
+def test_persistence_of_operations():
+    """Operations return new values; the original queue is unchanged."""
+    storage = make_storage()
+    original = IOCPQA.build(storage, [(i, None) for i in range(10)], 4)
+    inserted = original.insert_and_attrite(3.5)
+    _, popped = original.delete_min()
+    combined = original.catenate_and_attrite(
+        IOCPQA.build(storage, [(4.5, None)], 4)
+    )
+    assert original.keys() == list(range(10))
+    assert inserted.keys() == [0, 1, 2, 3, 3.5]
+    assert popped.keys() == list(range(1, 10))
+    assert combined.keys() == [0, 1, 2, 3, 4, 4.5]
+
+
+def test_catenate_and_attrite_against_oracle():
+    storage = make_storage()
+    rng = random.Random(2)
+    for _ in range(60):
+        first_items = [(rng.random(), None) for _ in range(rng.randint(0, 30))]
+        second_items = [(rng.random(), None) for _ in range(rng.randint(0, 30))]
+        first = IOCPQA.build(storage, first_items, 4)
+        second = IOCPQA.build(storage, second_items, 4)
+        oracle_first = SundarPQA(first_items)
+        oracle_second = SundarPQA(second_items)
+        combined = first.catenate_and_attrite(second)
+        oracle_first.catenate_and_attrite(oracle_second)
+        assert combined.keys() == oracle_first.keys()
+        check_queue_invariants(combined)
+
+
+def test_pop_while_reports_prefix():
+    storage = make_storage()
+    queue = IOCPQA.build(storage, [(i, i) for i in range(50)], 8)
+    popped, rest = queue.pop_while(lambda key: key < 20)
+    assert [key for key, _ in popped] == list(range(20))
+    assert rest.min_key() == 20
+    limited, _ = queue.pop_while(lambda key: True, limit=5)
+    assert len(limited) == 5
+
+
+def test_catenate_costs_no_block_transfers():
+    storage = make_storage()
+    first = IOCPQA.build(storage, [(i, None) for i in range(100)], 8)
+    second = IOCPQA.build(storage, [(i + 50.5, None) for i in range(100)], 8)
+    storage.drop_cache()
+    before = storage.snapshot()
+    first.catenate_and_attrite(second)
+    assert (storage.snapshot() - before).total == 0
+
+
+def test_delete_min_reads_each_record_block_once():
+    storage = make_storage()
+    queue = IOCPQA.build(storage, [(i, None) for i in range(128)], 16)
+    storage.drop_cache()
+    before = storage.snapshot()
+    remaining = queue
+    for _ in range(128):
+        _, remaining = remaining.delete_min()
+    reads = (storage.snapshot() - before).reads
+    assert reads <= 128 // 16 + 2
+
+
+def test_space_accounting_and_memory_build():
+    storage = make_storage()
+    queue = IOCPQA.build(storage, [(i, None) for i in range(64)], 8)
+    assert len(queue.reachable_record_blocks()) == 8
+    temp = IOCPQA.build_in_memory(storage, [(3, None), (1, None), (2, None)], 8)
+    assert temp.keys() == [1, 2]
+    assert temp.reachable_record_blocks() == set()
+
+
+def test_record_capacity_validation_and_checker():
+    with pytest.raises(ValueError):
+        IOCPQA(make_storage(), record_capacity=0)
+    storage = make_storage()
+    queue = IOCPQA.build(storage, [(1, None), (2, None)], 4)
+    # Corrupt the cached minimum to confirm the checker notices.
+    from repro.pqa.iocpqa import _RecordLeaf
+
+    bad = IOCPQA(
+        storage,
+        4,
+        _root=_RecordLeaf(
+            block_id=next(iter(queue.reachable_record_blocks())),
+            offset=0,
+            cap=float("inf"),
+            min_item=(99, None),
+        ),
+    )
+    with pytest.raises(InvariantViolation):
+        check_queue_invariants(bad)
+
+
+def test_mixed_operation_fuzz_against_oracle():
+    storage = make_storage()
+    rng = random.Random(9)
+    queues = [IOCPQA.empty(storage, record_capacity=4)]
+    oracles = [SundarPQA()]
+    for step in range(600):
+        index = rng.randrange(len(queues))
+        operation = rng.choice(["insert", "delete", "catenate", "find"])
+        if operation == "insert":
+            key = rng.random()
+            queues[index] = queues[index].insert_and_attrite(key)
+            oracles[index].insert_and_attrite(key, None)
+        elif operation == "delete":
+            item, queues[index] = queues[index].delete_min()
+            expected = oracles[index].delete_min()
+            assert (item is None) == (expected is None)
+            if item is not None:
+                assert item[0] == expected[0]
+        elif operation == "catenate" and len(queues) > 1:
+            other = rng.randrange(len(queues))
+            if other != index:
+                queues[index] = queues[index].catenate_and_attrite(queues[other])
+                oracles[index].catenate_and_attrite(oracles[other])
+                queues.pop(other)
+                oracles.pop(other)
+                if other < index:
+                    index -= 1
+        else:
+            mine = queues[index].find_min()
+            theirs = oracles[index].find_min()
+            assert (mine is None) == (theirs is None)
+            if mine is not None:
+                assert mine[0] == theirs[0]
+        if rng.random() < 0.08:
+            items = [(rng.random(), None) for _ in range(rng.randint(0, 12))]
+            queues.append(IOCPQA.build(storage, items, 4))
+            oracles.append(SundarPQA(items))
+        assert queues[index].keys() == oracles[index].keys()

@@ -1,0 +1,61 @@
+"""Tests for the internal-memory PQA oracle (Sundar)."""
+
+from repro.pqa import SundarPQA
+
+
+def test_empty_queue():
+    queue = SundarPQA()
+    assert queue.is_empty()
+    assert queue.find_min() is None
+    assert queue.delete_min() is None
+    assert queue.keys() == []
+
+
+def test_insert_and_attrite_removes_larger_elements():
+    queue = SundarPQA()
+    for value in [5, 3, 8, 2, 7]:
+        queue.insert_and_attrite(value, payload=str(value))
+    # 5 kills nothing; 3 kills 5; 8 survives; 2 kills 3 and 8; 7 survives.
+    assert queue.keys() == [2, 7]
+    assert queue.items() == [(2, "2"), (7, "7")]
+
+
+def test_delete_min_returns_increasing_sequence():
+    queue = SundarPQA()
+    for value in [9, 4, 6, 1, 5, 8]:
+        queue.insert_and_attrite(value)
+    drained = []
+    while not queue.is_empty():
+        drained.append(queue.delete_min()[0])
+    assert drained == sorted(drained)
+
+
+def test_catenate_and_attrite_semantics():
+    first = SundarPQA([(1, None), (4, None), (9, None)])
+    second = SundarPQA([(5, None), (7, None)])
+    first.catenate_and_attrite(second)
+    assert first.keys() == [1, 4, 5, 7]
+    assert second.is_empty()
+
+    # The whole first queue can be attrited.
+    first = SundarPQA([(5, None), (6, None)])
+    second = SundarPQA([(2, None), (3, None)])
+    first.catenate_and_attrite(second)
+    assert first.keys() == [2, 3]
+
+
+def test_catenate_with_empty_other_is_noop():
+    first = SundarPQA([(1, None), (2, None)])
+    first.catenate_and_attrite(SundarPQA())
+    assert first.keys() == [1, 2]
+
+
+def test_content_is_always_increasing():
+    import random
+
+    rng = random.Random(0)
+    queue = SundarPQA()
+    for _ in range(500):
+        queue.insert_and_attrite(rng.random())
+        keys = queue.keys()
+        assert keys == sorted(keys)

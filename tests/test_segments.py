@@ -1,0 +1,133 @@
+"""Tests for the segment reduction of Section 2 (Sigma(P), Lemma 2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.point import Point, leftmost_dominator
+from repro.em.config import EMConfig
+from repro.em.file import EMFile
+from repro.em.storage import StorageManager
+from repro.segments import (
+    HorizontalSegment,
+    compute_sigma,
+    compute_sigma_emfile,
+    is_monotonic,
+    is_nesting,
+    leftdom_map,
+)
+
+
+def random_points(n, seed):
+    rng = random.Random(seed)
+    xs = rng.sample(range(10 * n), n)
+    ys = rng.sample(range(10 * n), n)
+    return sorted(
+        (Point(x, y, i) for i, (x, y) in enumerate(zip(xs, ys))), key=lambda p: p.x
+    )
+
+
+def test_segment_type_basics():
+    seg = HorizontalSegment(1, 5, 2)
+    assert seg.length == 4 and not seg.is_unbounded
+    assert seg.covers_x(1) and seg.covers_x(4.9) and not seg.covers_x(5)
+    assert seg.intersects_vertical(3, 0, 10)
+    assert not seg.intersects_vertical(3, 3, 10)
+    unbounded = HorizontalSegment(2, math.inf, 1)
+    assert unbounded.is_unbounded and unbounded.covers_x(1e12)
+    with pytest.raises(ValueError):
+        HorizontalSegment(3, 3, 1)
+    assert HorizontalSegment(1, 10, 0).x_interval_contains(HorizontalSegment(2, 5, 1))
+    assert HorizontalSegment(1, 2, 0).x_interval_disjoint(HorizontalSegment(2, 3, 1))
+
+
+def test_sigma_matches_leftdom_definition():
+    points = random_points(120, 3)
+    segments = compute_sigma(points)
+    assert len(segments) == len(points)
+    by_source = {seg.source.ident: seg for seg in segments}
+    for point in points:
+        dominator = leftmost_dominator(point, points)
+        segment = by_source[point.ident]
+        assert segment.x_left == point.x and segment.y == point.y
+        if dominator is None:
+            assert segment.is_unbounded
+        else:
+            assert segment.x_right == dominator.x
+
+
+def test_sigma_requires_sorted_input():
+    with pytest.raises(ValueError):
+        compute_sigma([Point(2, 1), Point(1, 2)])
+
+
+def test_sigma_output_order_is_by_right_endpoint():
+    points = random_points(80, 4)
+    segments = compute_sigma(points)
+    rights = [seg.x_right for seg in segments]
+    assert rights == sorted(rights)
+
+
+def test_leftdom_map():
+    points = [Point(1, 1), Point(2, 5), Point(3, 3), Point(4, 4)]
+    mapping = leftdom_map(points)
+    assert mapping[Point(1, 1)] == Point(2, 5)
+    assert mapping[Point(3, 3)] == Point(4, 4)
+    assert mapping[Point(2, 5)] is None
+    assert mapping[Point(4, 4)] is None
+
+
+def test_sigma_emfile_streaming_matches_in_memory():
+    points = random_points(200, 5)
+    storage = StorageManager(EMConfig(block_size=16, memory_blocks=8))
+    source = EMFile.from_records(storage, points)
+    output, count = compute_sigma_emfile(storage, source)
+    assert count == len(points)
+    streamed = sorted(output.scan(), key=lambda s: (s.x_left, s.y))
+    in_memory = sorted(compute_sigma(points), key=lambda s: (s.x_left, s.y))
+    assert [(s.x_left, s.x_right, s.y) for s in streamed] == [
+        (s.x_left, s.x_right, s.y) for s in in_memory
+    ]
+
+
+def test_sigma_emfile_rejects_unsorted():
+    storage = StorageManager(EMConfig(block_size=16, memory_blocks=8))
+    source = EMFile.from_records(storage, [Point(5, 1), Point(1, 2)])
+    with pytest.raises(ValueError):
+        compute_sigma_emfile(storage, source)
+
+
+def test_nesting_and_monotonic_checkers_detect_violations():
+    good = [HorizontalSegment(0, 10, 5), HorizontalSegment(2, 4, 1)]
+    assert is_nesting(good)
+    crossing = [HorizontalSegment(0, 5, 5), HorizontalSegment(3, 8, 1)]
+    assert not is_nesting(crossing)
+    non_monotonic = [HorizontalSegment(0, 10, 1), HorizontalSegment(2, 4, 5)]
+    assert not is_monotonic(non_monotonic)
+    assert is_monotonic([])
+
+
+coordinate_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=0, max_value=2000),
+    ),
+    min_size=1,
+    max_size=80,
+    unique_by=(lambda t: t[0], lambda t: t[1]),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(coordinate_lists)
+def test_sigma_is_always_nesting_and_monotonic(coords):
+    """Lemma 2 as a property over random point sets."""
+    points = sorted(
+        (Point(x, y, i) for i, (x, y) in enumerate(coords)), key=lambda p: p.x
+    )
+    segments = compute_sigma(points)
+    assert is_nesting(segments)
+    assert is_monotonic(segments, samples=16)

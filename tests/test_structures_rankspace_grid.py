@@ -1,0 +1,148 @@
+"""Tests for the rank-space (Theorem 2) and grid (Corollary 1) structures."""
+
+import random
+
+import pytest
+
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery, TopOpenQuery
+from repro.core.skyline import range_skyline
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.structures import GridTopOpenStructure, RankSpaceTopOpenStructure
+from repro.structures.chunktree import (
+    annotated_skyline,
+    build_chunk_tree,
+    left_siblings,
+    lowest_common_ancestor,
+    path_to_child_of,
+    right_siblings,
+)
+from repro.workloads import grid_permutation_points
+
+
+def make_storage(block_size=16):
+    return StorageManager(EMConfig(block_size=block_size, memory_blocks=32))
+
+
+# ----------------------------------------------------------------------
+# Chunk tree skeleton
+# ----------------------------------------------------------------------
+def test_chunk_tree_shape_and_leaves():
+    root, leaves = build_chunk_tree(5)
+    assert len(leaves) == 8  # padded to a power of two
+    assert root.chunk_lo == 0 and root.chunk_hi == 8
+    assert all(leaf.is_leaf for leaf in leaves)
+    with pytest.raises(ValueError):
+        build_chunk_tree(0)
+
+
+def test_chunk_tree_paths_and_siblings():
+    root, leaves = build_chunk_tree(8)
+    leaf = leaves[5]
+    path = path_to_child_of(leaf, root)
+    assert path[0] is leaf and path[-1].parent is root
+    lefts = left_siblings(path[:-1])
+    rights = right_siblings(path[:-1])
+    covered = set()
+    for node in lefts + rights + [leaf]:
+        covered.update(range(node.chunk_lo, node.chunk_hi))
+    # Left+right siblings of the truncated path plus the leaf tile the half
+    # of the root containing the leaf.
+    assert covered == set(range(4, 8))
+    lca = lowest_common_ancestor(leaves[1], leaves[6])
+    assert lca is root
+    assert lowest_common_ancestor(leaves[4], leaves[5]).chunk_lo == 4
+
+
+def test_annotated_skyline_keeps_sources():
+    groups = [
+        (1, [Point(1, 5), Point(2, 1)]),
+        (2, [Point(3, 4)]),
+    ]
+    result = annotated_skyline(groups)
+    assert [(p.x, p.y, src) for p, src in result] == [(1, 5, 1), (3, 4, 2)]
+
+
+# ----------------------------------------------------------------------
+# Rank-space structure (Theorem 2)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n,block_size", [(64, 8), (200, 16), (500, 16)])
+def test_rankspace_matches_brute_force(n, block_size):
+    points = grid_permutation_points(n, seed=n)
+    structure = RankSpaceTopOpenStructure(
+        make_storage(block_size), points, universe=n
+    )
+    rng = random.Random(n)
+    for _ in range(150):
+        lo, hi = sorted(rng.sample(range(n), 2))
+        beta = rng.randrange(n)
+        query = TopOpenQuery(lo, hi, beta)
+        expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+        got = sorted((p.x, p.y) for p in structure.query(query))
+        assert expected == got
+
+
+def test_rankspace_single_chunk_and_rejection():
+    points = grid_permutation_points(30, seed=1)
+    structure = RankSpaceTopOpenStructure(make_storage(), points, universe=30)
+    query = TopOpenQuery(2, 10, 0)
+    expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+    assert sorted((p.x, p.y) for p in structure.query(query)) == expected
+    with pytest.raises(ValueError):
+        structure.query(FourSidedQuery(0, 1, 0, 1))
+    assert structure.query_top_open(20, 10, 0) == []
+    assert structure.block_count() > 0
+    assert len(structure) == 30
+
+
+def test_rankspace_query_io_independent_of_n():
+    """The O(1 + k/B) claim: I/Os stay flat while n grows 8x."""
+    costs = {}
+    for n in [256, 2048]:
+        points = grid_permutation_points(n, seed=n)
+        storage = make_storage(block_size=32)
+        structure = RankSpaceTopOpenStructure(storage, points, universe=n)
+        total = 0
+        queries = 10
+        for i in range(queries):
+            lo = (i * 13) % (n // 2)
+            query = TopOpenQuery(lo, lo + n // 4, n // 2)
+            storage.drop_cache()
+            before = storage.snapshot()
+            structure.query(query)
+            total += (storage.snapshot() - before).total
+        costs[n] = total / queries
+    assert costs[2048] <= 6 * max(1.0, costs[256])
+
+
+# ----------------------------------------------------------------------
+# Grid structure (Corollary 1)
+# ----------------------------------------------------------------------
+def test_grid_structure_matches_brute_force():
+    universe = 100_000
+    rng = random.Random(11)
+    xs = rng.sample(range(universe), 300)
+    ys = rng.sample(range(universe), 300)
+    points = [Point(x, y, i) for i, (x, y) in enumerate(zip(xs, ys))]
+    structure = GridTopOpenStructure(make_storage(), points, universe=universe)
+    for _ in range(100):
+        lo, hi = sorted(rng.sample(range(universe), 2))
+        beta = rng.randrange(universe)
+        query = TopOpenQuery(lo, hi, beta)
+        expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+        got = sorted((p.x, p.y) for p in structure.query(query))
+        assert expected == got
+    assert structure.predecessor_cost() >= 1
+    assert structure.block_count() > 0
+
+
+def test_grid_structure_validation():
+    with pytest.raises(ValueError):
+        GridTopOpenStructure(make_storage(), [], universe=1)
+    structure = GridTopOpenStructure(make_storage(), [Point(1, 2)], universe=10)
+    with pytest.raises(ValueError):
+        structure.query(FourSidedQuery(0, 1, 0, 1))
+    assert structure.query(TopOpenQuery(0, 5, 0)) == [Point(1, 2)]
+    empty = GridTopOpenStructure(make_storage(), [], universe=10)
+    assert empty.query(TopOpenQuery(0, 5, 0)) == []

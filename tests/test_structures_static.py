@@ -1,0 +1,148 @@
+"""Tests for the static structures: Theorem 1, Lemma 4, Lemma 5."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery, TopOpenQuery
+from repro.core.skyline import range_skyline
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.structures import (
+    FewPointStructure,
+    RayDragStructure,
+    StaticTopOpenStructure,
+)
+
+
+def make_storage(block_size=16):
+    return StorageManager(EMConfig(block_size=block_size, memory_blocks=32))
+
+
+def random_points(n, universe, seed):
+    rng = random.Random(seed)
+    xs = rng.sample(range(universe), n)
+    ys = rng.sample(range(universe), n)
+    return [Point(x, y, i) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+def answers_match(points, structure, queries):
+    for query in queries:
+        expected = sorted((p.x, p.y) for p in range_skyline(points, query))
+        got = sorted((p.x, p.y) for p in structure.query(query))
+        if expected != got:
+            return False
+    return True
+
+
+def random_top_open_queries(universe, count, seed):
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        lo, hi = sorted(rng.sample(range(-5, universe + 5), 2))
+        queries.append(TopOpenQuery(lo, hi, rng.uniform(-5, universe + 5)))
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Ray dragging (Lemma 4)
+# ----------------------------------------------------------------------
+def test_raydrag_matches_brute_force():
+    points = random_points(250, 3000, 1)
+    structure = RayDragStructure(make_storage(), points, universe=3000)
+    rng = random.Random(2)
+    for _ in range(200):
+        alpha = rng.uniform(-10, 3010)
+        beta = rng.uniform(-10, 3010)
+        expected = None
+        for p in points:
+            if p.x <= alpha and p.y >= beta and (expected is None or p.x > expected.x):
+                expected = p
+        got = structure.drag_left(alpha, beta)
+        assert (got is None) == (expected is None)
+        if expected is not None:
+            assert got.x == expected.x and got.y == expected.y
+
+
+def test_raydrag_empty_and_space():
+    empty = RayDragStructure(make_storage(), [], universe=10)
+    assert empty.drag_left(5, 5) is None
+    assert empty.block_count() == 0
+    points = random_points(300, 2000, 3)
+    structure = RayDragStructure(make_storage(block_size=32), points, universe=2000)
+    assert structure.block_count() <= 4 * (len(points) / 32 + 1)
+    assert len(structure) == 300
+
+
+# ----------------------------------------------------------------------
+# Few-point structure (Lemma 5)
+# ----------------------------------------------------------------------
+def test_fewpoint_matches_brute_force():
+    points = random_points(200, 1000, 4)
+    structure = FewPointStructure(make_storage(), points, universe=1000)
+    queries = random_top_open_queries(1000, 200, 5)
+    assert answers_match(points, structure, queries)
+
+
+def test_fewpoint_rejects_non_top_open_and_handles_empty():
+    structure = FewPointStructure(make_storage(), [], universe=10)
+    assert structure.query(TopOpenQuery(0, 5, 0)) == []
+    assert structure.x_range() == (math.inf, -math.inf)
+    populated = FewPointStructure(make_storage(), [Point(1, 1)], universe=10)
+    with pytest.raises(ValueError):
+        populated.query(FourSidedQuery(0, 1, 0, 1))
+    assert populated.lowest_result_point(5, 0) == Point(1, 1)
+
+
+# ----------------------------------------------------------------------
+# Static top-open structure (Theorem 1)
+# ----------------------------------------------------------------------
+def test_static_topopen_matches_brute_force():
+    points = random_points(400, 5000, 6)
+    structure = StaticTopOpenStructure(make_storage(), points)
+    queries = random_top_open_queries(5000, 200, 7)
+    assert answers_match(points, structure, queries)
+
+
+def test_static_topopen_contour_and_dominance_helpers():
+    points = random_points(150, 2000, 8)
+    structure = StaticTopOpenStructure(make_storage(), points)
+    contour = structure.query_contour(1000)
+    expected = range_skyline(points, TopOpenQuery(-math.inf, 1000, -math.inf))
+    assert sorted((p.x, p.y) for p in contour) == sorted((p.x, p.y) for p in expected)
+    dominance = structure.query_dominance(500, 500)
+    expected = [
+        p
+        for p in range_skyline(points, TopOpenQuery(500, math.inf, 500))
+    ]
+    assert sorted((p.x, p.y) for p in dominance) == sorted((p.x, p.y) for p in expected)
+
+
+def test_static_topopen_rejects_non_top_open():
+    structure = StaticTopOpenStructure(make_storage(), [Point(1, 1)])
+    with pytest.raises(ValueError):
+        structure.query(FourSidedQuery(0, 1, 0, 1))
+
+
+def test_static_topopen_sorted_build_is_linear_io():
+    points = sorted(random_points(600, 8000, 9), key=lambda p: p.x)
+    storage = make_storage(block_size=32)
+    structure = StaticTopOpenStructure.build_sorted(storage, points)
+    # The construction touches O(n/B) blocks with a moderate constant.
+    assert structure.construction_io <= 20 * (len(points) / 32 + 1)
+    assert len(structure) == 600
+    assert structure.block_count() > 0
+
+
+def test_static_topopen_query_io_is_logarithmic_plus_output():
+    points = sorted(random_points(1000, 20000, 10), key=lambda p: p.x)
+    storage = make_storage(block_size=32)
+    structure = StaticTopOpenStructure.build_sorted(storage, points)
+    query = TopOpenQuery(2000, 15000, 10000)
+    storage.drop_cache()
+    before = storage.snapshot()
+    result = structure.query(query)
+    io = (storage.snapshot() - before).total
+    assert io <= 10 + 4 * (len(result) / 32 + 1)

@@ -1,0 +1,81 @@
+"""Tests for the workload generators and the benchmark harness."""
+
+from repro.bench import BenchmarkTable, measure_build, measure_queries, measure_updates
+from repro.bench.harness import make_storage
+from repro.core.point import Point, in_general_position
+from repro.core.queries import classify
+from repro.structures import StaticTopOpenStructure
+from repro.workloads import (
+    anti_dominance_queries,
+    anticorrelated_points,
+    clustered_points,
+    correlated_points,
+    four_sided_queries,
+    grid_permutation_points,
+    top_open_queries,
+    uniform_points,
+)
+
+
+def test_point_generators_produce_general_position():
+    for generator in [uniform_points, correlated_points, anticorrelated_points, clustered_points]:
+        points = generator(200, seed=1)
+        assert len(points) == 200
+        assert in_general_position(points)
+
+
+def test_generators_are_deterministic_per_seed():
+    assert uniform_points(50, seed=7) == uniform_points(50, seed=7)
+    assert uniform_points(50, seed=7) != uniform_points(50, seed=8)
+
+
+def test_correlation_shapes():
+    from repro.core.skyline import skyline
+
+    correlated = correlated_points(400, seed=2)
+    anticorrelated = anticorrelated_points(400, seed=2)
+    assert len(skyline(anticorrelated)) > len(skyline(correlated))
+
+
+def test_grid_permutation_is_a_permutation():
+    points = grid_permutation_points(100, seed=3)
+    assert sorted(int(p.x) for p in points) == list(range(100))
+    assert sorted(int(p.y) for p in points) == list(range(100))
+
+
+def test_query_generators_shapes():
+    points = uniform_points(100, seed=4)
+    tops = top_open_queries(points, 10, seed=4)
+    fours = four_sided_queries(points, 10, seed=4)
+    antis = anti_dominance_queries(points, 10, seed=4)
+    assert all(classify(q) == "top-open" for q in tops)
+    assert all(classify(q) == "4-sided" for q in fours)
+    assert all(classify(q) == "anti-dominance" for q in antis)
+    assert len(tops) == len(fours) == len(antis) == 10
+
+
+def test_benchmark_table_rendering_and_ratios():
+    table = BenchmarkTable("demo")
+    table.add(measured_io=10.0, predicted=5.0, n=100)
+    table.add(measured_io=20.0, predicted=10.0, n=200)
+    table.add(measured_io=3.0, predicted=None, n=300)
+    text = table.render()
+    assert "demo" in text and "measured I/O" in text and "300" in text
+    assert table.ratios() == [2.0, 2.0]
+    assert table.max_ratio_spread() == 1.0
+    assert table.measured_values() == [10.0, 20.0, 3.0]
+    assert table.column_names() == ["n"]
+
+
+def test_measure_helpers_count_io():
+    storage = make_storage(block_size=16, memory_blocks=8)
+    points = sorted(uniform_points(200, seed=5), key=lambda p: p.x)
+    structure, build_io = measure_build(
+        storage, lambda: StaticTopOpenStructure.build_sorted(storage, points)
+    )
+    assert build_io >= 0
+    queries = top_open_queries(points, 5, seed=5)
+    io_per_query, avg_k = measure_queries(storage, structure, queries)
+    assert io_per_query >= 0 and avg_k >= 0
+    update_io = measure_updates(storage, lambda p: None, uniform_points(5, seed=6))
+    assert update_io == 0
