@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import RangeSkylineIndex
 from repro.bench import BenchmarkTable, measure_queries
 from repro.bench.harness import make_storage
 from repro.structures.foursided import FourSidedStructure, four_sided_query_bound
@@ -55,3 +56,41 @@ def test_foursided_query_shape(benchmark, sweep_table, capsys):
     structure = FourSidedStructure(storage, points, epsilon=0.5)
     query = four_sided_queries(points, 1, selectivity=0.4, seed=5)[0]
     benchmark(lambda: structure.query(query))
+
+
+def test_query_many_batches_match_and_share_warmth(capsys):
+    """The facade's batch API answers like sequential queries, cheaper.
+
+    ``RangeSkylineIndex.query_many`` orders the batch by (variant, x_lo),
+    so consecutive 4-sided queries descend overlapping base-tree paths;
+    with a warm buffer pool the batch never costs more block transfers
+    than the same queries issued cold one at a time.
+    """
+    n = 2048
+    storage = make_storage(block_size=BLOCK_SIZE)
+    points = uniform_points(n, seed=n)
+    index = RangeSkylineIndex(storage, points)
+    queries = four_sided_queries(points, QUERIES_PER_CONFIG, selectivity=0.4, seed=n)
+
+    sequential_io = 0
+    sequential = []
+    for query in queries:
+        storage.drop_cache()
+        before = storage.io_total()
+        sequential.append(index.query(query))
+        sequential_io += storage.io_total() - before
+
+    storage.drop_cache()
+    before = storage.io_total()
+    batch = index.query_many(queries)
+    batch_io = storage.io_total() - before
+
+    assert [sorted((p.x, p.y) for p in r) for r in batch] == [
+        sorted((p.x, p.y) for p in r) for r in sequential
+    ]
+    assert batch_io <= sequential_io
+    with capsys.disabled():
+        print(
+            f"\nquery_many: {batch_io} I/Os for the batch vs "
+            f"{sequential_io} cold sequential"
+        )

@@ -1,0 +1,131 @@
+"""Traffic simulation: a sharded skyline service under mixed read/write load.
+
+Run with::
+
+    python examples/service_traffic_sim.py
+
+The simulation drives a :class:`repro.service.SkylineService` the way a
+product-search tier would be driven: every tick delivers a *batch* of
+range-skyline queries (a Zipf-skewed mix of hot windows and fresh
+rectangles) interleaved with a trickle of catalogue updates (new offers
+inserted, stale offers deleted).  Writes land in the in-memory delta and
+the service compacts -- rebuilding and re-balancing its shards -- whenever
+the delta passes the configured threshold.  Each tick prints the served
+queries, the result-cache hit rate, the block transfers charged across all
+shard machines, and the delta fill; a final summary checks the service
+against the in-memory reference skyline.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import FourSidedQuery, Point, RangeQuery, TopOpenQuery
+from repro.core.skyline import range_skyline
+from repro.service import ServiceConfig, SkylineService
+from repro.workloads import clustered_points
+
+TICKS = 12
+QUERIES_PER_TICK = 40
+WRITES_PER_TICK = 18
+HOT_WINDOWS = 10
+UNIVERSE = 1_000_000
+
+
+def make_hot_windows(rng: random.Random, count: int):
+    windows = []
+    for _ in range(count):
+        width = rng.uniform(0.01, 0.04) * UNIVERSE
+        start = rng.uniform(0, UNIVERSE - width)
+        beta = rng.uniform(0, UNIVERSE)
+        if rng.random() < 0.6:
+            windows.append(TopOpenQuery(start, start + width, beta))
+        else:
+            windows.append(
+                FourSidedQuery(start, start + width, beta * 0.5, beta * 0.5 + 0.3 * UNIVERSE)
+            )
+    return windows
+
+
+def tick_queries(rng: random.Random, windows):
+    """Zipf-skewed repeats of the hot windows plus a few one-off rectangles."""
+    weights = [1.0 / (rank + 1) for rank in range(len(windows))]
+    queries = rng.choices(windows, weights=weights, k=QUERIES_PER_TICK - 4)
+    for _ in range(4):
+        a, b = sorted(rng.uniform(0, UNIVERSE) for _ in range(2))
+        queries.append(TopOpenQuery(a, b, rng.uniform(0, UNIVERSE)))
+    return queries
+
+
+def main() -> None:
+    rng = random.Random(2013)
+    points = clustered_points(8_000, universe=UNIVERSE, seed=7)
+    service = SkylineService(
+        points,
+        ServiceConfig(
+            shard_count=8,
+            block_size=32,
+            memory_blocks=32,
+            delta_threshold=48,
+            cache_capacity=512,
+        ),
+    )
+    live = list(points)
+    next_ident = len(points)
+    windows = make_hot_windows(rng, HOT_WINDOWS)
+
+    print(f"serving {len(service)} points from {len(service.shards)} shards")
+    header = (
+        f"{'tick':>4} {'queries':>8} {'hit rate':>9} {'coalesced':>10} "
+        f"{'I/Os':>6} {'delta':>6} {'compactions':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for tick in range(TICKS):
+        # Read batch.
+        before = service.io_total()
+        batch = tick_queries(rng, windows)
+        service.query_many(batch)
+        tick_io = service.io_total() - before
+
+        # Bursty writes every third tick: 2/3 inserts at off-grid
+        # coordinates, 1/3 deletes.  Read-only ticks in between are served
+        # straight from the result cache (writes invalidate it by bumping
+        # the delta version embedded in every cache key).
+        if tick % 3 == 0:
+            for w in range(WRITES_PER_TICK):
+                if w % 3 < 2:
+                    point = Point(
+                        rng.randrange(UNIVERSE) + 0.5,
+                        rng.uniform(0, UNIVERSE),
+                        next_ident,
+                    )
+                    try:
+                        service.insert(point)
+                    except ValueError:
+                        continue  # coordinate collision with a live point
+                    live.append(point)
+                    next_ident += 1
+                elif live:
+                    victim = live.pop(rng.randrange(len(live)))
+                    service.delete(victim)
+
+        print(
+            f"{tick:>4} {len(batch):>8} {service.cache.hit_rate():>9.2f} "
+            f"{service.coalesced:>10} {tick_io:>6} {len(service.delta):>6} "
+            f"{service.compactions:>12}"
+        )
+
+    status = service.describe()
+    print("\nfinal state:")
+    for key in ("shard_sizes", "live_points", "compactions", "cache_hit_rate", "io_total"):
+        print(f"  {key}: {status[key]}")
+
+    reference = sorted((p.x, p.y) for p in range_skyline(live, RangeQuery()))
+    served = sorted((p.x, p.y) for p in service.skyline())
+    assert served == reference, "service skyline diverged from the reference"
+    print(f"\nskyline of the live catalogue: {len(served)} points (verified)")
+
+
+if __name__ == "__main__":
+    main()

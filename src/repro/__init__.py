@@ -37,9 +37,22 @@ from repro.em.storage import StorageManager
 from repro.pqa.iocpqa import IOCPQA
 from repro.pqa.sundar import SundarPQA
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    # The service tier (repro.service) imports RangeSkylineIndex from this
+    # package, so its names are resolved lazily to avoid an import cycle.
+    if name in ("SkylineService", "ServiceConfig"):
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "SkylineService",
+    "ServiceConfig",
     "Point",
     "RangeQuery",
     "TopOpenQuery",

@@ -15,7 +15,7 @@ axes), exactly as Theorem 6 uses right-open structures internally.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.point import Point
 from repro.core.queries import RangeQuery, classify
@@ -91,6 +91,25 @@ class RangeSkylineIndex:
             query.x_lo, query.x_hi, query.y_lo, query.y_hi
         )
 
+    def query_many(self, queries: Sequence[RangeQuery]) -> List[List[Point]]:
+        """Answer a batch of queries; ``result[i]`` answers ``queries[i]``.
+
+        The batch is executed grouped by query variant and, within a group,
+        in increasing ``x_lo`` order, so consecutive queries descend through
+        the same structure along nearby root-to-leaf paths and reuse warm
+        buffer-pool frames.  :class:`repro.service.SkylineService` exposes the
+        same method, so callers can swap a monolithic index for the sharded
+        service without changing the calling code.
+        """
+        order = sorted(
+            range(len(queries)),
+            key=lambda i: (classify(queries[i]), queries[i].x_lo, queries[i].y_lo),
+        )
+        results: List[Optional[List[Point]]] = [None] * len(queries)
+        for i in order:
+            results[i] = self.query(queries[i])
+        return results  # type: ignore[return-value]
+
     def skyline(self) -> List[Point]:
         """The skyline of the whole point set."""
         return self._top_open.query_top_open(float("-inf"), float("inf"), float("-inf"))
@@ -107,15 +126,28 @@ class RangeSkylineIndex:
         self._four_sided.insert(point)
 
     def delete(self, point: Point) -> bool:
-        """Delete a point by coordinates (requires ``dynamic=True``)."""
+        """Delete a point by coordinates (requires ``dynamic=True``).
+
+        Exactly one stored point is removed: among the points matching the
+        coordinates, one whose ``ident`` equals ``point.ident`` is preferred,
+        so deleting ``Point(x, y, 7)`` never silently drops a coordinate
+        twin ``Point(x, y, 8)``.
+        """
         self._require_dynamic()
         removed = self._top_open.delete(point)
         if removed:
             self._right_open.delete(_swap(point))
             self._four_sided.delete(point)
-            self.points = [
-                p for p in self.points if not (p.x == point.x and p.y == point.y)
-            ]
+            victim = None
+            for index, p in enumerate(self.points):
+                if p.x == point.x and p.y == point.y:
+                    if p.ident == point.ident:
+                        victim = index
+                        break
+                    if victim is None:
+                        victim = index
+            if victim is not None:
+                del self.points[victim]
         return removed
 
     def _require_dynamic(self) -> None:
@@ -133,3 +165,15 @@ class RangeSkylineIndex:
     def io_total(self) -> int:
         """Block transfers charged to the underlying simulated machine so far."""
         return self.storage.io_total()
+
+
+def __getattr__(name: str):
+    # Lazy re-export of the service tier.  ``repro.service`` builds on this
+    # module, so a top-level import here would be circular; resolving the
+    # names on first attribute access keeps ``from repro.api import
+    # SkylineService`` working without the cycle.
+    if name in ("SkylineService", "ServiceConfig"):
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

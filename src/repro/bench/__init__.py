@@ -7,7 +7,7 @@ I/Os, the theoretical bound, and their ratio (which should stay roughly
 constant across the sweep when the claimed shape holds).
 """
 
-from repro.bench.reporting import BenchmarkRow, BenchmarkTable
+from repro.bench.reporting import BenchmarkRow, BenchmarkTable, write_json_report
 from repro.bench.harness import (
     average_query_ios,
     measure_build,
@@ -22,4 +22,5 @@ __all__ = [
     "measure_build",
     "measure_updates",
     "average_query_ios",
+    "write_json_report",
 ]

@@ -1,0 +1,279 @@
+"""Monolithic index vs. sharded service: batch I/O and wall-clock sweeps.
+
+Two experiments, both replaying identical query batches through
+``RangeSkylineIndex.query_many`` and ``SkylineService.query_many`` and
+verifying the answers agree before recording a row:
+
+1. :func:`run_prunable_sweep` (asserted by ``benchmarks/bench_service.py``)
+   -- *shard-prunable* workloads: narrow top-open rectangles (x-extent well
+   under one shard's range) measured cold-cache per query, the worst-case
+   regime the paper's bounds describe.  The router prunes every shard whose
+   x-range misses the query, and the one or two shards that serve it hold
+   ``shard_count`` times fewer points, so their structures are shallower:
+   sharded ``query_many`` performs fewer total block transfers than the
+   monolithic index at every shard count.
+
+2. :func:`run_traffic_sweep` (informational) -- warm Zipf-repeat traffic
+   over hot windows with the result cache on, the regime a long-running
+   service lives in.  Note the memory asymmetry inherent to scale-out:
+   each shard node has its own ``memory_blocks``-frame pool, so aggregate
+   cache grows with the shard count, while the monolithic index has one
+   pool.
+
+``benchmarks/bench_service.py`` persists both tables to
+``BENCH_service.json`` via :func:`repro.bench.reporting.write_json_report`
+so future PRs can track the performance trajectory.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.api import RangeSkylineIndex
+from repro.bench.reporting import BenchmarkTable
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery, RangeQuery, TopOpenQuery
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.service import ServiceConfig, SkylineService
+from repro.workloads import (
+    anticorrelated_points,
+    clustered_points,
+    correlated_points,
+    top_open_queries,
+    uniform_points,
+)
+
+WORKLOADS: Dict[str, Callable[..., List[Point]]] = {
+    "uniform": uniform_points,
+    "correlated": correlated_points,
+    "anticorrelated": anticorrelated_points,
+    "clustered": clustered_points,
+}
+
+Summary = Dict[str, Dict[str, float]]
+
+
+def _canonical(results: Sequence[Sequence[Point]]) -> List[List[Tuple[float, float]]]:
+    return [sorted((p.x, p.y) for p in result) for result in results]
+
+
+def _check(expected, got, context: str) -> None:
+    if _canonical(got) != _canonical(expected):
+        raise AssertionError(f"sharded answers diverge ({context})")
+
+
+def run_prunable_sweep(
+    n: int = 8192,
+    shard_counts: Sequence[int] = (4, 8, 16),
+    query_count: int = 24,
+    selectivity: float = 0.01,
+    block_size: int = 16,
+    memory_blocks: int = 32,
+    seed: int = 0,
+    workloads: Sequence[str] = ("uniform", "correlated", "anticorrelated", "clustered"),
+) -> Tuple[BenchmarkTable, Summary]:
+    """Cold-cache narrow top-open batches: the shard-pruning win.
+
+    Returns the table plus a summary mapping each workload to the batch
+    I/O total of the monolithic engine (``"monolithic"``) and of every
+    sharded engine (``"shards=K"``).
+    """
+    table = BenchmarkTable(
+        f"Shard-prunable batches, cold cache -- top-open, n={n}, B={block_size}, "
+        f"{query_count} queries, selectivity={selectivity}"
+    )
+    summary: Summary = {}
+    for workload in workloads:
+        points = WORKLOADS[workload](n, seed=seed + n)
+        queries: List[RangeQuery] = list(
+            top_open_queries(points, query_count, selectivity=selectivity, seed=seed)
+        )
+        cell = summary.setdefault(workload, {})
+
+        mono_storage = StorageManager(
+            EMConfig(block_size=block_size, memory_blocks=memory_blocks)
+        )
+        mono = RangeSkylineIndex(mono_storage, points)
+        mono_io, mono_ms, expected = _measure_cold(
+            lambda qs: mono.query_many(qs),
+            drop=mono_storage.drop_cache,
+            snapshot=mono_storage.io_total,
+            queries=queries,
+        )
+        cell["monolithic"] = mono_io
+        table.add(
+            measured_io=mono_io,
+            workload=workload,
+            engine="monolithic",
+            wall_ms=round(mono_ms, 2),
+            avg_k=round(sum(len(r) for r in expected) / len(expected), 1),
+        )
+
+        for shard_count in shard_counts:
+            service = SkylineService(
+                points,
+                ServiceConfig(
+                    shard_count=shard_count,
+                    block_size=block_size,
+                    memory_blocks=memory_blocks,
+                ),
+            )
+            sharded_io, sharded_ms, got = _measure_cold(
+                lambda qs: service.query_many(qs, use_cache=False),
+                drop=service.drop_caches,
+                snapshot=service.io_total,
+                queries=queries,
+            )
+            _check(expected, got, f"prunable/{workload}/shards={shard_count}")
+            cell[f"shards={shard_count}"] = sharded_io
+            table.add(
+                measured_io=sharded_io,
+                workload=workload,
+                engine=f"shards={shard_count}",
+                wall_ms=round(sharded_ms, 2),
+                avg_k=round(sum(len(r) for r in got) / len(got), 1),
+            )
+    return table, summary
+
+
+def run_traffic_sweep(
+    n: int = 4096,
+    shard_counts: Sequence[int] = (4, 8),
+    query_count: int = 128,
+    batch_size: int = 16,
+    hot_windows: int = 16,
+    selectivity: float = 0.02,
+    block_size: int = 16,
+    memory_blocks: int = 32,
+    seed: int = 0,
+    workloads: Sequence[str] = ("uniform", "clustered"),
+) -> Tuple[BenchmarkTable, Summary]:
+    """Warm Zipf-repeat traffic in batches, result cache on (informational).
+
+    The batch stream repeats hot windows, so the service serves most of
+    the later batches from its result cache (and coalesces duplicates
+    within a batch) while the monolithic index pays its buffer pool's
+    luck per repeat.
+    """
+    table = BenchmarkTable(
+        f"Hot-window traffic, warm pools + result cache -- n={n}, B={block_size}, "
+        f"{query_count} queries over {hot_windows} windows, "
+        f"batches of {batch_size}"
+    )
+    summary: Summary = {}
+    for workload in workloads:
+        points = WORKLOADS[workload](n, seed=seed + n)
+        queries = _zipf_traffic(points, query_count, hot_windows, selectivity, seed)
+        batches = [
+            queries[start : start + batch_size]
+            for start in range(0, len(queries), batch_size)
+        ]
+        cell = summary.setdefault(workload, {})
+
+        mono_storage = StorageManager(
+            EMConfig(block_size=block_size, memory_blocks=memory_blocks)
+        )
+        mono = RangeSkylineIndex(mono_storage, points)
+        mono_storage.drop_cache()
+        before = mono_storage.io_total()
+        start = time.perf_counter()
+        expected: List[List[Point]] = []
+        for batch in batches:
+            expected.extend(mono.query_many(batch))
+        mono_ms = (time.perf_counter() - start) * 1000.0
+        mono_io = mono_storage.io_total() - before
+        cell["monolithic"] = mono_io
+        table.add(
+            measured_io=mono_io,
+            workload=workload,
+            engine="monolithic",
+            wall_ms=round(mono_ms, 2),
+            cache_hit_rate="-",
+        )
+
+        for shard_count in shard_counts:
+            service = SkylineService(
+                points,
+                ServiceConfig(
+                    shard_count=shard_count,
+                    block_size=block_size,
+                    memory_blocks=memory_blocks,
+                ),
+            )
+            service.drop_caches()
+            before = service.io_total()
+            start = time.perf_counter()
+            got: List[List[Point]] = []
+            for batch in batches:
+                got.extend(service.query_many(batch))
+            sharded_ms = (time.perf_counter() - start) * 1000.0
+            sharded_io = service.io_total() - before
+            _check(expected, got, f"traffic/{workload}/shards={shard_count}")
+            cell[f"shards={shard_count}"] = sharded_io
+            table.add(
+                measured_io=sharded_io,
+                workload=workload,
+                engine=f"shards={shard_count}",
+                wall_ms=round(sharded_ms, 2),
+                cache_hit_rate=round(service.cache.hit_rate(), 2),
+            )
+    return table, summary
+
+
+def _zipf_traffic(
+    points: Sequence[Point],
+    count: int,
+    windows: int,
+    selectivity: float,
+    seed: int,
+) -> List[RangeQuery]:
+    """Repeat-heavy traffic: ``count`` draws over ``windows`` hot rectangles."""
+    rng = random.Random(seed)
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    width = (x_hi - x_lo) * selectivity
+    pool: List[RangeQuery] = []
+    for _ in range(windows):
+        start = rng.uniform(x_lo, x_hi - width)
+        beta = rng.uniform(y_lo, y_hi)
+        if rng.random() < 0.5:
+            pool.append(TopOpenQuery(start, start + width, beta))
+        else:
+            pool.append(
+                FourSidedQuery(
+                    start, start + width, beta, beta + (y_hi - y_lo) * 0.3
+                )
+            )
+    weights = [1.0 / (rank + 1) for rank in range(windows)]
+    return rng.choices(pool, weights=weights, k=count)
+
+
+def _measure_cold(
+    run: Callable[[List[RangeQuery]], List[List[Point]]],
+    drop: Callable[[], None],
+    snapshot: Callable[[], int],
+    queries: Sequence[RangeQuery],
+) -> Tuple[int, float, List[List[Point]]]:
+    """Per-query cold-cache measurement of a batch: (I/Os, ms, results).
+
+    Caches are dropped before every query so the totals reflect the
+    worst-case per-query cost the paper's bounds describe, with no
+    cross-query reuse for either engine.
+    """
+    io = 0
+    elapsed = 0.0
+    results: List[List[Point]] = []
+    for query in queries:
+        drop()
+        before = snapshot()
+        start = time.perf_counter()
+        batch = run([query])
+        elapsed += time.perf_counter() - start
+        io += snapshot() - before
+        results.extend(batch)
+    return io, elapsed * 1000.0, results

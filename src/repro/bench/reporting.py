@@ -1,7 +1,10 @@
-"""Tabular reporting of benchmark results."""
+"""Tabular and machine-readable (JSON) reporting of benchmark results."""
 
 from __future__ import annotations
 
+import json
+import platform
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -79,6 +82,25 @@ class BenchmarkTable:
         return str(value)
 
     # ------------------------------------------------------------------
+    # Machine-readable output
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable representation of the table."""
+        return {
+            "title": self.title,
+            "columns": self.column_names(),
+            "rows": [
+                {
+                    "params": dict(row.params),
+                    "measured_io": row.measured_io,
+                    "predicted": row.predicted,
+                    "ratio": row.ratio,
+                }
+                for row in self.rows
+            ],
+        }
+
+    # ------------------------------------------------------------------
     # Shape checks used by the benchmark assertions
     # ------------------------------------------------------------------
     def ratios(self) -> List[float]:
@@ -93,3 +115,27 @@ class BenchmarkTable:
 
     def measured_values(self) -> List[float]:
         return [row.measured_io for row in self.rows]
+
+
+def write_json_report(
+    tables: Sequence[BenchmarkTable],
+    path: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write benchmark tables to ``path`` as JSON and return the payload.
+
+    The payload is versioned (``schema``) and stamped with the run time and
+    interpreter, so successive PRs can track the performance trajectory by
+    diffing e.g. ``BENCH_service.json`` files produced by the same sweep.
+    """
+    payload: Dict[str, object] = {
+        "schema": 1,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "meta": dict(meta or {}),
+        "tables": [table.to_dict() for table in tables],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -1,0 +1,75 @@
+"""Batch execution: per-shard worklists, locality ordering, thread fan-out.
+
+``query_many`` work is regrouped from *per-query* to *per-shard*: every
+(query, shard) pair the router produces is appended to the owning shard's
+worklist, each worklist is sorted by (variant, x_lo, y_lo) so consecutive
+sub-queries walk nearby root-to-leaf paths of the same structure and reuse
+warm buffer-pool frames, and then the worklists execute -- sequentially by
+default, or one worker thread per shard when the service is configured with
+``parallelism > 1``.  Parallelising across shards (never within one) means
+no two threads ever touch the same simulated machine, so no locking of the
+per-shard buffer pools is needed; only the shared I/O counters are raced,
+which is why exact-measurement benchmarks keep ``parallelism=1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery, classify
+
+# One unit of shard-local work: the index of the query in the caller's batch
+# plus the query itself.
+WorkItem = Tuple[int, RangeQuery]
+ShardQueryFn = Callable[[int, RangeQuery], List[Point]]
+
+
+def build_worklists(
+    indexed_queries: Sequence[WorkItem],
+    shard_ids_by_position: Mapping[int, Sequence[int]],
+) -> Dict[int, List[WorkItem]]:
+    """Group a query batch into per-shard worklists in locality order.
+
+    ``shard_ids_by_position`` carries the router's (already computed)
+    overlapping-shard list for every query position, so routing happens
+    exactly once per query.
+    """
+    worklists: Dict[int, List[WorkItem]] = {}
+    for position, query in indexed_queries:
+        for sid in shard_ids_by_position[position]:
+            worklists.setdefault(sid, []).append((position, query))
+    for items in worklists.values():
+        items.sort(key=lambda item: (classify(item[1]), item[1].x_lo, item[1].y_lo))
+    return worklists
+
+
+def execute_worklists(
+    worklists: Dict[int, List[WorkItem]],
+    shard_query: ShardQueryFn,
+    parallelism: int = 1,
+) -> Dict[Tuple[int, int], List[Point]]:
+    """Run every worklist; returns ``(query position, sid) -> local result``.
+
+    With ``parallelism > 1`` shards are fanned out across a thread pool,
+    one worker per shard at most.
+    """
+    results: Dict[Tuple[int, int], List[Point]] = {}
+
+    def run_shard(sid: int) -> List[Tuple[Tuple[int, int], List[Point]]]:
+        return [
+            ((position, sid), shard_query(sid, query))
+            for position, query in worklists[sid]
+        ]
+
+    shard_ids = sorted(worklists)
+    workers = min(parallelism, len(shard_ids))
+    if workers <= 1:
+        for sid in shard_ids:
+            results.update(run_shard(sid))
+        return results
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for shard_results in pool.map(run_shard, shard_ids):
+            results.update(shard_results)
+    return results

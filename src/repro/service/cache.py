@@ -1,0 +1,82 @@
+"""An LRU cache of query results keyed by shard epochs and delta version.
+
+A cached answer is only ever returned for the exact generation of data it
+was computed against: the key embeds the epoch of every shard the query
+touches plus the delta version, both of which advance on writes and
+compactions.  Stale entries thus become unreachable immediately and age out
+of the LRU; :meth:`ResultCache.invalidate_all` additionally drops them
+eagerly (the service calls it on compaction, when whole generations die at
+once).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+
+CacheKey = Tuple[Hashable, ...]
+
+
+def make_key(
+    query: RangeQuery,
+    shard_epochs: Sequence[Tuple[int, int]],
+    delta_version: int,
+) -> CacheKey:
+    """Cache key: the query rectangle plus the data generation it reads.
+
+    ``shard_epochs`` is the (sid, epoch) of every shard the query overlaps.
+    """
+    return (
+        query.x_lo,
+        query.x_hi,
+        query.y_lo,
+        query.y_hi,
+        tuple(shard_epochs),
+        delta_version,
+    )
+
+
+class ResultCache:
+    """A bounded LRU mapping cache keys to result lists."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, List[Point]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[List[Point]]:
+        """The cached result, refreshed to most-recently-used; None on miss."""
+        if self.capacity <= 0:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return list(entry)
+
+    def put(self, key: CacheKey, result: Sequence[Point]) -> None:
+        """Store a result, evicting the least-recently-used beyond capacity."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = list(result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_all(self) -> None:
+        """Eagerly drop every entry (epoch keys already make them stale)."""
+        self._entries.clear()
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none happened)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,73 @@
+"""Tunables of the sharded skyline service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.em.config import EMConfig
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Parameters of a :class:`repro.service.SkylineService`.
+
+    Attributes
+    ----------
+    shard_count:
+        Number of x-range shards the point set is partitioned into.
+    block_size:
+        ``B`` of every shard's simulated machine (records per block).
+    memory_blocks:
+        Buffer-pool frames of *each shard's* machine.  The service models a
+        scale-out deployment -- every shard runs on its own node with its
+        own buffer pool -- so the aggregate cache grows with the shard
+        count, exactly as adding servers grows a cluster's RAM.  Cold-cache
+        benchmarks are unaffected (they drop every pool before measuring);
+        warm comparisons against a monolithic index should state this
+        asymmetry, as ``repro.bench.bench_service`` does.
+    epsilon:
+        The query/update trade-off knob forwarded to every shard's
+        :class:`repro.RangeSkylineIndex`.
+    delta_threshold:
+        Once the in-memory delta (pending inserts plus tombstones) reaches
+        this many entries, the next write triggers :meth:`SkylineService
+        .compact` (when ``auto_compact`` is on).
+    cache_capacity:
+        Maximum number of query results kept in the LRU result cache
+        (0 disables caching).
+    parallelism:
+        Worker threads for batch execution; 1 executes shard worklists
+        sequentially (the default, which keeps I/O accounting exact --
+        the shared I/O counters are not synchronised).
+    auto_compact:
+        Whether writes trigger compaction as soon as the delta exceeds
+        ``delta_threshold``.  Turn off to drive :meth:`compact` from an
+        external scheduler, as a real service would.
+    """
+
+    shard_count: int = 4
+    block_size: int = 64
+    memory_blocks: int = 32
+    epsilon: float = 0.5
+    delta_threshold: int = 128
+    cache_capacity: int = 256
+    parallelism: int = 1
+    auto_compact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {self.shard_count}")
+        if self.delta_threshold < 1:
+            raise ValueError(
+                f"delta_threshold must be >= 1, got {self.delta_threshold}"
+            )
+        if self.cache_capacity < 0:
+            raise ValueError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+        if self.parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {self.parallelism}")
+
+    def shard_em_config(self) -> EMConfig:
+        """The machine each shard runs on (one node of the scale-out fleet)."""
+        return EMConfig(block_size=self.block_size, memory_blocks=self.memory_blocks)

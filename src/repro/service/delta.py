@@ -1,0 +1,112 @@
+"""The in-memory write delta: pending inserts and delete tombstones.
+
+Writes never touch the static shard structures directly.  Following the
+logarithmic method (Bentley--Saxe), inserts accumulate in a small in-memory
+buffer that every query folds into its answer, and deletes of static points
+are recorded as tombstones.  When the delta grows past the service's
+threshold a compaction rebuilds the static shards from the live point set
+and empties the buffer, so the memory the delta occupies stays bounded by
+the threshold.
+
+Skyline queries are *not* decomposable under deletion (removing a maximal
+point can expose points it used to dominate), so tombstones cannot simply
+be filtered out of a shard's precomputed answer.  Instead, a query whose
+rectangle contains a tombstone of some shard recomputes that shard's local
+skyline from the shard's resident live points; shards untouched by
+tombstones keep using their static structures at full I/O efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+
+Key = Tuple[float, float, Optional[int]]
+
+
+def point_key(point: Point) -> Key:
+    """Identity key of a stored point: coordinates plus ``ident``."""
+    return (point.x, point.y, point.ident)
+
+
+class DeltaBuffer:
+    """Pending inserts plus delete tombstones, with a change version."""
+
+    def __init__(self) -> None:
+        self.inserts: Dict[Key, Point] = {}
+        self.tombstones: Dict[Key, Point] = {}
+        # Bumped on every mutation; result-cache keys embed it, so any
+        # write implicitly invalidates every cached answer.
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self.inserts) + len(self.tombstones)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Buffer an insert (re-inserting a tombstoned point revives it)."""
+        key = point_key(point)
+        if key in self.tombstones:
+            del self.tombstones[key]
+        else:
+            self.inserts[key] = point
+        self.version += 1
+
+    def remove_insert(self, point: Point) -> bool:
+        """Drop a pending insert matching ``point``; prefers an exact
+        ``ident`` match among coordinate twins.  Returns success."""
+        victim = self._match(self.inserts, point)
+        if victim is None:
+            return False
+        del self.inserts[victim]
+        self.version += 1
+        return True
+
+    def add_tombstone(self, point: Point) -> None:
+        """Record that the *static* point ``point`` is deleted."""
+        self.tombstones[point_key(point)] = point
+        self.version += 1
+
+    def clear(self) -> None:
+        """Empty the buffer (after a compaction)."""
+        self.inserts.clear()
+        self.tombstones.clear()
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Query-side views
+    # ------------------------------------------------------------------
+    def is_deleted(self, point: Point) -> bool:
+        return point_key(point) in self.tombstones
+
+    def candidates_in(self, query: RangeQuery) -> List[Point]:
+        """Pending inserts inside the query rectangle."""
+        return [p for p in self.inserts.values() if query.contains(p)]
+
+    def tombstone_hits(self, query: RangeQuery, x_lo: float, x_hi: float) -> bool:
+        """Whether a tombstone lies inside ``query`` within ``[x_lo, x_hi)``.
+
+        Only then is the static answer of the shard covering that x-range
+        unreliable (a deleted point outside the rectangle can neither appear
+        in, nor have dominated anything in, the answer).
+        """
+        return any(
+            x_lo <= t.x < x_hi and query.contains(t)
+            for t in self.tombstones.values()
+        )
+
+    def _match(self, table: Dict[Key, Point], point: Point) -> Optional[Key]:
+        """A key in ``table`` matching ``point``'s coordinates, preferring an
+        exact ident match -- the same one-victim semantics as
+        :meth:`repro.RangeSkylineIndex.delete`."""
+        exact = point_key(point)
+        if exact in table:
+            return exact
+        for key in table:
+            if key[0] == point.x and key[1] == point.y:
+                return key
+        return None

@@ -1,0 +1,61 @@
+"""Cross-shard and delta skyline merging.
+
+Correctness of the shard merge (top-open semantics generalise to every
+variant): shards partition the x-axis, so for a candidate ``p`` from shard
+``i`` every potential dominator with strictly larger x lives in shard
+``i`` itself or in a shard to the right.  Within the shard, ``p`` already
+survived the local skyline computation.  Across shards the x-coordinate of
+any right-shard point exceeds ``p.x``, hence it dominates ``p`` exactly
+when its y is ``>= p.y``.  The highest point of ``Q ∩ shard_j`` is never
+locally dominated, so it appears in shard ``j``'s local result -- meaning
+the running maximum y over the local results of shards ``> i`` equals the
+maximum y over *all* their points inside ``Q``.  A candidate therefore
+survives globally iff its y strictly exceeds that running maximum, which is
+what :func:`merge_shard_skylines` checks in one right-to-left pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.point import Point
+from repro.core.skyline import skyline
+
+
+def merge_shard_skylines(per_shard: Sequence[Sequence[Point]]) -> List[Point]:
+    """Merge per-shard skylines (in increasing-x shard order) into one.
+
+    Each element of ``per_shard`` must be the skyline of one shard's points
+    inside the query, sorted by increasing x.  One right-to-left pass keeps
+    a candidate iff its y strictly exceeds the maximum y seen in shards to
+    its right; the result is the global skyline, sorted by increasing x.
+    """
+    parts: List[List[Point]] = []
+    best_y = float("-inf")
+    for results in reversed(per_shard):
+        if not results:
+            continue
+        surviving = [p for p in results if p.y > best_y]
+        if surviving:
+            parts.append(surviving)
+        best_y = max(best_y, max(p.y for p in results))
+    parts.reverse()
+    return [p for part in parts for p in part]
+
+
+def merge_with_delta(
+    static_result: Sequence[Point], delta_candidates: Iterable[Point]
+) -> List[Point]:
+    """Fold pending (in-memory) inserts into a merged static skyline.
+
+    ``static_result`` is the skyline of the static points inside the query;
+    ``delta_candidates`` are the pending inserts inside the query.  The
+    skyline of the union of the two small sets equals the skyline of the
+    full point set inside the query: any static point missing from
+    ``static_result`` is dominated by a member of it, and that member is in
+    the union.
+    """
+    candidates = list(delta_candidates)
+    if not candidates:
+        return list(static_result)
+    return skyline(list(static_result) + candidates)

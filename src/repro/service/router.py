@@ -1,0 +1,79 @@
+"""Shard boundary computation and query routing.
+
+The router keeps the ``shard_count - 1`` cut x-values that partition the
+x-axis into half-open ranges ``[c_{i-1}, c_i)`` (with ``c_{-1} = -inf`` and
+``c_last = +inf``).  Cuts are placed midway between the points straddling an
+equal-size split of the x-sorted point set, so shards start balanced by
+*size* (not by x-extent) and are re-balanced the same way on every
+compaction.
+"""
+
+from __future__ import annotations
+
+import bisect
+from math import inf
+from typing import List, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+
+
+def size_balanced_cuts(points: Sequence[Point], shard_count: int) -> List[float]:
+    """Cut x-values splitting ``points`` into ``shard_count`` equal chunks.
+
+    Returns at most ``shard_count - 1`` strictly increasing cuts; fewer when
+    the point set is too small to populate every shard.
+    """
+    if shard_count <= 1 or len(points) == 0:
+        return []
+    ordered = sorted(points, key=lambda p: (p.x, p.y))
+    n = len(ordered)
+    cuts: List[float] = []
+    for i in range(1, shard_count):
+        split = (i * n) // shard_count
+        if split <= 0 or split >= n:
+            continue
+        left, right = ordered[split - 1].x, ordered[split].x
+        cut = (left + right) / 2.0
+        # Duplicate x at the chunk boundary would yield a cut equal to both;
+        # keep cuts strictly increasing and strictly above the left point so
+        # the half-open ranges stay a partition.
+        if left < cut and (not cuts or cut > cuts[-1]):
+            cuts.append(cut)
+    return cuts
+
+
+class ShardRouter:
+    """Maps points and query rectangles to shard indices."""
+
+    def __init__(self, cuts: Sequence[float]) -> None:
+        self.cuts = list(cuts)
+        if any(b <= a for a, b in zip(self.cuts, self.cuts[1:])):
+            raise ValueError(f"cuts must be strictly increasing, got {self.cuts}")
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.cuts) + 1
+
+    def shard_range(self, sid: int) -> Tuple[float, float]:
+        """The half-open x-range ``[lo, hi)`` covered by shard ``sid``."""
+        lo = -inf if sid == 0 else self.cuts[sid - 1]
+        hi = inf if sid == len(self.cuts) else self.cuts[sid]
+        return lo, hi
+
+    def route_point(self, x: float) -> int:
+        """The shard owning a point with x-coordinate ``x``."""
+        return bisect.bisect_right(self.cuts, x)
+
+    def shards_for(self, query: RangeQuery) -> List[int]:
+        """Shards whose x-range intersects the query's x-extent (the rest
+        are pruned: none of their points can lie in, or dominate anything
+        in, the query rectangle)."""
+        # Half-open shard ranges: a point with x equal to a cut belongs to
+        # the shard to the cut's right, so both endpoints use bisect_right.
+        first = bisect.bisect_right(self.cuts, query.x_lo)
+        last = bisect.bisect_right(self.cuts, query.x_hi)
+        return list(range(first, last + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardRouter(cuts={self.cuts})"

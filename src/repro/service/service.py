@@ -1,0 +1,317 @@
+"""The sharded skyline query service facade.
+
+:class:`SkylineService` glues the service tier together: the
+:class:`~repro.service.router.ShardRouter` prunes shards per query, each
+:class:`~repro.service.shard.Shard` answers locally on its own simulated
+machine, :mod:`~repro.service.merge` folds local answers into the global
+skyline, the :class:`~repro.service.delta.DeltaBuffer` absorbs writes until
+:meth:`SkylineService.compact` rebuilds the static shards, and the
+:class:`~repro.service.cache.ResultCache` short-circuits repeated queries
+between writes.  The public surface mirrors
+:class:`repro.RangeSkylineIndex` (``query``, ``query_many``, ``insert``,
+``delete``, ``skyline``, ``io_total``), so the two are interchangeable in
+benchmarks and applications.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.core.skyline import range_skyline
+from repro.em.counters import IOMeter, IOSnapshot, IOStats
+from repro.service.batch import build_worklists, execute_worklists
+from repro.service.cache import ResultCache, make_key
+from repro.service.config import ServiceConfig
+from repro.service.delta import DeltaBuffer
+from repro.service.merge import merge_shard_skylines, merge_with_delta
+from repro.service.router import ShardRouter, size_balanced_cuts
+from repro.service.shard import Shard
+
+
+class SkylineService:
+    """A sharded, batched, updatable range-skyline query service.
+
+    Parameters
+    ----------
+    points:
+        The initial point set.
+    config:
+        Service tunables; defaults to :class:`ServiceConfig()`.
+    overrides:
+        Convenience keyword overrides applied on top of ``config``
+        (``SkylineService(points, shard_count=8)``).
+    """
+
+    def __init__(
+        self,
+        points: Iterable[Point],
+        config: Optional[ServiceConfig] = None,
+        **overrides: object,
+    ) -> None:
+        base = config or ServiceConfig()
+        self.config = dataclasses.replace(base, **overrides) if overrides else base
+        self.stats = IOStats()
+        self.delta = DeltaBuffer()
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.compactions = 0
+        # Duplicate queries coalesced within batches (computed once each).
+        self.coalesced = 0
+        # Build generation: seeds every shard's epoch so cache keys can
+        # never collide across compactions.
+        self._generation = 0
+        self.router: ShardRouter
+        self.shards: List[Shard]
+        self._build_shards(list(points))
+
+    # ------------------------------------------------------------------
+    # Construction / compaction
+    # ------------------------------------------------------------------
+    def _build_shards(self, points: List[Point]) -> None:
+        """(Re)partition ``points`` into size-balanced x-range shards."""
+        self._live_xs = {p.x for p in points}
+        self._live_ys = {p.y for p in points}
+        if len(self._live_xs) < len(points) or len(self._live_ys) < len(points):
+            raise ValueError(
+                "points must be in general position (distinct x and distinct y); "
+                "pre-process with repro.core.point.ensure_general_position"
+            )
+        cuts = size_balanced_cuts(points, self.config.shard_count)
+        self.router = ShardRouter(cuts)
+        buckets: List[List[Point]] = [[] for _ in range(self.router.shard_count)]
+        for point in points:
+            buckets[self.router.route_point(point.x)].append(point)
+        em_config = self.config.shard_em_config()
+        self._generation += 1
+        self.shards = []
+        for sid, bucket in enumerate(buckets):
+            x_lo, x_hi = self.router.shard_range(sid)
+            self.shards.append(
+                Shard(
+                    sid,
+                    x_lo,
+                    x_hi,
+                    bucket,
+                    em_config,
+                    self.stats,
+                    epsilon=self.config.epsilon,
+                    epoch=self._generation,
+                )
+            )
+
+    def compact(self) -> None:
+        """Fold the delta into the static shards and rebalance boundaries.
+
+        Rebuilds every shard from the live point set (static points minus
+        tombstones, plus pending inserts), re-cutting shard boundaries so
+        the shards come out size-balanced again; then empties the delta and
+        drops the result cache.  Rebuild I/Os are charged to the shared
+        counters -- that is the amortised cost the logarithmic method pays
+        for keeping queries on static-structure speeds.
+        """
+        self._build_shards(self.live_points())
+        self.delta.clear()
+        self.cache.invalidate_all()
+        self.compactions += 1
+
+    def delta_exceeds_threshold(self) -> bool:
+        """Whether a background scheduler should trigger :meth:`compact`."""
+        return len(self.delta) >= self.config.delta_threshold
+
+    def _maybe_compact(self) -> None:
+        if self.config.auto_compact and self.delta_exceeds_threshold():
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, query: RangeQuery) -> List[Point]:
+        """Maxima of the live points inside ``query``, sorted by x."""
+        return self.query_many([query])[0]
+
+    def query_many(
+        self, queries: Sequence[RangeQuery], use_cache: bool = True
+    ) -> List[List[Point]]:
+        """Answer a batch; ``result[i]`` answers ``queries[i]``.
+
+        Cache hits are served immediately and duplicate queries within the
+        batch are coalesced (computed once, copied to every occurrence);
+        the remaining misses are regrouped into per-shard worklists
+        (sorted by variant and x for buffer-pool locality), executed --
+        across a thread pool when the service is configured with
+        ``parallelism > 1`` -- and merged per query with the pending
+        delta.
+        """
+        results: List[Optional[List[Point]]] = [None] * len(queries)
+        plan: Dict[int, Tuple[Tuple, List[int]]] = {}
+        leaders: Dict[Tuple, int] = {}
+        followers: List[Tuple[int, int]] = []
+        misses: List[Tuple[int, RangeQuery]] = []
+        for position, query in enumerate(queries):
+            shard_ids = self.router.shards_for(query)
+            key = make_key(
+                query,
+                [(sid, self.shards[sid].epoch) for sid in shard_ids],
+                self.delta.version,
+            )
+            cached = self.cache.get(key) if use_cache else None
+            if cached is not None:
+                results[position] = cached
+                continue
+            if key in leaders:
+                followers.append((position, leaders[key]))
+                continue
+            leaders[key] = position
+            plan[position] = (key, shard_ids)
+            misses.append((position, query))
+        if misses:
+            worklists = build_worklists(
+                misses, {position: plan[position][1] for position, _ in misses}
+            )
+            local = execute_worklists(
+                worklists, self._shard_query, self.config.parallelism
+            )
+            for position, query in misses:
+                key, shard_ids = plan[position]
+                merged = merge_shard_skylines(
+                    [local[(position, sid)] for sid in shard_ids]
+                )
+                merged = merge_with_delta(merged, self.delta.candidates_in(query))
+                if use_cache:
+                    self.cache.put(key, merged)
+                results[position] = merged
+        self.coalesced += len(followers)
+        for position, leader_position in followers:
+            results[position] = list(results[leader_position])  # type: ignore[arg-type]
+        return results  # type: ignore[return-value]
+
+    def _shard_query(self, sid: int, query: RangeQuery) -> List[Point]:
+        """One shard's local skyline inside ``query``, tombstone-aware.
+
+        A tombstone inside the rectangle invalidates the shard's static
+        answer (the deleted point may have dominated points that must now
+        resurface), so the local skyline is recomputed from the shard's
+        resident live points; otherwise the static structure answers at
+        full I/O efficiency.
+        """
+        shard = self.shards[sid]
+        if self.delta.tombstone_hits(query, shard.x_lo, shard.x_hi):
+            live = [p for p in shard.points if not self.delta.is_deleted(p)]
+            return range_skyline(live, query)
+        return shard.query(query)
+
+    def skyline(self) -> List[Point]:
+        """The skyline of the whole live point set."""
+        return self.query(RangeQuery())
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Buffer an insert in the delta (visible to queries immediately).
+
+        The general-position assumption every structure of the paper makes
+        is enforced here, at the write boundary: a coordinate colliding
+        with a live point raises immediately instead of corrupting a later
+        compaction rebuild.
+        """
+        if point.x in self._live_xs or point.y in self._live_ys:
+            raise ValueError(
+                f"coordinate collision with a live point: {point}; the service "
+                "requires general position (distinct x and distinct y)"
+            )
+        self._live_xs.add(point.x)
+        self._live_ys.add(point.y)
+        self.delta.insert(point)
+        self._maybe_compact()
+
+    def delete(self, point: Point) -> bool:
+        """Delete one live point matching ``point``; returns success.
+
+        Among coordinate twins, a point with the same ``ident`` is
+        preferred.  A pending insert is simply dropped from the delta; a
+        static point gets a tombstone until the next compaction.
+        """
+        if self.delta.remove_insert(point):
+            self._live_xs.discard(point.x)
+            self._live_ys.discard(point.y)
+            return True
+        shard = self.shards[self.router.route_point(point.x)]
+        candidates = [
+            p
+            for p in shard.points
+            if p.x == point.x and p.y == point.y and not self.delta.is_deleted(p)
+        ]
+        if not candidates:
+            return False
+        victim = next(
+            (p for p in candidates if p.ident == point.ident), candidates[0]
+        )
+        self.delta.add_tombstone(victim)
+        self._live_xs.discard(victim.x)
+        self._live_ys.discard(victim.y)
+        self._maybe_compact()
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_points(self) -> List[Point]:
+        """The current point set: static minus tombstones, plus the delta."""
+        live = [
+            p
+            for shard in self.shards
+            for p in shard.points
+            if not self.delta.is_deleted(p)
+        ]
+        live.extend(self.delta.inserts.values())
+        return live
+
+    def __len__(self) -> int:
+        pending = len(self.delta.inserts) - len(self.delta.tombstones)
+        return sum(len(shard) for shard in self.shards) + pending
+
+    def io_total(self) -> int:
+        """Block transfers charged across every shard machine so far."""
+        return self.stats.total
+
+    def snapshot(self) -> IOSnapshot:
+        return self.stats.snapshot()
+
+    def meter(self) -> IOMeter:
+        """``with service.meter() as m: ...`` measures I/Os of the block."""
+        return IOMeter(self.stats)
+
+    def drop_caches(self) -> None:
+        """Empty every shard's buffer pool (cold-cache measurements)."""
+        for shard in self.shards:
+            if shard.storage is not None:
+                shard.storage.drop_cache()
+
+    def blocks_in_use(self) -> int:
+        """Allocated blocks across all shard machines (space usage)."""
+        return sum(
+            shard.storage.blocks_in_use()
+            for shard in self.shards
+            if shard.storage is not None
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """A status snapshot a service dashboard would render."""
+        return {
+            "shard_count": len(self.shards),
+            "shard_sizes": [len(shard) for shard in self.shards],
+            "shard_epochs": [shard.epoch for shard in self.shards],
+            "cuts": list(self.router.cuts),
+            "live_points": len(self),
+            "delta_inserts": len(self.delta.inserts),
+            "delta_tombstones": len(self.delta.tombstones),
+            "compactions": self.compactions,
+            "cache_entries": len(self.cache),
+            "cache_hit_rate": round(self.cache.hit_rate(), 3),
+            "coalesced": self.coalesced,
+            "io_total": self.io_total(),
+            "blocks_in_use": self.blocks_in_use(),
+        }

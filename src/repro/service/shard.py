@@ -1,0 +1,83 @@
+"""A single x-range shard: one static index over its own simulated machine.
+
+Each shard owns the points whose x-coordinates fall in its half-open range
+``[x_lo, x_hi)`` and answers queries with a private
+:class:`repro.RangeSkylineIndex` built over a private
+:class:`repro.em.StorageManager`.  All shard machines share one
+:class:`repro.em.counters.IOStats`, so the service-wide I/O total is the sum
+of whatever every shard charged -- the same quantity the monolithic index
+reports, which keeps the benchmark comparison honest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.api import RangeSkylineIndex
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.em.config import EMConfig
+from repro.em.counters import IOStats
+from repro.em.storage import StorageManager
+
+
+class Shard:
+    """One partition of the service's point set, indexed independently."""
+
+    def __init__(
+        self,
+        sid: int,
+        x_lo: float,
+        x_hi: float,
+        points: Sequence[Point],
+        em_config: EMConfig,
+        stats: IOStats,
+        epsilon: float = 0.5,
+        epoch: int = 0,
+    ) -> None:
+        self.sid = sid
+        self.x_lo = x_lo
+        self.x_hi = x_hi
+        self.em_config = em_config
+        self.stats = stats
+        self.epsilon = epsilon
+        # Epoch increments on every rebuild; the service seeds it with the
+        # compaction generation, and the result cache keys on it so entries
+        # computed against an old generation can never be returned.
+        self.epoch = epoch
+        self.points: List[Point] = []
+        self.storage: Optional[StorageManager] = None
+        self.index: Optional[RangeSkylineIndex] = None
+        self.rebuild(points)
+
+    # ------------------------------------------------------------------
+    # Queries and maintenance
+    # ------------------------------------------------------------------
+    def query(self, query: RangeQuery) -> List[Point]:
+        """The local skyline: maxima of this shard's points inside ``query``."""
+        if self.index is None or not self.points:
+            return []
+        return self.index.query(query)
+
+    def rebuild(self, points: Sequence[Point]) -> None:
+        """Re-index ``points`` on a fresh machine and advance the epoch.
+
+        The old disk and buffer pool are dropped wholesale (the service
+        charges the build I/Os of the new generation through the shared
+        counters, which is exactly the logarithmic-method accounting).
+        """
+        self.points = sorted(points, key=lambda p: (p.x, p.y))
+        self.storage = StorageManager(self.em_config, stats=self.stats)
+        self.index = RangeSkylineIndex(
+            self.storage, self.points, dynamic=False, epsilon=self.epsilon
+        )
+        self.epoch += 1
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Shard({self.sid}, [{self.x_lo}, {self.x_hi}), "
+            f"{len(self.points)} pts, epoch {self.epoch})"
+        )

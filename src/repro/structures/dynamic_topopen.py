@@ -171,12 +171,17 @@ class DynamicTopOpenStructure:
         """Delete the point with ``point``'s coordinates; returns success."""
         path = self._descend(point.x)
         leaf_id, leaf = path[-1]
-        before = len(leaf.points)
-        leaf.points = [
-            p for p in leaf.points if not (p.x == point.x and p.y == point.y)
-        ]
-        if len(leaf.points) == before:
+        victim = next(
+            (
+                i
+                for i, p in enumerate(leaf.points)
+                if p.x == point.x and p.y == point.y
+            ),
+            None,
+        )
+        if victim is None:
             return False
+        del leaf.points[victim]
         leaf.queue = self._leaf_queue(leaf.points)
         self.storage.write(leaf_id, leaf)
         self._count -= 1

@@ -171,22 +171,34 @@ class FourSidedStructure:
                 node.right_open.insert(_swap(point))
 
     def delete(self, point: Point) -> bool:
-        """Delete the point with matching coordinates; returns success."""
-        before = len(self.points)
-        self.points = [
-            p for p in self.points if not (p.x == point.x and p.y == point.y)
-        ]
-        if len(self.points) == before:
+        """Delete one point with matching coordinates; returns success."""
+        victim = next(
+            (
+                i
+                for i, p in enumerate(self.points)
+                if p.x == point.x and p.y == point.y
+            ),
+            None,
+        )
+        if victim is None:
             return False
+        del self.points[victim]
         self._updates_since_build += 1
         if self._needs_rebuild():
             self._rebuild()
             return True
         path = self._descend(point.x)
         leaf_id, leaf = path[-1]
-        leaf.points = [
-            p for p in leaf.points if not (p.x == point.x and p.y == point.y)
-        ]
+        leaf_victim = next(
+            (
+                i
+                for i, p in enumerate(leaf.points)
+                if p.x == point.x and p.y == point.y
+            ),
+            None,
+        )
+        if leaf_victim is not None:
+            del leaf.points[leaf_victim]
         self.storage.write(leaf_id, leaf)
         for node_id, node in path[:-1]:
             if node.right_open is not None:

@@ -1,0 +1,325 @@
+"""Tests for the sharded skyline service (repro.service).
+
+The acceptance property is *shard-count invariance*: whatever the shard
+count, with or without a pending delta, before and after compaction, the
+service answers exactly like the naive scan baseline
+(:class:`repro.baselines.naive.NaiveScanSkyline`).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FourSidedQuery,
+    Point,
+    RangeQuery,
+    RangeSkylineIndex,
+    RightOpenQuery,
+    TopOpenQuery,
+)
+from repro.baselines.naive import NaiveScanSkyline
+from repro.core.skyline import range_skyline
+from repro.em import EMConfig, StorageManager
+from repro.service import (
+    DeltaBuffer,
+    ResultCache,
+    ServiceConfig,
+    ShardRouter,
+    SkylineService,
+    merge_shard_skylines,
+    size_balanced_cuts,
+)
+from repro.workloads import (
+    anticorrelated_points,
+    clustered_points,
+    correlated_points,
+    grid_permutation_points,
+    uniform_points,
+)
+
+DISTRIBUTIONS = {
+    "uniform": uniform_points,
+    "correlated": correlated_points,
+    "anticorrelated": anticorrelated_points,
+    "clustered": clustered_points,
+    "grid": grid_permutation_points,
+}
+
+
+def canon(points):
+    return sorted((p.x, p.y) for p in points)
+
+
+def random_queries(points, count, rng):
+    """A mix of top-open, right-open and 4-sided rectangles over the data."""
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    queries = []
+    for _ in range(count):
+        a, b = sorted(rng.uniform(x_lo, x_hi) for _ in range(2))
+        c, d = sorted(rng.uniform(y_lo, y_hi) for _ in range(2))
+        queries.append(TopOpenQuery(a, b, c))
+        queries.append(RightOpenQuery(a, c, d))
+        queries.append(FourSidedQuery(a, b, c, d))
+    return queries
+
+
+def naive_answers(points, queries):
+    baseline = NaiveScanSkyline(
+        StorageManager(EMConfig(block_size=16, memory_blocks=16)), points
+    )
+    return [canon(baseline.query(query)) for query in queries]
+
+
+# ----------------------------------------------------------------------
+# Acceptance: shard-count invariance at n ~ 5k, through updates + compact
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shard_count", [1, 4, 16])
+def test_shard_count_invariance_5k(shard_count):
+    rng = random.Random(shard_count)
+    points = uniform_points(5_000, universe=1_000_000, seed=11)
+    service = SkylineService(
+        points,
+        ServiceConfig(
+            shard_count=shard_count,
+            block_size=32,
+            memory_blocks=16,
+            delta_threshold=10_000,  # compaction is triggered explicitly below
+        ),
+    )
+    live = list(points)
+    queries = random_queries(points, 4, rng)
+
+    # Static phase: fresh service vs the naive scan baseline.
+    expected = naive_answers(live, queries)
+    got = service.query_many(queries)
+    assert [canon(r) for r in got] == expected
+
+    # Interleaved updates: inserts at off-grid coordinates (the original
+    # points have integer x), deletes of both static and pending points.
+    fresh = [
+        Point(p.x + 0.5, p.y + 0.25, ident=100_000 + i)
+        for i, p in enumerate(uniform_points(250, universe=1_000_000, seed=97))
+    ]
+    for index, point in enumerate(fresh):
+        service.insert(point)
+        live.append(point)
+        if index % 2 == 0:
+            victim = live.pop(rng.randrange(len(live)))
+            assert service.delete(victim)
+    assert len(service) == len(live)
+
+    # With the delta pending.
+    expected = naive_answers(live, queries)
+    got = service.query_many(queries)
+    assert [canon(r) for r in got] == expected
+
+    # After compaction the same answers come from rebuilt static shards.
+    service.compact()
+    assert len(service.delta) == 0
+    got = service.query_many(queries)
+    assert [canon(r) for r in got] == expected
+    assert canon(service.skyline()) == canon(range_skyline(live, RangeQuery()))
+
+
+# ----------------------------------------------------------------------
+# Property test: every distribution, random shard counts, with delta
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    distribution=st.sampled_from(sorted(DISTRIBUTIONS)),
+    shard_count=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**20),
+    with_delta=st.booleans(),
+)
+def test_service_matches_naive_baseline(distribution, shard_count, seed, with_delta):
+    rng = random.Random(seed)
+    points = DISTRIBUTIONS[distribution](150, seed=seed)
+    service = SkylineService(
+        points,
+        ServiceConfig(
+            shard_count=shard_count,
+            block_size=16,
+            memory_blocks=8,
+            delta_threshold=10_000,
+        ),
+    )
+    live = list(points)
+    if with_delta:
+        for i in range(12):
+            base = live[rng.randrange(len(live))]
+            point = Point(base.x + 0.25 + i * 1e-6, base.y + 0.25 + i * 1e-6, 10_000 + i)
+            service.insert(point)
+            live.append(point)
+        for _ in range(6):
+            victim = live.pop(rng.randrange(len(live)))
+            assert service.delete(victim)
+    queries = random_queries(points, 3, rng)
+    expected = naive_answers(live, queries)
+    got = service.query_many(queries)
+    assert [canon(r) for r in got] == expected
+
+
+# ----------------------------------------------------------------------
+# Component behaviour
+# ----------------------------------------------------------------------
+def test_router_prunes_and_routes():
+    points = [Point(float(i), float(i % 7) + i * 1e-3, i) for i in range(40)]
+    cuts = size_balanced_cuts(points, 4)
+    router = ShardRouter(cuts)
+    assert router.shard_count == 4
+    for point in points:
+        sid = router.route_point(point.x)
+        lo, hi = router.shard_range(sid)
+        assert lo <= point.x < hi
+    # A query inside one shard's range touches exactly that shard.
+    sid = router.route_point(points[5].x)
+    lo, hi = router.shard_range(sid)
+    probe = TopOpenQuery(points[5].x, min(hi - 1e-9, points[5].x + 0.1), 0.0)
+    assert router.shards_for(probe) == [sid]
+    # An unbounded query touches every shard.
+    assert router.shards_for(RangeQuery()) == [0, 1, 2, 3]
+
+
+def test_merge_shard_skylines_running_max():
+    left = [Point(0, 9), Point(1, 5)]
+    middle = [Point(4, 6), Point(5, 2)]
+    right = [Point(8, 5), Point(9, 1)]
+    merged = merge_shard_skylines([left, middle, right])
+    # (1,5) is dominated by (4,6); (5,2) by (8,5); (0,9) and the whole
+    # right shard survive.
+    assert canon(merged) == [(0.0, 9.0), (4.0, 6.0), (8.0, 5.0), (9.0, 1.0)]
+    assert merge_shard_skylines([[], [], []]) == []
+
+
+def test_result_cache_epochs_and_writes():
+    points = uniform_points(300, seed=3)
+    service = SkylineService(points, shard_count=3, delta_threshold=10_000)
+    query = TopOpenQuery(points[10].x, points[10].x + 50_000, points[10].y - 1)
+    first = service.query(query)
+    assert service.cache.hits == 0
+    again = service.query(query)
+    assert again == first
+    assert service.cache.hits == 1
+    # A write bumps the delta version: the old entry is unreachable.
+    service.insert(Point(points[0].x + 0.5, points[0].y + 0.5, 999))
+    hits_before = service.cache.hits
+    service.query(query)
+    assert service.cache.hits == hits_before
+    # Compaction empties the cache outright.
+    service.compact()
+    assert len(service.cache) == 0
+    # LRU eviction respects capacity.
+    cache = ResultCache(capacity=2)
+    cache.put(("a",), [Point(1, 1)])
+    cache.put(("b",), [Point(2, 2)])
+    cache.put(("c",), [Point(3, 3)])
+    assert len(cache) == 2
+    assert cache.get(("a",)) is None
+
+
+def test_batch_coalesces_duplicates_and_parallel_matches():
+    points = uniform_points(400, seed=5)
+    queries = random_queries(points, 3, random.Random(1)) * 2  # duplicates
+    serial = SkylineService(points, shard_count=4)
+    threaded = SkylineService(points, shard_count=4, parallelism=4)
+    expected = naive_answers(points, queries)
+    assert [canon(r) for r in serial.query_many(queries, use_cache=False)] == expected
+    assert [canon(r) for r in threaded.query_many(queries)] == expected
+
+
+def test_delta_buffer_semantics():
+    delta = DeltaBuffer()
+    p = Point(1.0, 2.0, 7)
+    delta.insert(p)
+    assert len(delta) == 1
+    # Deleting a pending insert cancels it.
+    assert delta.remove_insert(Point(1.0, 2.0, 7))
+    assert len(delta) == 0
+    # Tombstone + re-insert of the same point revives it.
+    delta.add_tombstone(p)
+    assert delta.is_deleted(p)
+    delta.insert(p)
+    assert not delta.is_deleted(p)
+    assert len(delta) == 0
+    # Tombstones only affect queries whose rectangle contains them.
+    delta.add_tombstone(Point(5.0, 5.0, 1))
+    assert delta.tombstone_hits(FourSidedQuery(0, 10, 0, 10), 0.0, 10.0)
+    assert not delta.tombstone_hits(FourSidedQuery(0, 10, 6, 10), 0.0, 10.0)
+    assert not delta.tombstone_hits(FourSidedQuery(0, 10, 0, 10), 6.0, 10.0)
+
+
+def test_auto_compaction_threshold():
+    points = uniform_points(200, seed=9)
+    service = SkylineService(
+        points, shard_count=2, delta_threshold=8, auto_compact=True
+    )
+    for i in range(8):
+        service.insert(Point(points[i].x + 0.5, points[i].y + 0.5, 500 + i))
+    assert service.compactions == 1
+    assert len(service.delta) == 0
+    # Shard boundaries were rebalanced over the grown point set.
+    assert sum(len(s) for s in service.shards) == 208
+
+
+def test_general_position_enforced_on_insert():
+    points = uniform_points(50, seed=2)
+    service = SkylineService(points, shard_count=2)
+    with pytest.raises(ValueError):
+        service.insert(Point(points[0].x, points[0].y + 123.25))
+    with pytest.raises(ValueError):
+        SkylineService([Point(1, 1, 0), Point(1, 2, 1)], shard_count=1)
+
+
+def test_delete_prefers_ident_match():
+    pts = [Point(float(i), float(100 - i), i) for i in range(30)]
+    service = SkylineService(pts, shard_count=2)
+    assert not service.delete(Point(500.0, 500.0))
+    assert service.delete(Point(3.0, 97.0, 3))
+    assert len(service) == 29
+    assert canon(service.skyline()) == canon(
+        range_skyline([p for p in pts if p.ident != 3], RangeQuery())
+    )
+
+
+def test_monolithic_query_many_matches_sequential():
+    """Satellite: RangeSkylineIndex.query_many shares the batch API."""
+    points = uniform_points(300, seed=4)
+    index = RangeSkylineIndex(
+        StorageManager(EMConfig(block_size=16, memory_blocks=16)), points
+    )
+    queries = random_queries(points, 4, random.Random(2))
+    batch = index.query_many(queries)
+    assert [canon(r) for r in batch] == [canon(index.query(q)) for q in queries]
+
+
+def test_api_delete_removes_exactly_one_ident():
+    """Satellite: delete drops exactly the identified point from .points."""
+    storage = StorageManager(EMConfig(block_size=16, memory_blocks=16))
+    points = [Point(float(i), float(i * 3 % 11) + i * 1e-3, i) for i in range(40)]
+    index = RangeSkylineIndex(storage, points, dynamic=True)
+    assert index.delete(Point(7.0, points[7].y, 7))
+    assert len(index.points) == 39
+    assert all(p.ident != 7 for p in index.points)
+    # Deleting with a mismatched ident still removes one coordinate match,
+    # never more.
+    assert index.delete(Point(9.0, points[9].y, ident=None))
+    assert len(index.points) == 38
+
+
+def test_service_reexports():
+    import repro
+    import repro.api
+
+    assert repro.SkylineService is SkylineService
+    assert repro.api.SkylineService is SkylineService
+    assert repro.ServiceConfig is ServiceConfig
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
