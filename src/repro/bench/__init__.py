@@ -7,7 +7,12 @@ I/Os, the theoretical bound, and their ratio (which should stay roughly
 constant across the sweep when the claimed shape holds).
 """
 
-from repro.bench.reporting import BenchmarkRow, BenchmarkTable, write_json_report
+from repro.bench.reporting import (
+    BenchmarkRow,
+    BenchmarkTable,
+    counters_table,
+    write_json_report,
+)
 from repro.bench.harness import (
     average_query_ios,
     measure_build,
@@ -22,5 +27,6 @@ __all__ = [
     "measure_build",
     "measure_updates",
     "average_query_ios",
+    "counters_table",
     "write_json_report",
 ]

@@ -117,6 +117,22 @@ class BenchmarkTable:
         return [row.measured_io for row in self.rows]
 
 
+def counters_table(title: str, counters: Dict[str, object]) -> BenchmarkTable:
+    """Render a flat counter mapping (e.g. a durability ledger) as a table.
+
+    Each counter becomes one row with the value in the ``measured I/O``
+    column, so WAL/snapshot/replay block-transfer counts from
+    :meth:`repro.service.SkylineService.describe` or
+    :meth:`repro.service.DurableStore.describe` print and serialise through
+    the same machinery as every other benchmark table.
+    """
+    table = BenchmarkTable(title)
+    for name, value in counters.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            table.add(measured_io=float(value), counter=name)
+    return table
+
+
 def write_json_report(
     tables: Sequence[BenchmarkTable],
     path: str,

@@ -12,6 +12,7 @@ Public surface
 --------------
 :class:`EMConfig`      -- the (B, M) parameters of a simulated machine.
 :class:`IOStats`       -- read/write counters with snapshot arithmetic.
+:class:`IOStatsGroup`  -- read-only sum over several ``IOStats`` ledgers.
 :class:`DiskModel`     -- block-addressed object store that counts transfers.
 :class:`BufferPool`    -- LRU cache of blocks with pinning, on top of a disk.
 :class:`StorageManager`-- convenience facade combining the three above.
@@ -20,7 +21,7 @@ Public surface
 """
 
 from repro.em.config import EMConfig
-from repro.em.counters import IOStats
+from repro.em.counters import IOMeter, IOSnapshot, IOStats, IOStatsGroup
 from repro.em.disk import BlockId, DiskFullError, DiskModel
 from repro.em.cache import BufferPool
 from repro.em.storage import StorageManager
@@ -30,6 +31,9 @@ from repro.em.sorting import external_sort
 __all__ = [
     "EMConfig",
     "IOStats",
+    "IOStatsGroup",
+    "IOSnapshot",
+    "IOMeter",
     "BlockId",
     "DiskModel",
     "DiskFullError",

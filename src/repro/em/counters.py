@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, List
 
 
 @dataclass
@@ -41,6 +42,18 @@ class IOStats:
         """Note that ``count`` blocks were released (not charged)."""
         self.frees += count
 
+    def absorb(self, other: "IOStats") -> None:
+        """Fold another ledger's counts into this one.
+
+        The service tier retires a shard machine's private ledger into an
+        accumulator when the shard is rebuilt, so aggregate totals stay
+        monotone across compactions.
+        """
+        self.reads += other.reads
+        self.writes += other.writes
+        self.allocations += other.allocations
+        self.frees += other.frees
+
     def snapshot(self) -> "IOSnapshot":
         """An immutable copy of the current counter values."""
         return IOSnapshot(
@@ -61,6 +74,68 @@ class IOStats:
         return (
             f"IOStats(reads={self.reads}, writes={self.writes}, "
             f"total={self.total})"
+        )
+
+
+class IOStatsGroup:
+    """A read-only aggregate view over several :class:`IOStats` ledgers.
+
+    The service tier gives every shard machine (and the durability store)
+    its own private ``IOStats`` so that concurrent workers never race one
+    shared counter; this group sums the members on demand and quacks like
+    an ``IOStats`` for measurement purposes (``total``, :meth:`snapshot`,
+    and therefore :class:`IOMeter`).  Mutating methods are deliberately
+    absent: charges always go to exactly one member ledger.
+    """
+
+    def __init__(self, members: Iterable[IOStats] = ()) -> None:
+        self._members: List[IOStats] = list(members)
+
+    def add(self, stats: IOStats) -> None:
+        """Include one more ledger in the aggregate."""
+        self._members.append(stats)
+
+    def set_members(self, members: Iterable[IOStats]) -> None:
+        """Replace the member set (e.g. after a shard rebuild)."""
+        self._members = list(members)
+
+    @property
+    def members(self) -> List[IOStats]:
+        return list(self._members)
+
+    @property
+    def reads(self) -> int:
+        return sum(m.reads for m in self._members)
+
+    @property
+    def writes(self) -> int:
+        return sum(m.writes for m in self._members)
+
+    @property
+    def allocations(self) -> int:
+        return sum(m.allocations for m in self._members)
+
+    @property
+    def frees(self) -> int:
+        return sum(m.frees for m in self._members)
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOSnapshot":
+        """An immutable sum of every member's current counters."""
+        return IOSnapshot(
+            reads=self.reads,
+            writes=self.writes,
+            allocations=self.allocations,
+            frees=self.frees,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IOStatsGroup({len(self._members)} members, reads={self.reads}, "
+            f"writes={self.writes}, total={self.total})"
         )
 
 

@@ -135,6 +135,18 @@ class DiskModel:
         """
         return self._blocks[block_id]
 
+    def poke(self, block_id: BlockId, payload: Any) -> None:
+        """Overwrite a block without charging an I/O (simulator surgery).
+
+        The crash simulator uses this to model a block that was only
+        partially durable at the kill point; like :meth:`peek` it is
+        off-limits to production code paths, which must pay for every
+        transfer via :meth:`write_block`.
+        """
+        if block_id not in self._blocks:
+            raise KeyError(f"block {block_id} is not allocated")
+        self._blocks[block_id] = payload
+
 
 def _default_record_size(payload: Any) -> int:
     """Best-effort size, in records, of a block payload."""

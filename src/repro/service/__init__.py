@@ -45,15 +45,33 @@ any static point absent from the merged answer is dominated by a present
 one, so the union's skyline equals the true skyline.  Deletions are not
 decomposable this way (removing a maximal point can expose points it
 dominated), so a shard whose range contains a tombstone inside ``Q``
-recomputes its local answer from its resident live points; all other
-shards keep their static-structure I/O efficiency.  Compaction restores
-the tombstone-free fast path.
+recomputes its local answer from its resident live points -- a scan the
+service charges as ``ceil(resident / B)`` block reads on the shard's
+ledger; all other shards keep their static-structure I/O efficiency.
+Compaction restores the tombstone-free fast path.
+
+Durability
+----------
+:mod:`repro.service.durability` adds crash safety on top: a durable
+service appends every insert/delete to a group-committed write-ahead log
+on a :class:`~repro.service.durability.DurableStore`, logs a checkpoint
+record at each compaction, periodically serialises the rebuilt shards as
+block-level snapshots, and :meth:`SkylineService.open` recovers the exact
+durable state by loading the newest surviving snapshot and replaying the
+WAL suffix -- every step charged in the same block-transfer currency as
+the query path.
 """
 
 from repro.service.batch import build_worklists, execute_worklists
 from repro.service.cache import ResultCache, make_key
 from repro.service.config import ServiceConfig
 from repro.service.delta import DeltaBuffer, point_key
+from repro.service.durability import (
+    CrashSimulator,
+    DurableStore,
+    WriteAheadLog,
+    crashed_copy,
+)
 from repro.service.merge import merge_shard_skylines, merge_with_delta
 from repro.service.router import ShardRouter, size_balanced_cuts
 from repro.service.service import SkylineService
@@ -66,6 +84,10 @@ __all__ = [
     "ShardRouter",
     "DeltaBuffer",
     "ResultCache",
+    "DurableStore",
+    "WriteAheadLog",
+    "CrashSimulator",
+    "crashed_copy",
     "size_balanced_cuts",
     "merge_shard_skylines",
     "merge_with_delta",

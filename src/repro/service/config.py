@@ -37,12 +37,32 @@ class ServiceConfig:
         (0 disables caching).
     parallelism:
         Worker threads for batch execution; 1 executes shard worklists
-        sequentially (the default, which keeps I/O accounting exact --
-        the shared I/O counters are not synchronised).
+        sequentially.  I/O accounting is exact at every level: each shard
+        machine charges a private ledger, so fan-out never races a counter
+        and parallel batches report bit-identical totals to serial runs.
     auto_compact:
         Whether writes trigger compaction as soon as the delta exceeds
         ``delta_threshold``.  Turn off to drive :meth:`compact` from an
         external scheduler, as a real service would.
+    durability:
+        Whether the service writes every update to a write-ahead log and
+        periodic block-level shard snapshots on a
+        :class:`~repro.service.durability.DurableStore`, so that
+        :meth:`repro.service.SkylineService.open` can rebuild the exact
+        live state after a crash.  Off by default: a purely in-memory
+        service charges zero durability I/O.
+    wal_group_commit:
+        Group-commit batch size of the write-ahead log: appended records
+        accumulate in memory and are forced to disk (one block write per
+        ``block_size`` records, minimum one) every this-many records.  1
+        makes every update durable immediately at one block write each;
+        larger values amortise the write at the cost of losing up to
+        ``wal_group_commit - 1`` acknowledged updates in a crash.
+    snapshot_every_compactions:
+        Cadence of block-level shard snapshots: every Nth compaction also
+        serialises the freshly rebuilt shards to the durable store, which
+        bounds WAL replay at recovery to the records logged since.  1
+        snapshots at every compaction.
     """
 
     shard_count: int = 4
@@ -53,6 +73,9 @@ class ServiceConfig:
     cache_capacity: int = 256
     parallelism: int = 1
     auto_compact: bool = True
+    durability: bool = False
+    wal_group_commit: int = 8
+    snapshot_every_compactions: int = 1
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:
@@ -67,6 +90,15 @@ class ServiceConfig:
             )
         if self.parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {self.parallelism}")
+        if self.wal_group_commit < 1:
+            raise ValueError(
+                f"wal_group_commit must be >= 1, got {self.wal_group_commit}"
+            )
+        if self.snapshot_every_compactions < 1:
+            raise ValueError(
+                "snapshot_every_compactions must be >= 1, got "
+                f"{self.snapshot_every_compactions}"
+            )
 
     def shard_em_config(self) -> EMConfig:
         """The machine each shard runs on (one node of the scale-out fleet)."""

@@ -14,6 +14,16 @@ be filtered out of a shard's precomputed answer.  Instead, a query whose
 rectangle contains a tombstone of some shard recomputes that shard's local
 skyline from the shard's resident live points; shards untouched by
 tombstones keep using their static structures at full I/O efficiency.
+
+Tombstones are bucketed by the *owning shard id* (the shard whose x-range
+contains the deleted static point, supplied by the service at
+:meth:`DeltaBuffer.add_tombstone` time).  A batch of ``Q`` queries over
+``S`` shards therefore probes only each shard's own bucket instead of
+sweeping every tombstone ``Q * S`` times.  Buckets are maintained on every
+mutation path -- tombstone creation, revival by re-insert, and
+:meth:`DeltaBuffer.clear` at compaction -- and shard ids stay valid for the
+bucket's whole lifetime because compaction clears the buffer whenever shard
+boundaries move.
 """
 
 from __future__ import annotations
@@ -37,6 +47,11 @@ class DeltaBuffer:
     def __init__(self) -> None:
         self.inserts: Dict[Key, Point] = {}
         self.tombstones: Dict[Key, Point] = {}
+        # Shard-id buckets over the same tombstones (``None`` = unknown
+        # owner, checked by every shard) plus the reverse key -> sid map
+        # that keeps revival O(1).
+        self._tombstones_by_shard: Dict[Optional[int], Dict[Key, Point]] = {}
+        self._tombstone_shard: Dict[Key, Optional[int]] = {}
         # Bumped on every mutation; result-cache keys embed it, so any
         # write implicitly invalidates every cached answer.
         self.version = 0
@@ -52,30 +67,51 @@ class DeltaBuffer:
         key = point_key(point)
         if key in self.tombstones:
             del self.tombstones[key]
+            self._unbucket(key)
         else:
             self.inserts[key] = point
         self.version += 1
 
-    def remove_insert(self, point: Point) -> bool:
+    def remove_insert(self, point: Point) -> Optional[Point]:
         """Drop a pending insert matching ``point``; prefers an exact
-        ``ident`` match among coordinate twins.  Returns success."""
+        ``ident`` match among coordinate twins.  Returns the removed point
+        (so callers can log exactly which point died), or ``None``."""
         victim = self._match(self.inserts, point)
         if victim is None:
-            return False
-        del self.inserts[victim]
+            return None
+        removed = self.inserts.pop(victim)
         self.version += 1
-        return True
+        return removed
 
-    def add_tombstone(self, point: Point) -> None:
-        """Record that the *static* point ``point`` is deleted."""
-        self.tombstones[point_key(point)] = point
+    def add_tombstone(self, point: Point, sid: Optional[int] = None) -> None:
+        """Record that the *static* point ``point`` is deleted.
+
+        ``sid`` is the id of the shard owning the point; it buckets the
+        tombstone so queries against other shards never scan it.  ``None``
+        (owner unknown) lands in a catch-all bucket every shard checks.
+        """
+        key = point_key(point)
+        if key in self.tombstones:
+            self._unbucket(key)
+        self.tombstones[key] = point
+        self._tombstone_shard[key] = sid
+        self._tombstones_by_shard.setdefault(sid, {})[key] = point
         self.version += 1
 
     def clear(self) -> None:
         """Empty the buffer (after a compaction)."""
         self.inserts.clear()
         self.tombstones.clear()
+        self._tombstones_by_shard.clear()
+        self._tombstone_shard.clear()
         self.version += 1
+
+    def _unbucket(self, key: Key) -> None:
+        sid = self._tombstone_shard.pop(key)
+        bucket = self._tombstones_by_shard[sid]
+        del bucket[key]
+        if not bucket:
+            del self._tombstones_by_shard[sid]
 
     # ------------------------------------------------------------------
     # Query-side views
@@ -87,16 +123,32 @@ class DeltaBuffer:
         """Pending inserts inside the query rectangle."""
         return [p for p in self.inserts.values() if query.contains(p)]
 
-    def tombstone_hits(self, query: RangeQuery, x_lo: float, x_hi: float) -> bool:
+    def shard_tombstones(self, sid: Optional[int]) -> List[Point]:
+        """The tombstones bucketed under shard ``sid`` (test/introspection)."""
+        return list(self._tombstones_by_shard.get(sid, {}).values())
+
+    def tombstone_hits(
+        self,
+        query: RangeQuery,
+        x_lo: float,
+        x_hi: float,
+        sid: Optional[int] = None,
+    ) -> bool:
         """Whether a tombstone lies inside ``query`` within ``[x_lo, x_hi)``.
 
         Only then is the static answer of the shard covering that x-range
         unreliable (a deleted point outside the rectangle can neither appear
-        in, nor have dominated anything in, the answer).
+        in, nor have dominated anything in, the answer).  When the caller
+        passes its shard id, only that shard's bucket (plus the unknown-owner
+        catch-all) is scanned; without a ``sid`` the full table is swept.
         """
+        if sid is None:
+            candidates = list(self.tombstones.values())
+        else:
+            candidates = self.shard_tombstones(sid)
+            candidates.extend(self.shard_tombstones(None))
         return any(
-            x_lo <= t.x < x_hi and query.contains(t)
-            for t in self.tombstones.values()
+            x_lo <= t.x < x_hi and query.contains(t) for t in candidates
         )
 
     def _match(self, table: Dict[Key, Point], point: Point) -> Optional[Key]:

@@ -1,0 +1,56 @@
+"""repro.service.durability -- WAL + snapshot persistence for the service.
+
+The subsystem has four parts, all running on a dedicated
+:class:`repro.em.StorageManager` so durability overhead shows up in the
+same block-transfer ledger the paper's bounds are stated in:
+
+* :class:`~repro.service.durability.store.DurableStore` -- the simulated
+  persistent medium that outlives a service process: WAL blocks, snapshot
+  blocks and the manifest chain.
+* :class:`~repro.service.durability.wal.WriteAheadLog` -- append-only,
+  group-committed logging of every insert/delete/compact, one block write
+  per committed group.
+* :mod:`~repro.service.durability.snapshot` -- block-level serialisation
+  of the rebuilt shards at compaction checkpoints, plus the mirror-image
+  loader recovery uses.
+* :class:`~repro.service.durability.crash.CrashSimulator` -- kill-at-any-
+  WAL-prefix copies of a store, the adversary the recovery tests run
+  against.
+
+Recovery itself lives on the service facade
+(:meth:`repro.service.SkylineService.open`): load the newest surviving
+snapshot, replay the WAL suffix past its ``folded_lsn`` into the delta, and
+report the whole thing in block transfers -- ``O(n/B)`` snapshot reads,
+``O(w/B)`` suffix reads for ``w`` unfolded records, plus the shard-machine
+transfers that rebuild the indexes (including rebuilds triggered by
+replayed compaction records).
+"""
+
+from repro.service.durability.crash import CrashSimulator, crashed_copy
+from repro.service.durability.snapshot import (
+    SnapshotManifest,
+    load_snapshot,
+    write_snapshot_blocks,
+)
+from repro.service.durability.store import DurableStore
+from repro.service.durability.wal import (
+    OP_COMPACT,
+    OP_DELETE,
+    OP_INSERT,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "DurableStore",
+    "WriteAheadLog",
+    "WalRecord",
+    "SnapshotManifest",
+    "write_snapshot_blocks",
+    "load_snapshot",
+    "CrashSimulator",
+    "crashed_copy",
+    "OP_INSERT",
+    "OP_DELETE",
+    "OP_COMPACT",
+]

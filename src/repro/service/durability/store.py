@@ -1,0 +1,189 @@
+"""The durable store: the simulated persistent medium a service survives on.
+
+A :class:`DurableStore` is the one object that outlives a
+:class:`repro.service.SkylineService` process.  It owns a dedicated
+:class:`repro.em.StorageManager` (with *no* buffer pool -- durability
+writes must reach the platter, a write-back cache would defeat the WAL) and
+three persistent areas on it:
+
+* the **WAL area**: an ordered list of blocks, each holding up to ``B``
+  :class:`~repro.service.durability.wal.WalRecord` s, appended by the
+  write-ahead log's group commits (one charged block write each);
+* the **snapshot area**: per-shard point blocks written at compaction
+  checkpoints by :mod:`~repro.service.durability.snapshot`;
+* the **manifest chain**: one block per installed
+  :class:`~repro.service.durability.snapshot.SnapshotManifest`, each naming
+  the snapshot blocks and the LSN up to which the WAL is folded in.
+
+Everything the store keeps outside disk blocks (block ids, record counts,
+the manifest list) is directory metadata a real implementation would hold
+in a superblock; it is deliberately tiny and free, while every byte of
+point or log payload moves through charged block transfers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+from repro.em.config import EMConfig
+from repro.em.counters import IOStats
+from repro.em.disk import BlockId
+from repro.em.storage import StorageManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.service.config import ServiceConfig
+    from repro.service.durability.snapshot import SnapshotManifest
+    from repro.service.durability.wal import WalRecord
+
+
+class DurableStore:
+    """The persistent medium: WAL blocks, snapshot blocks, manifests."""
+
+    def __init__(self, em_config: Optional[EMConfig] = None) -> None:
+        self.em_config = em_config or EMConfig()
+        # The durability ledger: every WAL append, snapshot write and
+        # replay read is charged here, separate from the query-path
+        # ledgers of the shard machines.
+        self.stats = IOStats()
+        self.storage = StorageManager(
+            self.em_config, stats=self.stats, use_cache=False
+        )
+        # WAL directory: (block id, records in block), in append order.
+        self.wal_blocks: List[Tuple[BlockId, int]] = []
+        self.wal_durable: int = 0
+        # LSN of the last record dropped by :meth:`reclaim`; the retained
+        # WAL blocks hold exactly records ``wal_base + 1 .. wal_durable``.
+        self.wal_base: int = 0
+        # Installed snapshot manifests, in increasing installed_lsn order.
+        self.manifests: List["SnapshotManifest"] = []
+        # The config the owning service ran with; SkylineService.open
+        # falls back to it so recovery needs nothing but the store.
+        self.service_config: Optional["ServiceConfig"] = None
+
+    # ------------------------------------------------------------------
+    # WAL area
+    # ------------------------------------------------------------------
+    @property
+    def block_size(self) -> int:
+        return self.storage.block_size
+
+    def append_wal_records(self, records: Sequence["WalRecord"]) -> int:
+        """Persist ``records`` in blocks of at most ``B``; returns blocks written."""
+        written = 0
+        for start in range(0, len(records), self.block_size):
+            chunk = list(records[start : start + self.block_size])
+            block_id = self.storage.create(chunk)
+            self.wal_blocks.append((block_id, len(chunk)))
+            self.wal_durable += len(chunk)
+            written += 1
+        return written
+
+    def read_wal_suffix(self, after_lsn: int) -> Iterator["WalRecord"]:
+        """Durable records with ``lsn > after_lsn``, charging one read per
+        block actually touched (blocks wholly folded into a snapshot are
+        skipped for free -- that is the point of snapshotting)."""
+        first_lsn = self.wal_base
+        for block_id, count in self.wal_blocks:
+            if first_lsn + count > after_lsn:
+                for record in self.storage.read(block_id):
+                    if record.lsn > after_lsn:
+                        yield record
+            first_lsn += count
+
+    def wal_block_count(self) -> int:
+        return len(self.wal_blocks)
+
+    # ------------------------------------------------------------------
+    # Manifest chain
+    # ------------------------------------------------------------------
+    def install_manifest(self, manifest: "SnapshotManifest") -> "SnapshotManifest":
+        """Write the manifest block (one write) and chain it as the newest."""
+        block_id = self.storage.create(manifest)
+        installed = dataclasses.replace(manifest, block_id=block_id)
+        self.manifests.append(installed)
+        return installed
+
+    def latest_manifest(
+        self, max_installed_lsn: Optional[int] = None
+    ) -> Optional["SnapshotManifest"]:
+        """The newest manifest (optionally restricted to those installed at
+        or before ``max_installed_lsn``, the crash simulator's view)."""
+        for manifest in reversed(self.manifests):
+            if max_installed_lsn is None or manifest.installed_lsn <= max_installed_lsn:
+                return manifest
+        return None
+
+    def snapshot_block_count(self) -> int:
+        """Blocks held by installed snapshots (manifest blocks included)."""
+        return sum(m.block_count for m in self.manifests)
+
+    # ------------------------------------------------------------------
+    # Space reclamation
+    # ------------------------------------------------------------------
+    def reclaim(self) -> dict:
+        """Free superseded snapshots and the WAL prefix folded into the
+        newest manifest; returns the freed block counts.
+
+        Recovery only ever loads the newest surviving manifest, so once a
+        manifest is durable every older snapshot -- and every WAL block
+        whose records are all folded into it -- is unreachable garbage; a
+        store that never reclaims grows without bound even at constant
+        live-set size.  Frees are bookkeeping (the cost model charges
+        transfers, not deallocation).  Reclamation is deliberately an
+        explicit operator action, not an install-time side effect: the
+        crash simulator can only replay kill points at or after the
+        retained history (``wal_base``), so tests enumerate crashes first
+        and operators reclaim on their own cadence.
+        """
+        freed_snapshot = 0
+        freed_wal = 0
+        if self.manifests:
+            newest = self.manifests[-1]
+            for manifest in self.manifests[:-1]:
+                for shard_ids in manifest.shard_blocks:
+                    for block_id in shard_ids:
+                        self.storage.free(block_id)
+                        freed_snapshot += 1
+                if manifest.block_id is not None:
+                    self.storage.free(manifest.block_id)
+                    freed_snapshot += 1
+            self.manifests = [newest]
+            # Folded records form an LSN prefix, so the freeable WAL
+            # blocks are exactly a leading run of the directory.
+            while self.wal_blocks:
+                block_id, count = self.wal_blocks[0]
+                if self.wal_base + count > newest.folded_lsn:
+                    break
+                self.storage.free(block_id)
+                self.wal_blocks.pop(0)
+                self.wal_base += count
+                freed_wal += 1
+        return {
+            "snapshot_blocks_freed": freed_snapshot,
+            "wal_blocks_freed": freed_wal,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def blocks_in_use(self) -> int:
+        return self.storage.blocks_in_use()
+
+    def describe(self) -> dict:
+        """Durability counters for dashboards and benchmark reports."""
+        return {
+            "wal_durable_records": self.wal_durable,
+            "wal_blocks": self.wal_block_count(),
+            "snapshots": len(self.manifests),
+            "snapshot_blocks": self.snapshot_block_count(),
+            "reads": self.stats.reads,
+            "writes": self.stats.writes,
+            "blocks_in_use": self.blocks_in_use(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DurableStore(wal={self.wal_durable} records/"
+            f"{self.wal_block_count()} blocks, snapshots={len(self.manifests)})"
+        )

@@ -11,28 +11,63 @@ between writes.  The public surface mirrors
 :class:`repro.RangeSkylineIndex` (``query``, ``query_many``, ``insert``,
 ``delete``, ``skyline``, ``io_total``), so the two are interchangeable in
 benchmarks and applications.
+
+I/O accounting
+--------------
+Every shard machine charges a *private* :class:`~repro.em.counters.IOStats`
+ledger, and the service-wide total is an
+:class:`~repro.em.counters.IOStatsGroup` summing them (plus a retired-ledger
+accumulator that keeps totals monotone across compaction rebuilds, and the
+durability store's ledger when durability is on).  Nothing is ever shared
+between batch workers, so ``parallelism > 1`` charges bit-identical totals
+to a serial run.  When a tombstone forces a shard to recompute its local
+skyline from resident points, that scan is charged as
+``ceil(resident / B)`` block reads on the shard's ledger -- the fallback is
+never free, so sharded-vs-monolithic comparisons stay honest under deletes.
+
+Durability
+----------
+With ``ServiceConfig(durability=True)`` the service runs on a
+:class:`~repro.service.durability.DurableStore`: every acknowledged
+insert/delete is appended to a group-committed write-ahead log, compactions
+log a checkpoint record and (every ``snapshot_every_compactions``-th time)
+serialise the rebuilt shards as block-level snapshots, and
+:meth:`SkylineService.open` rebuilds the exact durable state after a crash
+by loading the newest surviving snapshot and replaying the WAL suffix --
+all of it charged to the store's block-transfer ledger.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.point import Point
 from repro.core.queries import RangeQuery
 from repro.core.skyline import range_skyline
-from repro.em.counters import IOMeter, IOSnapshot, IOStats
+from repro.em.counters import IOMeter, IOSnapshot, IOStats, IOStatsGroup
 from repro.service.batch import build_worklists, execute_worklists
 from repro.service.cache import ResultCache, make_key
 from repro.service.config import ServiceConfig
 from repro.service.delta import DeltaBuffer
+from repro.service.durability import (
+    OP_COMPACT,
+    OP_DELETE,
+    OP_INSERT,
+    DurableStore,
+    SnapshotManifest,
+    WriteAheadLog,
+    load_snapshot,
+    write_snapshot_blocks,
+)
 from repro.service.merge import merge_shard_skylines, merge_with_delta
 from repro.service.router import ShardRouter, size_balanced_cuts
 from repro.service.shard import Shard
 
 
 class SkylineService:
-    """A sharded, batched, updatable range-skyline query service.
+    """A sharded, batched, updatable, optionally durable skyline service.
 
     Parameters
     ----------
@@ -40,6 +75,11 @@ class SkylineService:
         The initial point set.
     config:
         Service tunables; defaults to :class:`ServiceConfig()`.
+    store:
+        An existing :class:`~repro.service.durability.DurableStore` to run
+        on (implies ``durability=True``); by default a durable service
+        creates a fresh store.  :meth:`open` is the recovery entry point
+        that rebuilds a service *from* a store.
     overrides:
         Convenience keyword overrides applied on top of ``config``
         (``SkylineService(points, shard_count=8)``).
@@ -49,11 +89,18 @@ class SkylineService:
         self,
         points: Iterable[Point],
         config: Optional[ServiceConfig] = None,
+        store: Optional[DurableStore] = None,
+        _recovering: bool = False,
         **overrides: object,
     ) -> None:
         base = config or ServiceConfig()
         self.config = dataclasses.replace(base, **overrides) if overrides else base
-        self.stats = IOStats()
+        if store is not None and not self.config.durability:
+            self.config = dataclasses.replace(self.config, durability=True)
+        # Retired ledger: absorbs each dead shard generation's counters on
+        # rebuild, so io_total() stays monotone across compactions.
+        self._retired = IOStats()
+        self.stats = IOStatsGroup([self._retired])
         self.delta = DeltaBuffer()
         self.cache = ResultCache(self.config.cache_capacity)
         self.compactions = 0
@@ -62,9 +109,122 @@ class SkylineService:
         # Build generation: seeds every shard's epoch so cache keys can
         # never collide across compactions.
         self._generation = 0
+        # True while `open` replays the WAL suffix: replayed operations are
+        # applied but never re-logged, re-snapshotted or auto-compacted.
+        self._replaying = False
+        # Set by `open` with the block-transfer cost of the last recovery.
+        self.recovery: Optional[Dict[str, int]] = None
         self.router: ShardRouter
-        self.shards: List[Shard]
+        self.shards: List[Shard] = []
+        self.store: Optional[DurableStore] = None
+        self.wal: Optional[WriteAheadLog] = None
         self._build_shards(list(points))
+        if self.config.durability:
+            durable_store = store if store is not None else DurableStore(
+                self.config.shard_em_config()
+            )
+            virgin = (
+                durable_store.latest_manifest() is None
+                and durable_store.wal_durable == 0
+            )
+            if not virgin and not _recovering:
+                # A used store holds some service's durable state; silently
+                # running fresh points on top would make recovery resurrect
+                # the old state and lose these points entirely.  Reject
+                # before touching the store, so its recorded config and
+                # ledgers stay exactly as the owning service left them.
+                raise ValueError(
+                    "store already holds a service's durable state; recover "
+                    "it with SkylineService.open(store), or start on a "
+                    "fresh DurableStore"
+                )
+            self.store = durable_store
+            self.store.service_config = self.config
+            self.wal = WriteAheadLog(self.store, self.config.wal_group_commit)
+            self.stats.add(self.store.stats)
+            if virgin:
+                # Baseline snapshot at service birth: recovery always has a
+                # snapshot to stand on, so a crash before the first
+                # compaction replays only the WAL suffix past LSN 0.
+                self._write_snapshot(folded_lsn=0, installed_lsn=0)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        store: DurableStore,
+        config: Optional[ServiceConfig] = None,
+        **overrides: object,
+    ) -> "SkylineService":
+        """Rebuild the service a crash (or clean shutdown) left on ``store``.
+
+        Loads the newest surviving snapshot (``O(n/B)`` block reads),
+        replays the durable WAL suffix past its ``folded_lsn`` (``O(w/B)``
+        reads for ``w`` unfolded records), and returns a service whose
+        ``live_points()`` and query answers equal the pre-crash durable
+        state.  The block-transfer cost is recorded in :attr:`recovery`
+        (and surfaced by :meth:`describe`), split into the terms the
+        snapshot cadence trades against each other: ``snapshot_load_io``
+        (store reads for the point blocks), ``replay_io`` (store reads
+        for the WAL suffix) and ``rebuild_io`` (shard-machine transfers
+        rebuilding the indexes, including rebuilds replayed compaction
+        records trigger), with ``recovery_io`` their sum.
+        """
+        base = config or store.service_config or ServiceConfig()
+        cfg = dataclasses.replace(base, **overrides) if overrides else base
+        if not cfg.durability:
+            cfg = dataclasses.replace(cfg, durability=True)
+        start = store.stats.snapshot()
+        manifest = store.latest_manifest()
+        if manifest is None:  # virgin store: nothing to load or replay
+            points: List[Point] = []
+            folded = 0
+        else:
+            points = load_snapshot(store, manifest)
+            folded = manifest.folded_lsn
+        loaded = store.stats.snapshot()
+        service = cls(points, cfg, store=store, _recovering=True)
+        # Measure replay from after the constructor: on a virgin store the
+        # constructor writes the baseline snapshot, which is birth cost,
+        # not replay.
+        constructed = store.stats.snapshot()
+        replayed = 0
+        service._replaying = True
+        try:
+            for record in store.read_wal_suffix(folded):
+                replayed += 1
+                if record.op == OP_INSERT:
+                    service.insert(record.point())
+                elif record.op == OP_DELETE:
+                    service.delete(record.point())
+                elif record.op == OP_COMPACT:
+                    service.compact()
+                else:  # pragma: no cover - corrupt record
+                    raise ValueError(f"unknown WAL op {record.op!r}")
+        finally:
+            service._replaying = False
+        snapshot_load = loaded - start
+        replay_io = store.stats.snapshot() - constructed
+        # Every shard-side transfer so far happened inside this open():
+        # the initial rebuild from the snapshot points plus any full
+        # rebuilds replayed compaction records triggered.
+        rebuild_io = service.query_io_total()
+        service.recovery = {
+            "snapshot_points": len(points),
+            "snapshot_generation": 0 if manifest is None else manifest.generation,
+            "folded_lsn": folded,
+            "snapshot_load_reads": snapshot_load.reads,
+            "snapshot_load_io": snapshot_load.total,
+            "replayed_records": replayed,
+            "replay_reads": replay_io.reads,
+            "replay_writes": replay_io.writes,
+            "replay_io": replay_io.total,
+            "rebuild_io": rebuild_io,
+            "recovery_io": snapshot_load.total + replay_io.total + rebuild_io,
+        }
+        return service
 
     # ------------------------------------------------------------------
     # Construction / compaction
@@ -78,6 +238,10 @@ class SkylineService:
                 "points must be in general position (distinct x and distinct y); "
                 "pre-process with repro.core.point.ensure_general_position"
             )
+        # Retire the outgoing generation's ledgers before the new shards
+        # start charging, so the aggregate never loses what was paid.
+        for shard in self.shards:
+            self._retired.absorb(shard.stats)
         cuts = size_balanced_cuts(points, self.config.shard_count)
         self.router = ShardRouter(cuts)
         buckets: List[List[Point]] = [[] for _ in range(self.router.shard_count)]
@@ -95,11 +259,14 @@ class SkylineService:
                     x_hi,
                     bucket,
                     em_config,
-                    self.stats,
                     epsilon=self.config.epsilon,
                     epoch=self._generation,
                 )
             )
+        members = [self._retired] + [shard.stats for shard in self.shards]
+        if self.store is not None:
+            members.append(self.store.stats)
+        self.stats.set_members(members)
 
     def compact(self) -> None:
         """Fold the delta into the static shards and rebalance boundaries.
@@ -107,20 +274,56 @@ class SkylineService:
         Rebuilds every shard from the live point set (static points minus
         tombstones, plus pending inserts), re-cutting shard boundaries so
         the shards come out size-balanced again; then empties the delta and
-        drops the result cache.  Rebuild I/Os are charged to the shared
-        counters -- that is the amortised cost the logarithmic method pays
-        for keeping queries on static-structure speeds.
+        drops the result cache.  Rebuild I/Os are charged to the new
+        generation's ledgers -- that is the amortised cost the logarithmic
+        method pays for keeping queries on static-structure speeds.
+
+        On a durable service the compaction first logs a checkpoint record
+        (forcing the whole WAL tail durable) and, every
+        ``snapshot_every_compactions``-th time, serialises the rebuilt
+        shards as a block-level snapshot anchored at that record.
         """
+        checkpoint = None
+        if self.wal is not None and not self._replaying:
+            checkpoint = self.wal.log_compact()
         self._build_shards(self.live_points())
         self.delta.clear()
         self.cache.invalidate_all()
         self.compactions += 1
+        if (
+            checkpoint is not None
+            and self.compactions % self.config.snapshot_every_compactions == 0
+        ):
+            self._write_snapshot(
+                folded_lsn=checkpoint.lsn, installed_lsn=checkpoint.lsn
+            )
+
+    def _write_snapshot(self, folded_lsn: int, installed_lsn: int) -> None:
+        """Serialise the (delta-free) shards to the store and chain a manifest."""
+        assert self.store is not None
+        blocks, total = write_snapshot_blocks(
+            self.store, [shard.points for shard in self.shards]
+        )
+        self.store.install_manifest(
+            SnapshotManifest(
+                generation=self._generation,
+                folded_lsn=folded_lsn,
+                installed_lsn=installed_lsn,
+                cuts=tuple(self.router.cuts),
+                shard_blocks=blocks,
+                point_count=total,
+            )
+        )
 
     def delta_exceeds_threshold(self) -> bool:
         """Whether a background scheduler should trigger :meth:`compact`."""
         return len(self.delta) >= self.config.delta_threshold
 
     def _maybe_compact(self) -> None:
+        # During replay, compactions happen exactly where the WAL recorded
+        # them, never where the threshold would re-trigger one.
+        if self._replaying:
+            return
         if self.config.auto_compact and self.delta_exceeds_threshold():
             self.compact()
 
@@ -193,11 +396,17 @@ class SkylineService:
         A tombstone inside the rectangle invalidates the shard's static
         answer (the deleted point may have dominated points that must now
         resurface), so the local skyline is recomputed from the shard's
-        resident live points; otherwise the static structure answers at
-        full I/O efficiency.
+        resident points -- a scan charged as ``ceil(resident / B)`` block
+        reads on the shard's own ledger (the fallback is not free, and
+        charging the shard keeps parallel totals exact); otherwise the
+        static structure answers at full I/O efficiency.
         """
         shard = self.shards[sid]
-        if self.delta.tombstone_hits(query, shard.x_lo, shard.x_hi):
+        if self.delta.tombstone_hits(query, shard.x_lo, shard.x_hi, sid):
+            scanned = len(shard.points)
+            shard.stats.record_read(
+                max(1, math.ceil(scanned / self.config.block_size))
+            )
             live = [p for p in shard.points if not self.delta.is_deleted(p)]
             return range_skyline(live, query)
         return shard.query(query)
@@ -215,13 +424,16 @@ class SkylineService:
         The general-position assumption every structure of the paper makes
         is enforced here, at the write boundary: a coordinate colliding
         with a live point raises immediately instead of corrupting a later
-        compaction rebuild.
+        compaction rebuild.  On a durable service the accepted insert is
+        appended to the WAL before it is applied.
         """
         if point.x in self._live_xs or point.y in self._live_ys:
             raise ValueError(
                 f"coordinate collision with a live point: {point}; the service "
                 "requires general position (distinct x and distinct y)"
             )
+        if self.wal is not None and not self._replaying:
+            self.wal.log_insert(point)
         self._live_xs.add(point.x)
         self._live_ys.add(point.y)
         self.delta.insert(point)
@@ -232,13 +444,20 @@ class SkylineService:
 
         Among coordinate twins, a point with the same ``ident`` is
         preferred.  A pending insert is simply dropped from the delta; a
-        static point gets a tombstone until the next compaction.
+        static point gets a tombstone (bucketed under its owning shard)
+        until the next compaction.  On a durable service the *exact* victim
+        -- coordinates plus ``ident`` -- is logged, so replay removes
+        precisely the point the live service removed.
         """
-        if self.delta.remove_insert(point):
-            self._live_xs.discard(point.x)
-            self._live_ys.discard(point.y)
+        removed = self.delta.remove_insert(point)
+        if removed is not None:
+            if self.wal is not None and not self._replaying:
+                self.wal.log_delete(removed)
+            self._live_xs.discard(removed.x)
+            self._live_ys.discard(removed.y)
             return True
-        shard = self.shards[self.router.route_point(point.x)]
+        sid = self.router.route_point(point.x)
+        shard = self.shards[sid]
         candidates = [
             p
             for p in shard.points
@@ -249,7 +468,9 @@ class SkylineService:
         victim = next(
             (p for p in candidates if p.ident == point.ident), candidates[0]
         )
-        self.delta.add_tombstone(victim)
+        if self.wal is not None and not self._replaying:
+            self.wal.log_delete(victim)
+        self.delta.add_tombstone(victim, sid)
         self._live_xs.discard(victim.x)
         self._live_ys.discard(victim.y)
         self._maybe_compact()
@@ -274,7 +495,8 @@ class SkylineService:
         return sum(len(shard) for shard in self.shards) + pending
 
     def io_total(self) -> int:
-        """Block transfers charged across every shard machine so far."""
+        """Block transfers charged across every shard machine so far (plus
+        the durability store, when durability is on)."""
         return self.stats.total
 
     def snapshot(self) -> IOSnapshot:
@@ -283,6 +505,37 @@ class SkylineService:
     def meter(self) -> IOMeter:
         """``with service.meter() as m: ...`` measures I/Os of the block."""
         return IOMeter(self.stats)
+
+    def close(self) -> int:
+        """Clean shutdown: force the WAL tail durable; returns records flushed.
+
+        Without it, up to ``wal_group_commit - 1`` acknowledged updates
+        sitting in the in-memory tail are lost on a crash -- that is the
+        group-commit trade-off, not a bug.  A no-op (returning 0) on a
+        non-durable service.
+        """
+        return 0 if self.wal is None else self.wal.flush()
+
+    def reclaim(self) -> Dict[str, int]:
+        """Free superseded snapshots and the folded WAL prefix on the store.
+
+        A long-running durable service otherwise grows its store without
+        bound (every snapshot and WAL block is retained forever).  Note
+        that reclaimed history can no longer be crash-simulated -- see
+        :meth:`repro.service.DurableStore.reclaim`.  A no-op on a
+        non-durable service.
+        """
+        if self.store is None:
+            return {"snapshot_blocks_freed": 0, "wal_blocks_freed": 0}
+        return self.store.reclaim()
+
+    def durability_io(self) -> int:
+        """Block transfers charged to the durability store (0 when off)."""
+        return 0 if self.store is None else self.store.stats.total
+
+    def query_io_total(self) -> int:
+        """Block transfers excluding durability (query/build path only)."""
+        return self.io_total() - self.durability_io()
 
     def drop_caches(self) -> None:
         """Empty every shard's buffer pool (cold-cache measurements)."""
@@ -300,7 +553,7 @@ class SkylineService:
 
     def describe(self) -> Dict[str, object]:
         """A status snapshot a service dashboard would render."""
-        return {
+        status: Dict[str, object] = {
             "shard_count": len(self.shards),
             "shard_sizes": [len(shard) for shard in self.shards],
             "shard_epochs": [shard.epoch for shard in self.shards],
@@ -314,4 +567,13 @@ class SkylineService:
             "coalesced": self.coalesced,
             "io_total": self.io_total(),
             "blocks_in_use": self.blocks_in_use(),
+            "durability": self.config.durability,
         }
+        if self.store is not None and self.wal is not None:
+            durability = dict(self.store.describe())
+            durability["wal_pending"] = self.wal.pending
+            durability["group_commit"] = self.wal.group_commit_size
+            if self.recovery is not None:
+                durability["recovery"] = dict(self.recovery)
+            status["durability_detail"] = durability
+        return status

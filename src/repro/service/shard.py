@@ -3,10 +3,12 @@
 Each shard owns the points whose x-coordinates fall in its half-open range
 ``[x_lo, x_hi)`` and answers queries with a private
 :class:`repro.RangeSkylineIndex` built over a private
-:class:`repro.em.StorageManager`.  All shard machines share one
-:class:`repro.em.counters.IOStats`, so the service-wide I/O total is the sum
-of whatever every shard charged -- the same quantity the monolithic index
-reports, which keeps the benchmark comparison honest.
+:class:`repro.em.StorageManager`.  Every shard machine also owns a *private*
+:class:`repro.em.counters.IOStats` ledger: concurrent batch workers then
+never touch the same counter, so ``parallelism > 1`` cannot drop
+increments.  The service-wide I/O total is the sum over the per-shard
+ledgers (see :class:`repro.em.counters.IOStatsGroup`) -- the same quantity
+the monolithic index reports, which keeps the benchmark comparison honest.
 """
 
 from __future__ import annotations
@@ -31,7 +33,6 @@ class Shard:
         x_hi: float,
         points: Sequence[Point],
         em_config: EMConfig,
-        stats: IOStats,
         epsilon: float = 0.5,
         epoch: int = 0,
     ) -> None:
@@ -39,7 +40,11 @@ class Shard:
         self.x_lo = x_lo
         self.x_hi = x_hi
         self.em_config = em_config
-        self.stats = stats
+        # Always a private ledger -- deliberately not injectable: a shared
+        # IOStats across shards is exactly what made parallel batch
+        # execution drop increments before the service summed per-shard
+        # ledgers through IOStatsGroup.
+        self.stats = IOStats()
         self.epsilon = epsilon
         # Epoch increments on every rebuild; the service seeds it with the
         # compaction generation, and the result cache keys on it so entries
