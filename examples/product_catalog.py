@@ -6,17 +6,21 @@ asks: "among the products whose price and rating fall in my acceptable
 ranges, which ones are not beaten on both criteria?"  That is exactly a
 range skyline query after mapping price to the x-axis as ``-price``.
 
-The example compares the paper's structure against the naive full-scan
-baseline on the same queries and reports the I/O savings.
+The example serves the catalogue through the unified
+:class:`repro.engine.SkylineEngine` -- each budget is one
+:class:`~repro.engine.QueryRequest`, each answer carries its execution
+report -- and compares the charged I/O against the naive full-scan
+baseline on the same queries.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro import FourSidedQuery, Point, RangeSkylineIndex
+from repro import FourSidedQuery, Point
 from repro.baselines import NaiveScanSkyline
 from repro.em import EMConfig, StorageManager
+from repro.engine import QueryRequest, SkylineEngine
 
 
 def build_catalogue(n: int, seed: int = 7) -> list:
@@ -37,9 +41,10 @@ def describe(point: Point) -> str:
 
 
 def main() -> None:
-    storage = StorageManager(EMConfig(block_size=64, memory_blocks=32))
     catalogue = build_catalogue(8_000)
-    index = RangeSkylineIndex(storage, catalogue)
+    engine = SkylineEngine.local(
+        catalogue, em_config=EMConfig(block_size=64, memory_blocks=32)
+    )
 
     budgets = [(100, 500, 40, 100), (300, 1200, 60, 100), (50, 250, 0, 80)]
     naive_storage = StorageManager(EMConfig(block_size=64, memory_blocks=32))
@@ -47,25 +52,28 @@ def main() -> None:
 
     for price_lo, price_hi, rating_lo, rating_hi in budgets:
         # Price range [lo, hi] maps to x in [-hi, -lo].
-        query = FourSidedQuery(-price_hi, -price_lo, rating_lo, rating_hi)
-
-        storage.drop_cache()
-        before = storage.snapshot()
-        offers = index.query(query)
-        index_io = (storage.snapshot() - before).total
+        request = QueryRequest(
+            FourSidedQuery(-price_hi, -price_lo, rating_lo, rating_hi)
+        )
+        result = engine.query(request)
 
         before = naive_storage.snapshot()
-        naive.query(query)
+        naive.query(request.rect)
         naive_io = (naive_storage.snapshot() - before).total
 
+        report = result.report
         print(
             f"price {price_lo:>4}-{price_hi:<4}  rating {rating_lo:>3}-{rating_hi:<3}"
-            f"  -> {len(offers):>3} undominated offers"
-            f"   [index: {index_io} I/Os, full scan: {naive_io} I/Os]"
+            f"  -> {result.total_results:>3} undominated offers"
+            f"   [engine ({report.structure}): {report.blocks} I/Os, "
+            f"bound predicted {report.predicted_io:.1f}, "
+            f"full scan: {naive_io} I/Os]"
         )
-        for point in sorted(offers, key=lambda p: -p.x)[:3]:
+        for point in sorted(result.points, key=lambda p: -p.x)[:3]:
             print(f"    {describe(point)}")
         print()
+
+    assert engine.attributed_io() == engine.io_total() - engine.build_io
 
 
 if __name__ == "__main__":

@@ -1,13 +1,17 @@
-"""Quickstart: index a point set and run every range-skyline query variant.
+"""Quickstart: the engine front door -- request, plan, result, report.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 
-The example builds the high-level :class:`repro.RangeSkylineIndex` over a
-small product-like dataset, issues one query of every shape from Figure 2 of
-the paper, and prints the block I/Os each query charged to the simulated
-external-memory machine.
+The example serves a small dataset through
+:class:`repro.engine.SkylineEngine` (the unified API over every backend),
+walks the three-step lifecycle of a request -- build a
+:class:`~repro.engine.QueryRequest`, ``explain`` it to see the plan
+(which structure serves it and what the paper says it should cost), then
+execute it and read the :class:`~repro.engine.ExecutionReport` (what it
+*actually* charged on the block-transfer ledger) -- and repeats one query
+of every Figure-2 shape on both backends.
 """
 
 from __future__ import annotations
@@ -18,25 +22,63 @@ from repro import (
     DominanceQuery,
     FourSidedQuery,
     LeftOpenQuery,
-    Point,
-    RangeSkylineIndex,
     RightOpenQuery,
     TopOpenQuery,
 )
-from repro.em import EMConfig, StorageManager
+from repro.em import EMConfig
+from repro.engine import QueryRequest, SkylineEngine
+from repro.service import ServiceConfig
 from repro.workloads import uniform_points
 
 
 def main() -> None:
-    # A simulated machine with 64-record blocks and a 32-block buffer pool.
-    storage = StorageManager(EMConfig(block_size=64, memory_blocks=32))
-
-    # 5 000 uniform points in general position.
+    # 5 000 uniform points in general position on a simulated machine
+    # with 64-record blocks.
     points = uniform_points(5_000, universe=100_000, seed=42)
-    index = RangeSkylineIndex(storage, points)
-    print(f"indexed {len(index)} points using {storage.blocks_in_use()} blocks")
-    print(f"construction charged {index.io_total()} block transfers\n")
 
+    # The same request API serves a single-machine index ...
+    local = SkylineEngine.local(
+        points, em_config=EMConfig(block_size=64, memory_blocks=32)
+    )
+    # ... and an 8-shard service (each shard on its own machine).
+    sharded = SkylineEngine.sharded(
+        points, ServiceConfig(shard_count=8, block_size=64, memory_blocks=32)
+    )
+    print(
+        f"indexed {len(local)} points; build cost: "
+        f"local={local.build_io}, sharded={sharded.build_io} block transfers\n"
+    )
+
+    # ------------------------------------------------------------------
+    # One request, start to finish.
+    # ------------------------------------------------------------------
+    request = QueryRequest(TopOpenQuery(20_000, 80_000, 60_000), limit=4)
+
+    plan = local.explain(request)  # no I/O happens here
+    print("request : top-open rectangle, limit=4")
+    print(f"plan    : variant={plan.variant!r} -> structure={plan.structure!r}")
+    print(f"          bound {plan.bound}, instantiated: {plan.formula}")
+
+    result = local.query(request)
+    report = result.report
+    print(
+        f"result  : {len(result.points)} of {result.total_results} maxima "
+        f"(next_cursor={result.next_cursor})"
+    )
+    print(
+        f"report  : charged {report.blocks} block transfers "
+        f"({report.reads} reads + {report.writes} writes); "
+        f"bound at k={report.result_size} predicted {report.predicted_io:.1f}"
+    )
+    cursor = result.next_cursor
+    if cursor is not None:
+        rest = local.query(QueryRequest(request.rect, limit=100, cursor=cursor))
+        print(f"page 2  : {len(rest.points)} more maxima from cursor {cursor:.0f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Every query variant of Figure 2, on both backends.
+    # ------------------------------------------------------------------
     queries = [
         ("top-open", TopOpenQuery(20_000, 80_000, 60_000)),
         ("right-open", RightOpenQuery(50_000, 20_000, 90_000)),
@@ -46,19 +88,32 @@ def main() -> None:
         ("contour", ContourQuery(55_000)),
         ("4-sided", FourSidedQuery(25_000, 75_000, 25_000, 75_000)),
     ]
-    header = f"{'query':<15} {'results':>8} {'I/Os':>6}"
+    header = (
+        f"{'query':<15} {'structure':<11} {'k':>4} "
+        f"{'local I/O':>10} {'sharded I/O':>12} {'visited':>8} {'pruned':>7}"
+    )
     print(header)
     print("-" * len(header))
-    for name, query in queries:
-        storage.drop_cache()
-        before = storage.snapshot()
-        result = index.query(query)
-        io = (storage.snapshot() - before).total
-        print(f"{name:<15} {len(result):>8} {io:>6}")
+    for name, rect in queries:
+        request = QueryRequest(rect, consistency="fresh")
+        a = local.query(request)
+        b = sharded.query(request)
+        assert sorted(p.as_tuple() for p in a.points) == sorted(
+            p.as_tuple() for p in b.points
+        )
+        print(
+            f"{name:<15} {a.plan.structure:<11} {a.total_results:>4} "
+            f"{a.report.blocks:>10} {b.report.blocks:>12} "
+            f"{b.report.shards_visited:>8} {b.report.shards_pruned:>7}"
+        )
 
-    print("\nfirst few maxima of the 4-sided query:")
-    for point in index.query(FourSidedQuery(25_000, 75_000, 25_000, 75_000))[:5]:
-        print(f"  ({point.x:.0f}, {point.y:.0f})")
+    # Per-request reports partition the ledger exactly.
+    for engine in (local, sharded):
+        assert engine.attributed_io() == engine.io_total() - engine.build_io
+    print(
+        f"\naccounting: every report's block count summed = ledger total "
+        f"(local {local.attributed_io()}, sharded {sharded.attributed_io()})"
+    )
 
 
 if __name__ == "__main__":

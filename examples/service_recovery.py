@@ -1,22 +1,23 @@
-"""Crash and recover a durable skyline service, end to end.
+"""Crash and recover a durable skyline engine, end to end.
 
 Run with::
 
     PYTHONPATH=src python examples/service_recovery.py
 
-The scenario mirrors an operator's worst day: a durable
-:class:`repro.service.SkylineService` absorbs mixed catalogue traffic
+The scenario mirrors an operator's worst day: a durable sharded
+:class:`repro.engine.SkylineEngine` absorbs mixed catalogue traffic
 (inserts, deletes, query batches, threshold-triggered compactions), its
 write-ahead log group-committing every update and its compactions leaving
 block-level shard snapshots behind -- and then the process dies at an
 arbitrary point of the durable WAL.  :func:`repro.service.crashed_copy`
 materialises the kill (only the durable prefix survives; the in-memory
-group-commit tail and any snapshot whose checkpoint record died are gone),
-and :meth:`repro.service.SkylineService.open` brings the service back:
-load the newest surviving snapshot, replay the WAL suffix, serve traffic
-again.  Every step prints its cost in block transfers -- the same ledger
-the paper's bounds are stated in -- and the recovered state is verified
-against an independently maintained reference.
+group-commit tail and any snapshot whose checkpoint record died are
+gone), and :meth:`repro.engine.SkylineEngine.open` -- the engine's
+durability passthrough -- brings the stack back behind the same request
+API: load the newest surviving snapshot, replay the WAL suffix, serve
+traffic again.  Every step prints its cost in block transfers -- the
+same ledger the paper's bounds are stated in -- and the recovered state
+is verified against an independently maintained reference.
 """
 
 from __future__ import annotations
@@ -26,7 +27,8 @@ import sys
 
 from repro import Point, RangeQuery, TopOpenQuery
 from repro.core.skyline import range_skyline
-from repro.service import ServiceConfig, SkylineService, crashed_copy
+from repro.engine import SkylineEngine
+from repro.service import ServiceConfig, crashed_copy
 from repro.workloads import clustered_points
 
 N = 2_000
@@ -43,7 +45,7 @@ def canon(points):
 def main() -> int:
     rng = random.Random(42)
     base = clustered_points(N, seed=7)
-    service = SkylineService(
+    engine = SkylineEngine.sharded(
         base,
         ServiceConfig(
             shard_count=4,
@@ -55,11 +57,12 @@ def main() -> int:
             snapshot_every_compactions=2,
         ),
     )
+    service = engine.backend.service
     store = service.store
-    print(f"durable service up: {len(service)} points, "
+    print(f"durable engine up: {len(engine)} points, "
           f"baseline snapshot = {store.snapshot_block_count()} blocks")
 
-    # `live` mirrors what the service acknowledged; `durable_live[k]` is
+    # `live` mirrors what the engine acknowledged; `durable_live[k]` is
     # the reference state once the first k WAL records are applied (the
     # first record of each write call carries the change, checkpoint
     # records change nothing).
@@ -70,6 +73,7 @@ def main() -> int:
         durable_live[service.wal.durable_count + service.wal.pending] = canon(live)
 
     for tick in range(TICKS):
+        write_io = 0
         for i in range(WRITES_PER_TICK):
             serial = tick * WRITES_PER_TICK + i
             if rng.random() < 0.7:
@@ -78,25 +82,27 @@ def main() -> int:
                     rng.uniform(0, UNIVERSE) + serial * 1e-4,
                     ident=500_000 + serial,
                 )
-                service.insert(point)
+                write_io += engine.insert(point).report.blocks
                 live.append(point)
             else:
                 victim = live.pop(rng.randrange(len(live)))
-                assert service.delete(victim)
+                outcome = engine.delete(victim)
+                assert outcome.applied
+                write_io += outcome.report.blocks
             note()
         queries = [
             TopOpenQuery(a, min(a + 0.05 * UNIVERSE, UNIVERSE), rng.uniform(0, UNIVERSE))
             for a in (rng.uniform(0, 0.95 * UNIVERSE) for _ in range(QUERIES_PER_TICK))
         ]
-        service.query_many(queries)
-        status = service.describe()
+        read_io = sum(r.report.blocks for r in engine.query_many(queries))
+        status = engine.describe()["backend"]
         durability = status["durability_detail"]
         print(
             f"tick {tick:2d}: live={status['live_points']} "
             f"compactions={status['compactions']} "
             f"wal={durability['wal_durable_records']}+{durability['wal_pending']} pending "
             f"snapshots={durability['snapshots']} "
-            f"durability_io={durability['reads'] + durability['writes']}"
+            f"read_io={read_io} write_io={write_io}"
         )
     for k in range(service.wal.durable_count + service.wal.pending + 1):
         if k not in durable_live:
@@ -117,8 +123,8 @@ def main() -> int:
     )
 
     # -- recovery ------------------------------------------------------
-    recovered = SkylineService.open(crashed)
-    recovery = recovered.recovery
+    recovered = SkylineEngine.open(crashed)
+    recovery = recovered.backend.service.recovery
     print(
         f"recovered: loaded snapshot gen {recovery['snapshot_generation']} "
         f"({recovery['snapshot_points']} points, folded to LSN {recovery['folded_lsn']}), "
@@ -126,10 +132,11 @@ def main() -> int:
         f"recovery cost = {recovery['recovery_io']} block transfers "
         f"({recovery['snapshot_load_io']} snapshot load + "
         f"{recovery['replay_io']} WAL replay + "
-        f"{recovery['rebuild_io']} index rebuild)"
+        f"{recovery['rebuild_io']} index rebuild) "
+        f"-- all of it engine build cost ({recovered.build_io} on the ledger)"
     )
 
-    if canon(recovered.live_points()) != durable_live[kill]:
+    if canon(recovered.backend.service.live_points()) != durable_live[kill]:
         print("FAILED: recovered live set diverges from the durable prefix")
         return 1
     expected_skyline = sorted(
@@ -138,18 +145,21 @@ def main() -> int:
             [Point(x, y, i) for x, y, i in durable_live[kill]], RangeQuery()
         )
     )
-    got_skyline = sorted((p.x, p.y) for p in recovered.skyline())
+    got = recovered.query(RangeQuery())
+    got_skyline = sorted((p.x, p.y) for p in got.points)
     if got_skyline != expected_skyline:
         print("FAILED: recovered skyline diverges")
         return 1
 
-    # The recovered service serves traffic immediately.
-    recovered.insert(Point(UNIVERSE + 1.0, UNIVERSE + 2.0, 999_999))
-    assert recovered.delete(Point(UNIVERSE + 1.0, UNIVERSE + 2.0, 999_999))
+    # The recovered engine serves traffic immediately -- with reports.
+    outcome = recovered.insert(Point(UNIVERSE + 1.0, UNIVERSE + 2.0, 999_999))
+    assert recovered.delete(Point(UNIVERSE + 1.0, UNIVERSE + 2.0, 999_999)).applied
+    flushed = recovered.close()  # clean shutdown: WAL tail forced durable
     print(
-        f"verified: {len(recovered.live_points())} live points match the durable "
+        f"verified: {len(recovered)} live points match the durable "
         f"prefix exactly; skyline({len(got_skyline)} points) matches; "
-        f"service is serving writes again"
+        f"writes served again ({outcome.report.blocks} I/Os logged), "
+        f"clean shutdown flushed {flushed} WAL records"
     )
     print("ok")
     return 0

@@ -1,19 +1,20 @@
-"""Traffic simulation: a sharded skyline service under mixed read/write load.
+"""Traffic simulation: a sharded skyline engine under mixed read/write load.
 
 Run with::
 
-    python examples/service_traffic_sim.py
+    PYTHONPATH=src python examples/service_traffic_sim.py
 
-The simulation drives a :class:`repro.service.SkylineService` the way a
-product-search tier would be driven: every tick delivers a *batch* of
-range-skyline queries (a Zipf-skewed mix of hot windows and fresh
+The simulation drives a sharded :class:`repro.engine.SkylineEngine` the
+way a product-search tier would be driven: every tick delivers a *batch*
+of range-skyline queries (a Zipf-skewed mix of hot windows and fresh
 rectangles) interleaved with a trickle of catalogue updates (new offers
-inserted, stale offers deleted).  Writes land in the in-memory delta and
-the service compacts -- rebuilding and re-balancing its shards -- whenever
-the delta passes the configured threshold.  Each tick prints the served
-queries, the result-cache hit rate, the block transfers charged across all
-shard machines, and the delta fill; a final summary checks the service
-against the in-memory reference skyline.
+inserted, stale offers deleted).  Every request comes back with its
+:class:`~repro.engine.ExecutionReport`, so the per-tick figures -- block
+transfers, cache hits, shard pruning -- are sums of per-request report
+fields rather than counter diffs; writes land in the in-memory delta and
+the service compacts (the report of the tripping write carries the
+rebuild cost) whenever the delta passes the configured threshold.  A
+final summary checks the engine against the in-memory reference skyline.
 """
 
 from __future__ import annotations
@@ -22,7 +23,9 @@ import random
 
 from repro import FourSidedQuery, Point, RangeQuery, TopOpenQuery
 from repro.core.skyline import range_skyline
-from repro.service import ServiceConfig, SkylineService
+from repro.engine import SkylineEngine
+from repro.service import ServiceConfig
+
 from repro.workloads import clustered_points
 
 TICKS = 12
@@ -60,7 +63,7 @@ def tick_queries(rng: random.Random, windows):
 def main() -> None:
     rng = random.Random(2013)
     points = clustered_points(8_000, universe=UNIVERSE, seed=7)
-    service = SkylineService(
+    engine = SkylineEngine.sharded(
         points,
         ServiceConfig(
             shard_count=8,
@@ -70,28 +73,30 @@ def main() -> None:
             cache_capacity=512,
         ),
     )
+    service = engine.backend.service
     live = list(points)
     next_ident = len(points)
     windows = make_hot_windows(rng, HOT_WINDOWS)
 
-    print(f"serving {len(service)} points from {len(service.shards)} shards")
+    print(f"serving {len(engine)} points from {len(service.shards)} shards")
     header = (
-        f"{'tick':>4} {'queries':>8} {'hit rate':>9} {'coalesced':>10} "
-        f"{'I/Os':>6} {'delta':>6} {'compactions':>12}"
+        f"{'tick':>4} {'queries':>8} {'cache hits':>11} {'pruned':>7} "
+        f"{'read I/O':>9} {'write I/O':>10} {'delta':>6} {'compactions':>12}"
     )
     print(header)
     print("-" * len(header))
     for tick in range(TICKS):
-        # Read batch.
-        before = service.io_total()
-        batch = tick_queries(rng, windows)
-        service.query_many(batch)
-        tick_io = service.io_total() - before
+        # Read batch: one report per request.
+        results = engine.query_many(tick_queries(rng, windows))
+        read_io = sum(r.report.blocks for r in results)
+        hits = sum(1 for r in results if r.report.cache_hit)
+        pruned = sum(r.report.shards_pruned for r in results)
 
         # Bursty writes every third tick: 2/3 inserts at off-grid
         # coordinates, 1/3 deletes.  Read-only ticks in between are served
         # straight from the result cache (writes invalidate it by bumping
         # the delta version embedded in every cache key).
+        write_io = 0
         if tick % 3 == 0:
             for w in range(WRITES_PER_TICK):
                 if w % 3 < 2:
@@ -101,29 +106,34 @@ def main() -> None:
                         next_ident,
                     )
                     try:
-                        service.insert(point)
+                        outcome = engine.insert(point)
                     except ValueError:
                         continue  # coordinate collision with a live point
+                    write_io += outcome.report.blocks
                     live.append(point)
                     next_ident += 1
                 elif live:
                     victim = live.pop(rng.randrange(len(live)))
-                    service.delete(victim)
+                    write_io += engine.delete(victim).report.blocks
 
         print(
-            f"{tick:>4} {len(batch):>8} {service.cache.hit_rate():>9.2f} "
-            f"{service.coalesced:>10} {tick_io:>6} {len(service.delta):>6} "
+            f"{tick:>4} {len(results):>8} {hits:>11} {pruned:>7} "
+            f"{read_io:>9} {write_io:>10} {len(service.delta):>6} "
             f"{service.compactions:>12}"
         )
 
-    status = service.describe()
+    status = engine.describe()
+    backend = status["backend"]
     print("\nfinal state:")
-    for key in ("shard_sizes", "live_points", "compactions", "cache_hit_rate", "io_total"):
-        print(f"  {key}: {status[key]}")
+    for key in ("shard_sizes", "live_points", "compactions", "io_total"):
+        print(f"  {key}: {backend[key]}")
+    print(f"  result_cache: {backend['result_cache']}")
+    print(f"  engine: {status['engine']}")
+    assert engine.attributed_io() == engine.io_total() - engine.build_io
 
     reference = sorted((p.x, p.y) for p in range_skyline(live, RangeQuery()))
-    served = sorted((p.x, p.y) for p in service.skyline())
-    assert served == reference, "service skyline diverged from the reference"
+    served = sorted((p.x, p.y) for p in engine.query(RangeQuery()).points)
+    assert served == reference, "engine skyline diverged from the reference"
     print(f"\nskyline of the live catalogue: {len(served)} points (verified)")
 
 

@@ -8,11 +8,21 @@ paper bounds -- block transfers -- is measured exactly.
 
 Quickstart
 ----------
->>> from repro import Point, RangeSkylineIndex, TopOpenQuery
->>> from repro.em import StorageManager
->>> index = RangeSkylineIndex(StorageManager(), [Point(1, 5), Point(2, 3), Point(4, 4)])
->>> [p.as_tuple() for p in index.query(TopOpenQuery(0, 5, 0))]
+>>> from repro import Point, SkylineEngine, TopOpenQuery
+>>> engine = SkylineEngine.local([Point(1, 5), Point(2, 3), Point(4, 4)])
+>>> result = engine.query(TopOpenQuery(0, 5, 0))
+>>> [p.as_tuple() for p in result.points]
 [(1.0, 5.0), (4.0, 4.0)]
+>>> result.report.blocks == engine.io_total() - engine.build_io
+True
+
+:class:`repro.engine.SkylineEngine` is the recommended front door: one
+typed request/response API over both the monolithic index
+(``SkylineEngine.local``) and the sharded service
+(``SkylineEngine.sharded`` / ``SkylineEngine.open``), with ``explain``
+plans and per-request execution reports.  The underlying facades
+(:class:`RangeSkylineIndex`, :class:`SkylineService`) remain available
+for direct use.
 
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 experiments that regenerate every row of the paper's Table 1.
@@ -40,17 +50,43 @@ from repro.pqa.sundar import SundarPQA
 __version__ = "1.1.0"
 
 
+_ENGINE_EXPORTS = (
+    "SkylineEngine",
+    "QueryRequest",
+    "UpdateRequest",
+    "QueryResult",
+    "UpdateResult",
+    "ExecutionReport",
+    "QueryPlan",
+    "LocalIndexBackend",
+    "ShardedServiceBackend",
+)
+
+
 def __getattr__(name: str):
-    # The service tier (repro.service) imports RangeSkylineIndex from this
-    # package, so its names are resolved lazily to avoid an import cycle.
+    # The service and engine tiers import RangeSkylineIndex from this
+    # package, so their names are resolved lazily to avoid import cycles.
     if name in ("SkylineService", "ServiceConfig"):
         from repro import service
 
         return getattr(service, name)
+    if name in _ENGINE_EXPORTS:
+        from repro import engine
+
+        return getattr(engine, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "SkylineEngine",
+    "QueryRequest",
+    "UpdateRequest",
+    "QueryResult",
+    "UpdateResult",
+    "ExecutionReport",
+    "QueryPlan",
+    "LocalIndexBackend",
+    "ShardedServiceBackend",
     "SkylineService",
     "ServiceConfig",
     "Point",

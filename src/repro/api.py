@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.core.point import Point
+from repro.core.point import Point, resolve_victim_index
 from repro.core.queries import RangeQuery, classify
 from repro.em.storage import StorageManager
 from repro.structures.dynamic_topopen import DynamicTopOpenStructure
@@ -131,23 +131,22 @@ class RangeSkylineIndex:
         Exactly one stored point is removed: among the points matching the
         coordinates, one whose ``ident`` equals ``point.ident`` is preferred,
         so deleting ``Point(x, y, 7)`` never silently drops a coordinate
-        twin ``Point(x, y, 8)``.
+        twin ``Point(x, y, 8)``.  The victim is resolved *once*, here, and
+        the resolved point (with its stored ``ident``) is handed to every
+        structure -- including the axis-swapped right-open structure, whose
+        own delete also prefers an exact ``ident`` match -- so all three
+        structures and the point list drop the same identity.
         """
         self._require_dynamic()
-        removed = self._top_open.delete(point)
+        victim_index = resolve_victim_index(self.points, point)
+        if victim_index is None:
+            return False
+        victim = self.points[victim_index]
+        removed = self._top_open.delete(victim)
         if removed:
-            self._right_open.delete(_swap(point))
-            self._four_sided.delete(point)
-            victim = None
-            for index, p in enumerate(self.points):
-                if p.x == point.x and p.y == point.y:
-                    if p.ident == point.ident:
-                        victim = index
-                        break
-                    if victim is None:
-                        victim = index
-            if victim is not None:
-                del self.points[victim]
+            self._right_open.delete(_swap(victim))
+            self._four_sided.delete(victim)
+            del self.points[victim_index]
         return removed
 
     def _require_dynamic(self) -> None:
@@ -166,13 +165,41 @@ class RangeSkylineIndex:
         """Block transfers charged to the underlying simulated machine so far."""
         return self.storage.io_total()
 
+    @property
+    def four_sided_epsilon(self) -> float:
+        """The epsilon the 4-sided structure actually runs with.
+
+        The facade floors the knob at 0.25 for the 4-sided structure
+        (very small epsilons make its base-tree fanout degenerate); the
+        engine's planner quotes this value when instantiating Theorem 6's
+        bound.
+        """
+        return self._four_sided.epsilon
+
+    def engine(self) -> "object":
+        """Migration shim: this index wrapped as a :class:`repro.engine
+        .SkylineEngine` (the recommended request/response front door)."""
+        from repro.engine import LocalIndexBackend, SkylineEngine
+
+        return SkylineEngine(LocalIndexBackend(self))
+
 
 def __getattr__(name: str):
-    # Lazy re-export of the service tier.  ``repro.service`` builds on this
-    # module, so a top-level import here would be circular; resolving the
-    # names on first attribute access keeps ``from repro.api import
-    # SkylineService`` working without the cycle.
+    # Deprecated lazy re-export of the service tier.  ``repro.service``
+    # builds on this module, so a top-level import here would be circular;
+    # resolving the names on first attribute access keeps ``from repro.api
+    # import SkylineService`` working without the cycle -- but new code
+    # should import from ``repro.service`` (or serve everything through
+    # ``repro.engine.SkylineEngine``).
     if name in ("SkylineService", "ServiceConfig"):
+        import warnings
+
+        warnings.warn(
+            f"importing {name} from repro.api is deprecated; import it from "
+            "repro.service, or serve through repro.engine.SkylineEngine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro import service
 
         return getattr(service, name)

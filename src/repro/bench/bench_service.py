@@ -1,8 +1,15 @@
-"""Monolithic index vs. sharded service: batch I/O and wall-clock sweeps.
+"""Monolithic vs. sharded engines: batch I/O and wall-clock sweeps.
 
-Two experiments, both replaying identical query batches through
-``RangeSkylineIndex.query_many`` and ``SkylineService.query_many`` and
-verifying the answers agree before recording a row:
+Both experiments drive the two deployment shapes through the *same*
+unified front door -- :class:`repro.engine.SkylineEngine` over a
+:class:`~repro.engine.LocalIndexBackend` and over a
+:class:`~repro.engine.ShardedServiceBackend` -- replaying identical query
+streams and verifying the answers agree before recording a row.  Because
+every request returns an :class:`~repro.engine.ExecutionReport` whose
+block counts are that request's exact ledger delta, each row's I/O total
+is the *sum of per-request reports*, and the harness cross-checks that
+sum against the backend ledger (the engine's accounting invariant) on
+every sweep cell.
 
 1. :func:`run_prunable_sweep` (asserted by ``benchmarks/bench_service.py``)
    -- *shard-prunable* workloads: narrow top-open rectangles (x-extent well
@@ -10,14 +17,14 @@ verifying the answers agree before recording a row:
    regime the paper's bounds describe.  The router prunes every shard whose
    x-range misses the query, and the one or two shards that serve it hold
    ``shard_count`` times fewer points, so their structures are shallower:
-   sharded ``query_many`` performs fewer total block transfers than the
-   monolithic index at every shard count.
+   the sharded engine performs fewer total block transfers than the
+   monolithic one at every shard count.
 
 2. :func:`run_traffic_sweep` (informational) -- warm Zipf-repeat traffic
    over hot windows with the result cache on, the regime a long-running
    service lives in.  Note the memory asymmetry inherent to scale-out:
    each shard node has its own ``memory_blocks``-frame pool, so aggregate
-   cache grows with the shard count, while the monolithic index has one
+   cache grows with the shard count, while the monolithic engine has one
    pool.
 
 ``benchmarks/bench_service.py`` persists both tables to
@@ -31,13 +38,12 @@ import random
 import time
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.api import RangeSkylineIndex
 from repro.bench.reporting import BenchmarkTable
 from repro.core.point import Point
 from repro.core.queries import FourSidedQuery, RangeQuery, TopOpenQuery
 from repro.em.config import EMConfig
-from repro.em.storage import StorageManager
-from repro.service import ServiceConfig, SkylineService
+from repro.engine import QueryRequest, QueryResult, SkylineEngine
+from repro.service import ServiceConfig
 from repro.workloads import (
     anticorrelated_points,
     clustered_points,
@@ -56,13 +62,46 @@ WORKLOADS: Dict[str, Callable[..., List[Point]]] = {
 Summary = Dict[str, Dict[str, float]]
 
 
-def _canonical(results: Sequence[Sequence[Point]]) -> List[List[Tuple[float, float]]]:
-    return [sorted((p.x, p.y) for p in result) for result in results]
+def _canonical(results: Sequence[QueryResult]) -> List[List[Tuple[float, float]]]:
+    return [sorted((p.x, p.y) for p in result.points) for result in results]
 
 
 def _check(expected, got, context: str) -> None:
     if _canonical(got) != _canonical(expected):
         raise AssertionError(f"sharded answers diverge ({context})")
+
+
+def _make_local(
+    points: List[Point], block_size: int, memory_blocks: int
+) -> SkylineEngine:
+    return SkylineEngine.local(
+        points,
+        em_config=EMConfig(block_size=block_size, memory_blocks=memory_blocks),
+    )
+
+
+def _make_sharded(
+    points: List[Point], shard_count: int, block_size: int, memory_blocks: int
+) -> SkylineEngine:
+    return SkylineEngine.sharded(
+        points,
+        ServiceConfig(
+            shard_count=shard_count,
+            block_size=block_size,
+            memory_blocks=memory_blocks,
+        ),
+    )
+
+
+def _assert_accounting(engine: SkylineEngine, context: str) -> None:
+    """The engine invariant, cross-checked on every sweep cell: summing
+    per-request report blocks (plus cache-drop maintenance flushes)
+    reproduces the backend ledger exactly."""
+    expected = engine.io_total() - engine.build_io - engine.maintenance_io()
+    if engine.attributed_io() != expected:
+        raise AssertionError(
+            f"report blocks do not sum to the ledger delta ({context})"
+        )
 
 
 def run_prunable_sweep(
@@ -91,50 +130,36 @@ def run_prunable_sweep(
         queries: List[RangeQuery] = list(
             top_open_queries(points, query_count, selectivity=selectivity, seed=seed)
         )
-        cell = summary.setdefault(workload, {})
 
-        mono_storage = StorageManager(
-            EMConfig(block_size=block_size, memory_blocks=memory_blocks)
-        )
-        mono = RangeSkylineIndex(mono_storage, points)
-        mono_io, mono_ms, expected = _measure_cold(
-            lambda qs: mono.query_many(qs),
-            drop=mono_storage.drop_cache,
-            snapshot=mono_storage.io_total,
-            queries=queries,
-        )
+        cell = summary.setdefault(workload, {})
+        mono = _make_local(points, block_size, memory_blocks)
+        mono_io, mono_ms, expected = _measure_cold(mono, queries)
+        _assert_accounting(mono, f"prunable/{workload}/monolithic")
         cell["monolithic"] = mono_io
         table.add(
             measured_io=mono_io,
             workload=workload,
             engine="monolithic",
             wall_ms=round(mono_ms, 2),
-            avg_k=round(sum(len(r) for r in expected) / len(expected), 1),
+            avg_k=round(sum(r.total_results for r in expected) / len(expected), 1),
         )
 
         for shard_count in shard_counts:
-            service = SkylineService(
-                points,
-                ServiceConfig(
-                    shard_count=shard_count,
-                    block_size=block_size,
-                    memory_blocks=memory_blocks,
-                ),
+            sharded = _make_sharded(
+                points, shard_count, block_size, memory_blocks
             )
-            sharded_io, sharded_ms, got = _measure_cold(
-                lambda qs: service.query_many(qs, use_cache=False),
-                drop=service.drop_caches,
-                snapshot=service.io_total,
-                queries=queries,
-            )
+            sharded_io, sharded_ms, got = _measure_cold(sharded, queries)
             _check(expected, got, f"prunable/{workload}/shards={shard_count}")
+            _assert_accounting(
+                sharded, f"prunable/{workload}/shards={shard_count}"
+            )
             cell[f"shards={shard_count}"] = sharded_io
             table.add(
                 measured_io=sharded_io,
                 workload=workload,
                 engine=f"shards={shard_count}",
                 wall_ms=round(sharded_ms, 2),
-                avg_k=round(sum(len(r) for r in got) / len(got), 1),
+                avg_k=round(sum(r.total_results for r in got) / len(got), 1),
             )
     return table, summary
 
@@ -153,10 +178,10 @@ def run_traffic_sweep(
 ) -> Tuple[BenchmarkTable, Summary]:
     """Warm Zipf-repeat traffic in batches, result cache on (informational).
 
-    The batch stream repeats hot windows, so the service serves most of
-    the later batches from its result cache (and coalesces duplicates
-    within a batch) while the monolithic index pays its buffer pool's
-    luck per repeat.
+    The batch stream repeats hot windows, so the sharded engine serves
+    most of the later requests from its result cache (visible as
+    ``cache_hit`` reports charging zero blocks) while the monolithic
+    engine pays its buffer pool's luck per repeat.
     """
     table = BenchmarkTable(
         f"Hot-window traffic, warm pools + result cache -- n={n}, B={block_size}, "
@@ -173,18 +198,20 @@ def run_traffic_sweep(
         ]
         cell = summary.setdefault(workload, {})
 
-        mono_storage = StorageManager(
-            EMConfig(block_size=block_size, memory_blocks=memory_blocks)
-        )
-        mono = RangeSkylineIndex(mono_storage, points)
-        mono_storage.drop_cache()
-        before = mono_storage.io_total()
+        # query_batch keeps the native batch executor (worklists,
+        # coalescing, thread fan-out); I/O per cell is the sum of exact
+        # batch-report ledger deltas.
+        mono = _make_local(points, block_size, memory_blocks)
+        mono.drop_caches()
         start = time.perf_counter()
-        expected: List[List[Point]] = []
+        expected: List[QueryResult] = []
+        mono_io = 0
         for batch in batches:
-            expected.extend(mono.query_many(batch))
+            results, batch_report = mono.query_batch(batch)
+            expected.extend(results)
+            mono_io += batch_report.blocks
         mono_ms = (time.perf_counter() - start) * 1000.0
-        mono_io = mono_storage.io_total() - before
+        _assert_accounting(mono, f"traffic/{workload}/monolithic")
         cell["monolithic"] = mono_io
         table.add(
             measured_io=mono_io,
@@ -195,30 +222,28 @@ def run_traffic_sweep(
         )
 
         for shard_count in shard_counts:
-            service = SkylineService(
-                points,
-                ServiceConfig(
-                    shard_count=shard_count,
-                    block_size=block_size,
-                    memory_blocks=memory_blocks,
-                ),
+            sharded = _make_sharded(
+                points, shard_count, block_size, memory_blocks
             )
-            service.drop_caches()
-            before = service.io_total()
+            sharded.drop_caches()
             start = time.perf_counter()
-            got: List[List[Point]] = []
+            got: List[QueryResult] = []
+            sharded_io = 0
             for batch in batches:
-                got.extend(service.query_many(batch))
+                results, batch_report = sharded.query_batch(batch)
+                got.extend(results)
+                sharded_io += batch_report.blocks
             sharded_ms = (time.perf_counter() - start) * 1000.0
-            sharded_io = service.io_total() - before
             _check(expected, got, f"traffic/{workload}/shards={shard_count}")
+            _assert_accounting(sharded, f"traffic/{workload}/shards={shard_count}")
+            hits = sum(1 for r in got if r.report.cache_hit)
             cell[f"shards={shard_count}"] = sharded_io
             table.add(
                 measured_io=sharded_io,
                 workload=workload,
                 engine=f"shards={shard_count}",
                 wall_ms=round(sharded_ms, 2),
-                cache_hit_rate=round(service.cache.hit_rate(), 2),
+                cache_hit_rate=round(hits / max(1, len(got)), 2),
             )
     return table, summary
 
@@ -254,26 +279,24 @@ def _zipf_traffic(
 
 
 def _measure_cold(
-    run: Callable[[List[RangeQuery]], List[List[Point]]],
-    drop: Callable[[], None],
-    snapshot: Callable[[], int],
-    queries: Sequence[RangeQuery],
-) -> Tuple[int, float, List[List[Point]]]:
-    """Per-query cold-cache measurement of a batch: (I/Os, ms, results).
+    engine: SkylineEngine, queries: Sequence[RangeQuery]
+) -> Tuple[int, float, List[QueryResult]]:
+    """Per-query cold-cache measurement of a stream: (I/Os, ms, results).
 
-    Caches are dropped before every query so the totals reflect the
+    Caches are dropped before every request so the totals reflect the
     worst-case per-query cost the paper's bounds describe, with no
-    cross-query reuse for either engine.
+    cross-query reuse for either engine; ``consistency="fresh"`` keeps
+    the sharded result cache out of the picture.  The I/O total is the
+    sum of per-request report blocks.
     """
     io = 0
     elapsed = 0.0
-    results: List[List[Point]] = []
+    results: List[QueryResult] = []
     for query in queries:
-        drop()
-        before = snapshot()
+        engine.drop_caches()
         start = time.perf_counter()
-        batch = run([query])
+        result = engine.query(QueryRequest(query, consistency="fresh"))
         elapsed += time.perf_counter() - start
-        io += snapshot() - before
-        results.extend(batch)
+        io += result.report.blocks
+        results.append(result)
     return io, elapsed * 1000.0, results

@@ -90,6 +90,26 @@ def ensure_general_position(points: Iterable[Point]) -> List[Point]:
     return result
 
 
+def resolve_victim_index(points: Sequence[Point], target: Point) -> Optional[int]:
+    """The index of the stored point ``delete(target)`` should remove.
+
+    One-victim semantics shared by every structure in the stack: among
+    the points matching ``target``'s coordinates, one whose ``ident``
+    equals ``target.ident`` is preferred, otherwise the first coordinate
+    match; ``None`` when nothing matches.  Centralised so the facade, the
+    dynamic top-open structure and the 4-sided structure can never drift
+    apart on which coordinate twin dies.
+    """
+    fallback: Optional[int] = None
+    for index, p in enumerate(points):
+        if p.x == target.x and p.y == target.y:
+            if p.ident == target.ident:
+                return index
+            if fallback is None:
+                fallback = index
+    return fallback
+
+
 def leftmost_dominator(point: Point, points: Sequence[Point]) -> Optional[Point]:
     """``leftdom(p)``: the leftmost point of ``points`` dominating ``point``.
 

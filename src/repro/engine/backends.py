@@ -1,0 +1,340 @@
+"""Pluggable execution backends behind the engine's one front door.
+
+A :class:`Backend` turns a validated request into points plus a
+:class:`QueryTrace` (the service-tier facts -- cache hit, shard fan-out,
+tombstone fallback -- the engine folds into the per-request
+:class:`~repro.engine.report.ExecutionReport`), and exposes the
+structural facts (``B``, per-scope ``n``, ``epsilon``) the planner needs.
+Two implementations ship:
+
+* :class:`LocalIndexBackend` -- a single :class:`repro.RangeSkylineIndex`
+  on one simulated machine: the embedded/single-node deployment.
+* :class:`ShardedServiceBackend` -- a
+  :class:`repro.service.SkylineService`: x-range shards, batch execution,
+  result cache, log-merge updates, and (when configured) the durability
+  tier, whose :meth:`ShardedServiceBackend.open` / ``close`` passthrough
+  recovers and cleanly shuts down the underlying store.
+
+Both charge every block transfer to ledgers the engine snapshots around
+each request, so per-request report totals sum exactly to the backend
+ledger -- the invariant the engine's accounting tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.api import RangeSkylineIndex
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.em.config import EMConfig
+from repro.em.counters import IOSnapshot
+from repro.em.storage import StorageManager
+from repro.engine.plan import QueryPlan, build_plan, structure_for
+from repro.engine.requests import OP_INSERT, QueryRequest, UpdateRequest
+from repro.service.config import ServiceConfig
+from repro.service.durability import DurableStore
+from repro.service.service import QueryExecutionTrace, SkylineService
+
+
+class QueryTrace:
+    """Backend-side facts about one executed query (no block counts --
+    those come from the ledger snapshots the engine takes)."""
+
+    __slots__ = ("cache_hit", "shards_visited", "shards_pruned", "tombstone_fallback")
+
+    def __init__(
+        self,
+        cache_hit: bool = False,
+        shards_visited: int = 1,
+        shards_pruned: int = 0,
+        tombstone_fallback: bool = False,
+    ) -> None:
+        self.cache_hit = cache_hit
+        self.shards_visited = shards_visited
+        self.shards_pruned = shards_pruned
+        self.tombstone_fallback = tombstone_fallback
+
+
+class Backend(Protocol):
+    """What the engine needs from an execution tier."""
+
+    #: Stable backend identifier, embedded in plans and reports.
+    name: str
+    #: Label reports use as the ``structure`` of update requests.
+    write_path: str
+
+    def snapshot(self) -> IOSnapshot:
+        """Current ledger counters (engine measures per-request deltas)."""
+        ...
+
+    def io_total(self) -> int:
+        """Total block transfers charged so far (including construction)."""
+        ...
+
+    def block_size(self) -> int:
+        """``B`` of the simulated machine(s)."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of live points."""
+        ...
+
+    def execute(
+        self, rect: RangeQuery, consistency: str
+    ) -> Tuple[List[Point], QueryTrace]:
+        """Answer ``rect`` (full, unpaginated result in x-order)."""
+        ...
+
+    def execute_many(
+        self, rects: List[RangeQuery], consistency: str
+    ) -> List[Tuple[List[Point], QueryTrace]]:
+        """Answer a batch through the backend's native batch executor."""
+        ...
+
+    def apply(self, request: UpdateRequest) -> bool:
+        """Apply one update; ``False`` iff a delete found no victim."""
+        ...
+
+    def plan(self, request: QueryRequest) -> QueryPlan:
+        """The structure choice and instantiated paper bound, no execution."""
+        ...
+
+    def describe(self) -> Dict[str, object]:
+        """Status snapshot for dashboards."""
+        ...
+
+    def drop_caches(self) -> None:
+        """Empty the buffer pool(s) for cold-cache measurements."""
+        ...
+
+    def compact(self) -> None:
+        """Fold pending writes into the static structures (no-op when the
+        backend has no delta to fold)."""
+        ...
+
+    def close(self) -> int:
+        """Flush/shutdown; returns backend-specific flush count."""
+        ...
+
+
+class LocalIndexBackend:
+    """A single :class:`repro.RangeSkylineIndex` on one simulated machine."""
+
+    name = "local-index"
+    write_path = "dynamic-structures"
+
+    def __init__(self, index: RangeSkylineIndex) -> None:
+        self.index = index
+
+    @classmethod
+    def build(
+        cls,
+        points: List[Point],
+        *,
+        dynamic: bool = False,
+        epsilon: float = 0.5,
+        em_config: Optional[EMConfig] = None,
+        storage: Optional[StorageManager] = None,
+    ) -> "LocalIndexBackend":
+        """Index ``points`` on a fresh machine (or a caller-supplied one)."""
+        machine = storage if storage is not None else StorageManager(em_config)
+        return cls(
+            RangeSkylineIndex(machine, points, dynamic=dynamic, epsilon=epsilon)
+        )
+
+    # -- ledger --------------------------------------------------------
+    def snapshot(self) -> IOSnapshot:
+        return self.index.storage.snapshot()
+
+    def io_total(self) -> int:
+        return self.index.io_total()
+
+    def block_size(self) -> int:
+        return self.index.storage.block_size
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- execution -----------------------------------------------------
+    def execute(
+        self, rect: RangeQuery, consistency: str
+    ) -> Tuple[List[Point], QueryTrace]:
+        # The monolithic index has no result cache, so both consistency
+        # levels recompute; there is exactly one "shard" and no delta.
+        return self.index.query(rect), QueryTrace(shards_visited=1)
+
+    def execute_many(
+        self, rects: List[RangeQuery], consistency: str
+    ) -> List[Tuple[List[Point], QueryTrace]]:
+        """One native ``query_many`` call (variant/x-ordered for
+        buffer-pool locality)."""
+        return [
+            (points, QueryTrace(shards_visited=1))
+            for points in self.index.query_many(rects)
+        ]
+
+    def apply(self, request: UpdateRequest) -> bool:
+        if request.op == OP_INSERT:
+            self.index.insert(request.point)
+            return True
+        return self.index.delete(request.point)
+
+    # -- planning ------------------------------------------------------
+    def plan(self, request: QueryRequest) -> QueryPlan:
+        # The facade builds its 4-sided structure with a floored epsilon;
+        # quote the value the structure actually uses.
+        epsilon = self.index.epsilon
+        if structure_for(request.variant) == "four-sided":
+            epsilon = self.index.four_sided_epsilon
+        return build_plan(
+            request,
+            backend=self.name,
+            block_size=self.block_size(),
+            epsilon=epsilon,
+            dynamic=self.index.dynamic,
+            scopes=[(None, len(self.index))],
+            shards_pruned=0,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "points": len(self.index),
+            "dynamic": self.index.dynamic,
+            "epsilon": self.index.epsilon,
+            "block_size": self.block_size(),
+            "io_total": self.io_total(),
+            "blocks_in_use": self.index.storage.blocks_in_use(),
+        }
+
+    def drop_caches(self) -> None:
+        self.index.storage.drop_cache()
+
+    def compact(self) -> None:
+        """No-op: the monolithic index applies updates in place."""
+
+    def close(self) -> int:
+        self.index.storage.flush()
+        return 0
+
+
+class ShardedServiceBackend:
+    """A :class:`repro.service.SkylineService` behind the engine API."""
+
+    name = "sharded-service"
+    write_path = "delta-buffer"
+
+    def __init__(self, service: SkylineService) -> None:
+        self.service = service
+
+    @classmethod
+    def build(
+        cls,
+        points: List[Point],
+        config: Optional[ServiceConfig] = None,
+        store: Optional[DurableStore] = None,
+        **overrides: object,
+    ) -> "ShardedServiceBackend":
+        return cls(SkylineService(points, config, store=store, **overrides))
+
+    @classmethod
+    def open(
+        cls,
+        store: DurableStore,
+        config: Optional[ServiceConfig] = None,
+        **overrides: object,
+    ) -> "ShardedServiceBackend":
+        """Durability passthrough: recover the service a store holds."""
+        return cls(SkylineService.open(store, config, **overrides))
+
+    # -- ledger --------------------------------------------------------
+    def snapshot(self) -> IOSnapshot:
+        return self.service.snapshot()
+
+    def io_total(self) -> int:
+        return self.service.io_total()
+
+    def block_size(self) -> int:
+        return self.service.config.block_size
+
+    def __len__(self) -> int:
+        return len(self.service)
+
+    # -- execution -----------------------------------------------------
+    def _visited(self, rect: RangeQuery) -> List[int]:
+        return self.service.router.shards_for(rect)
+
+    def _trace_from(self, trace: QueryExecutionTrace) -> QueryTrace:
+        # The service is the single source of truth for routing, cache
+        # and tombstone-fallback facts; nothing is re-derived here.
+        visited = len(trace.shard_ids)
+        return QueryTrace(
+            cache_hit=trace.cache_hit,
+            shards_visited=visited,
+            shards_pruned=len(self.service.shards) - visited,
+            tombstone_fallback=trace.tombstone_fallback,
+        )
+
+    def execute(
+        self, rect: RangeQuery, consistency: str
+    ) -> Tuple[List[Point], QueryTrace]:
+        service = self.service
+        points = service.query_many([rect], use_cache=consistency != "fresh")[0]
+        return points, self._trace_from(service.last_traces[0])
+
+    def execute_many(
+        self, rects: List[RangeQuery], consistency: str
+    ) -> List[Tuple[List[Point], QueryTrace]]:
+        """One native ``query_many`` call: worklist batching, duplicate
+        coalescing and ``parallelism`` thread fan-out all apply."""
+        service = self.service
+        results = service.query_many(rects, use_cache=consistency != "fresh")
+        return [
+            (points, self._trace_from(trace))
+            for points, trace in zip(results, service.last_traces)
+        ]
+
+    def apply(self, request: UpdateRequest) -> bool:
+        if request.op == OP_INSERT:
+            self.service.insert(request.point)
+            return True
+        return self.service.delete(request.point)
+
+    # -- planning ------------------------------------------------------
+    def plan(self, request: QueryRequest) -> QueryPlan:
+        # Every shard is a static RangeSkylineIndex over its resident
+        # points; the delta merge is in-memory and charges no transfers.
+        service = self.service
+        visited = self._visited(request.rect)
+        scopes: List[Tuple[Optional[int], int]] = [
+            (sid, len(service.shards[sid])) for sid in visited
+        ]
+        epsilon = service.config.epsilon
+        if structure_for(request.variant) == "four-sided":
+            epsilon = max(0.25, epsilon)  # the shard index floors it too
+        return build_plan(
+            request,
+            backend=self.name,
+            block_size=self.block_size(),
+            epsilon=epsilon,
+            dynamic=False,
+            scopes=scopes,
+            shards_pruned=len(service.shards) - len(visited),
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        status = dict(self.service.describe())
+        status["backend"] = self.name
+        return status
+
+    def drop_caches(self) -> None:
+        self.service.drop_caches()
+
+    def compact(self) -> None:
+        self.service.compact()
+
+    def close(self) -> int:
+        return self.service.close()

@@ -1,0 +1,369 @@
+"""``SkylineEngine``: the one front door for the whole stack.
+
+The engine is a thin, backend-agnostic request/response layer: requests
+go in (:class:`~repro.engine.requests.QueryRequest` /
+:class:`~repro.engine.requests.UpdateRequest`), and every response comes
+back with a per-request :class:`~repro.engine.report.ExecutionReport`
+whose block counts are that request's exact ledger delta.  ``explain``
+returns the :class:`~repro.engine.plan.QueryPlan` -- structure choice
+plus the paper's bound instantiated with the backend's actual ``B`` and
+``n`` -- without executing anything.
+
+Accounting invariant
+--------------------
+The engine snapshots the backend ledger around every call, so::
+
+    attributed_io() + maintenance_io() == backend ledger total - build_io
+
+holds after any sequence of queries, updates and cache drops served
+through the engine (compactions an update triggers are charged to that
+update's report; cache hits charge 0; cache drops flush dirty blocks
+into ``maintenance_io``).  ``tests/test_engine.py`` asserts the equality
+exactly on both backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.em.config import EMConfig
+from repro.engine.backends import (
+    Backend,
+    LocalIndexBackend,
+    ShardedServiceBackend,
+)
+from repro.engine.plan import QueryPlan
+from repro.engine.report import (
+    KIND_BATCH,
+    KIND_QUERY,
+    ExecutionReport,
+    QueryResult,
+    UpdateResult,
+)
+from repro.engine.requests import QueryRequest, UpdateRequest
+from repro.service.config import ServiceConfig
+from repro.service.durability import DurableStore
+
+Request = Union[QueryRequest, UpdateRequest]
+Response = Union[QueryResult, UpdateResult]
+QueryLike = Union[QueryRequest, RangeQuery]
+
+
+def _paginate(
+    points: List[Point], cursor: Optional[float], limit: Optional[int]
+) -> Tuple[List[Point], Optional[float]]:
+    """Apply the cursor (strictly-after-x) and limit; return the page and
+    the resume token (``None`` when the page ends the result).
+
+    Results are in increasing x-order, so a page is a prefix of the
+    remaining suffix and the last point's x is a valid resume token.
+    """
+    if cursor is not None:
+        points = [p for p in points if p.x > cursor]
+    if limit is None or len(points) <= limit:
+        return points, None
+    page = points[:limit]
+    return page, page[-1].x
+
+
+class SkylineEngine:
+    """Typed request/response facade over a pluggable :class:`Backend`."""
+
+    def __init__(self, backend: Backend) -> None:
+        self.backend = backend
+        # Ledger value when the engine attached: everything before it
+        # (index construction, recovery) is build cost, not request cost.
+        self.build_io = backend.io_total()
+        self.requests_served = 0
+        self._attributed = 0
+        # Ledger charges from engine-level maintenance (cache drops flush
+        # dirty blocks) -- real transfers, but not any one request's.
+        self._maintenance = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def local(
+        cls,
+        points: Iterable[Point],
+        *,
+        dynamic: bool = False,
+        epsilon: float = 0.5,
+        em_config: Optional[EMConfig] = None,
+    ) -> "SkylineEngine":
+        """An engine over a single :class:`repro.RangeSkylineIndex`."""
+        return cls(
+            LocalIndexBackend.build(
+                list(points), dynamic=dynamic, epsilon=epsilon, em_config=em_config
+            )
+        )
+
+    @classmethod
+    def sharded(
+        cls,
+        points: Iterable[Point],
+        config: Optional[ServiceConfig] = None,
+        store: Optional[DurableStore] = None,
+        **overrides: object,
+    ) -> "SkylineEngine":
+        """An engine over a :class:`repro.service.SkylineService`."""
+        return cls(
+            ShardedServiceBackend.build(
+                list(points), config, store=store, **overrides
+            )
+        )
+
+    @classmethod
+    def open(
+        cls,
+        store: DurableStore,
+        config: Optional[ServiceConfig] = None,
+        **overrides: object,
+    ) -> "SkylineEngine":
+        """Durability passthrough: recover the service ``store`` holds.
+
+        Recovery I/O is part of :attr:`build_io` (the engine attaches
+        after it), and the recovery cost breakdown stays available via
+        ``engine.describe()["backend"]["durability_detail"]["recovery"]``.
+        """
+        return cls(ShardedServiceBackend.open(store, config, **overrides))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(request: QueryLike) -> QueryRequest:
+        if isinstance(request, QueryRequest):
+            return request
+        return QueryRequest(rect=request)
+
+    def explain(self, request: QueryLike) -> QueryPlan:
+        """The plan -- structure choice and instantiated paper bound --
+        without executing the request."""
+        return self.backend.plan(self._coerce(request))
+
+    def query(self, request: QueryLike) -> QueryResult:
+        """Execute one read; returns the page plus plan and report."""
+        req = self._coerce(request)
+        plan = self.backend.plan(req)
+        before = self.backend.snapshot()
+        points, trace = self.backend.execute(req.rect, req.consistency)
+        delta = self.backend.snapshot() - before
+        k = len(points)
+        page, next_cursor = _paginate(points, req.cursor, req.limit)
+        report = ExecutionReport(
+            backend=self.backend.name,
+            kind=KIND_QUERY,
+            variant=req.variant,
+            structure=plan.structure,
+            reads=delta.reads,
+            writes=delta.writes,
+            cache_hit=trace.cache_hit,
+            shards_visited=trace.shards_visited,
+            shards_pruned=trace.shards_pruned,
+            tombstone_fallback=trace.tombstone_fallback,
+            result_size=k,
+            predicted_io=plan.predicted_io(k),
+        )
+        self.requests_served += 1
+        self._attributed += report.blocks
+        return QueryResult(
+            points=page,
+            total_results=k,
+            next_cursor=next_cursor,
+            plan=plan,
+            report=report,
+        )
+
+    def query_many(self, requests: Sequence[QueryLike]) -> List[QueryResult]:
+        """Execute a batch of reads, one result (with report) each.
+
+        Requests are served in order through :meth:`query`, so every
+        report keeps its exact per-request ledger delta; repeated
+        rectangles still collapse onto the sharded backend's result cache
+        (the batch-level coalescing a raw ``SkylineService.query_many``
+        performs shows up here as cache hits from the second occurrence
+        on).  When batch throughput matters more than per-request
+        attribution, use :meth:`query_batch`, which keeps the backend's
+        native batch executor (worklists, coalescing, ``parallelism``
+        thread fan-out).
+        """
+        return [self.query(request) for request in requests]
+
+    def query_batch(
+        self, requests: Sequence[QueryLike]
+    ) -> Tuple[List[QueryResult], ExecutionReport]:
+        """Execute a batch through the backend's *native* batch executor.
+
+        Unlike :meth:`query_many`, the whole batch runs as one backend
+        call, so per-shard worklist grouping, in-batch duplicate
+        coalescing and ``ServiceConfig.parallelism`` thread fan-out all
+        apply.  The trade-off is attribution granularity: the ledger
+        delta of the batch cannot be split per request (workers interleave
+        on shared structures), so each per-request report carries its
+        trace flags with zero blocks and the returned *batch report*
+        carries the exact ledger delta of the whole call -- counted once
+        in :meth:`attributed_io`, so the accounting identity still holds.
+
+        Pagination (``limit``/``cursor``) applies per request as usual.
+        A batch runs cache-bypassing iff any request asks for
+        ``consistency="fresh"``.
+        """
+        reqs = [self._coerce(request) for request in requests]
+        consistency = (
+            "fresh" if any(r.consistency == "fresh" for r in reqs) else "cached"
+        )
+        plans = [self.backend.plan(r) for r in reqs]
+        before = self.backend.snapshot()
+        executed = self.backend.execute_many([r.rect for r in reqs], consistency)
+        delta = self.backend.snapshot() - before
+        results: List[QueryResult] = []
+        total_k = 0
+        predicted = 0.0
+        for req, plan, (points, trace) in zip(reqs, plans, executed):
+            k = len(points)
+            total_k += k
+            predicted += plan.predicted_io(k)
+            page, next_cursor = _paginate(points, req.cursor, req.limit)
+            results.append(
+                QueryResult(
+                    points=page,
+                    total_results=k,
+                    next_cursor=next_cursor,
+                    plan=plan,
+                    report=ExecutionReport(
+                        backend=self.backend.name,
+                        kind=KIND_QUERY,
+                        variant=req.variant,
+                        structure=plan.structure,
+                        reads=0,
+                        writes=0,
+                        cache_hit=trace.cache_hit,
+                        shards_visited=trace.shards_visited,
+                        shards_pruned=trace.shards_pruned,
+                        tombstone_fallback=trace.tombstone_fallback,
+                        result_size=k,
+                        predicted_io=plan.predicted_io(k),
+                    ),
+                )
+            )
+        batch_report = ExecutionReport(
+            backend=self.backend.name,
+            kind=KIND_BATCH,
+            variant=KIND_BATCH,
+            structure=KIND_BATCH,
+            reads=delta.reads,
+            writes=delta.writes,
+            result_size=total_k,
+            predicted_io=predicted,
+        )
+        self.requests_served += len(reqs)
+        self._attributed += batch_report.blocks
+        return results, batch_report
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def update(self, request: UpdateRequest) -> UpdateResult:
+        """Execute one write; the report charges exactly this request's
+        ledger delta (including any compaction it triggered)."""
+        before = self.backend.snapshot()
+        applied = self.backend.apply(request)
+        delta = self.backend.snapshot() - before
+        report = ExecutionReport(
+            backend=self.backend.name,
+            kind=request.op,
+            variant=request.op,
+            structure=self.backend.write_path,
+            reads=delta.reads,
+            writes=delta.writes,
+        )
+        self.requests_served += 1
+        self._attributed += report.blocks
+        return UpdateResult(applied=applied, report=report)
+
+    def insert(self, point: Point) -> UpdateResult:
+        return self.update(UpdateRequest.insert(point))
+
+    def delete(self, point: Point) -> UpdateResult:
+        return self.update(UpdateRequest.delete(point))
+
+    def execute(self, request: Request) -> Response:
+        """Unified dispatch: query or update, by request type."""
+        if isinstance(request, UpdateRequest):
+            return self.update(request)
+        return self.query(request)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    def io_total(self) -> int:
+        """Backend ledger total (build + every request served)."""
+        return self.backend.io_total()
+
+    def attributed_io(self) -> int:
+        """Sum of ``report.blocks`` over every request this engine served.
+
+        Equals ``io_total() - build_io - maintenance_io()`` whenever all
+        traffic goes through the engine -- the per-request reports
+        partition the ledger exactly.
+        """
+        return self._attributed
+
+    def maintenance_io(self) -> int:
+        """Transfers charged by engine-level maintenance (cache drops
+        flushing dirty blocks), which belong to no single request."""
+        return self._maintenance
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "engine": {
+                "requests_served": self.requests_served,
+                "build_io": self.build_io,
+                "attributed_io": self._attributed,
+                "maintenance_io": self._maintenance,
+                "io_total": self.io_total(),
+            },
+            "backend": self.backend.describe(),
+        }
+
+    def drop_caches(self) -> None:
+        """Empty every buffer pool (cold-cache measurements charge the
+        paper's worst-case cost on the next request).
+
+        Evicting dirty frames flushes them -- those writes are charged to
+        :meth:`maintenance_io`, keeping the accounting identity exact.
+        """
+        before = self.backend.snapshot()
+        self.backend.drop_caches()
+        self._maintenance += (self.backend.snapshot() - before).total
+
+    def compact(self) -> None:
+        """Fold pending writes into the static structures now (a no-op on
+        the monolithic backend, which applies updates in place).
+
+        Use this instead of reaching for the raw service when driving
+        compaction from an external scheduler (``auto_compact=False``):
+        the rebuild cost lands in :meth:`maintenance_io`, so the
+        accounting identity keeps holding.
+        """
+        before = self.backend.snapshot()
+        self.backend.compact()
+        self._maintenance += (self.backend.snapshot() - before).total
+
+    def close(self) -> int:
+        """Shut the backend down cleanly (WAL flush on a durable service).
+
+        The flush's ledger charge lands in :meth:`maintenance_io`, so the
+        accounting identity still holds after shutdown.
+        """
+        before = self.backend.snapshot()
+        flushed = self.backend.close()
+        self._maintenance += (self.backend.snapshot() - before).total
+        return flushed

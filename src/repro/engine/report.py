@@ -1,0 +1,113 @@
+"""Responses: every engine call returns its data plus an execution report.
+
+The report's block counts are the *ledger delta of this one request*: the
+engine snapshots the backend's I/O counters immediately before and after
+executing, so summing ``report.blocks`` over every request served since
+the engine attached reproduces the backend ledger total exactly (asserted
+by ``tests/test_engine.py``).  Cache hits, shard pruning and tombstone
+fallbacks -- the service-tier effects that make a measured cost differ
+from the paper's bound -- are called out as fields so a dashboard can
+explain each request's charge next to ``plan.predicted_io(k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.point import Point
+from repro.engine.plan import QueryPlan
+
+KIND_QUERY = "query"
+KIND_BATCH = "batch"
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What one request actually cost and which machinery served it.
+
+    Attributes
+    ----------
+    backend:
+        Backend name (``"local-index"`` or ``"sharded-service"``).
+    kind:
+        ``"query"``, ``"insert"`` or ``"delete"``.
+    variant:
+        The Figure-2 label for queries; the op name for updates.
+    structure:
+        The structure that served a query (per the plan), or the
+        backend's write path for updates.
+    reads / writes:
+        This request's block-transfer ledger delta, split by direction.
+        For an update that trips the compaction threshold, the rebuild it
+        triggered is part of this request's charge -- the ledger never
+        loses a transfer between reports.
+    cache_hit:
+        Whether the result came from the backend's result cache (then
+        ``blocks`` is typically 0).
+    shards_visited / shards_pruned:
+        Router fan-out on the sharded backend (1 / 0 on the monolithic).
+    tombstone_fallback:
+        Whether a tombstone inside the rectangle forced at least one
+        visited shard to rescan its resident points instead of using its
+        static structure.
+    result_size:
+        ``k`` -- the full result size before pagination.
+    predicted_io:
+        ``plan.predicted_io(k)``: the paper bound instantiated at the
+        observed output size, for charged-vs-predicted comparisons.
+    """
+
+    backend: str
+    kind: str
+    variant: str
+    structure: str
+    reads: int
+    writes: int
+    cache_hit: bool = False
+    shards_visited: int = 0
+    shards_pruned: int = 0
+    tombstone_fallback: bool = False
+    result_size: int = 0
+    predicted_io: Optional[float] = None
+
+    @property
+    def blocks(self) -> int:
+        """Total block transfers charged on this request's ledger delta."""
+        return self.reads + self.writes
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Points plus provenance: the page, its plan, and its report.
+
+    ``points`` is the requested page (after ``cursor``/``limit``), in
+    increasing x-order; ``total_results`` is the full answer size ``k``;
+    ``next_cursor`` is the resume token for the following page (``None``
+    when this page ends the result).
+    """
+
+    points: List[Point]
+    total_results: int
+    next_cursor: Optional[float]
+    plan: QueryPlan
+    report: ExecutionReport
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of an :class:`repro.engine.UpdateRequest`.
+
+    ``applied`` is ``False`` only for a delete that found no live victim;
+    an insert either applies or raises (coordinate collision on the
+    service, static index on a non-dynamic local backend).
+    """
+
+    applied: bool
+    report: ExecutionReport

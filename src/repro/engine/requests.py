@@ -1,0 +1,94 @@
+"""Typed request objects: the engine's single write/read entry format.
+
+Every call into :class:`repro.engine.SkylineEngine` is a request object.
+A :class:`QueryRequest` wraps the query rectangle (any shape of Figure 2;
+the variant is auto-classified via :func:`repro.core.queries.classify`)
+plus serving options -- ``limit``/``cursor`` pagination and a consistency
+hint -- and an :class:`UpdateRequest` names an insert or delete victim.
+Requests are frozen dataclasses, so they can be logged, hashed, retried
+and replayed verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery, classify
+
+#: ``cached`` lets the backend serve from its (epoch-keyed, always
+#: consistent) result cache; ``fresh`` forces recomputation from the
+#: structures, e.g. to measure the paper's bounds without cache luck.
+CONSISTENCY_LEVELS = ("cached", "fresh")
+
+OP_INSERT = "insert"
+OP_DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One range-skyline read.
+
+    Attributes
+    ----------
+    rect:
+        The (possibly unbounded) query rectangle.  Its Figure-2 variant is
+        derived, never supplied: see :attr:`variant`.
+    limit:
+        Maximum number of points to return (``None`` = all).  Results are
+        in increasing x-order, so a truncated page is a prefix and the
+        response carries a cursor for the rest.
+    cursor:
+        Resume token from a previous page: only points with ``x`` strictly
+        greater than the cursor are returned.  Pass the previous
+        :attr:`repro.engine.QueryResult.next_cursor` verbatim.
+    consistency:
+        ``"cached"`` (default) or ``"fresh"`` -- see
+        :data:`CONSISTENCY_LEVELS`.
+    """
+
+    rect: RangeQuery = field(default_factory=RangeQuery)
+    limit: Optional[int] = None
+    cursor: Optional[float] = None
+    consistency: str = "cached"
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit}")
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"consistency must be one of {CONSISTENCY_LEVELS}, "
+                f"got {self.consistency!r}"
+            )
+
+    @property
+    def variant(self) -> str:
+        """The Figure-2 label of the rectangle (``classify(rect)``)."""
+        return classify(self.rect)
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One write: insert a point, or delete a live point by coordinates.
+
+    Deletes follow the one-victim semantics of the whole stack: among
+    coordinate twins a point whose ``ident`` matches is preferred.
+    """
+
+    op: str
+    point: Point
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_INSERT, OP_DELETE):
+            raise ValueError(
+                f"op must be {OP_INSERT!r} or {OP_DELETE!r}, got {self.op!r}"
+            )
+
+    @classmethod
+    def insert(cls, point: Point) -> "UpdateRequest":
+        return cls(OP_INSERT, point)
+
+    @classmethod
+    def delete(cls, point: Point) -> "UpdateRequest":
+        return cls(OP_DELETE, point)

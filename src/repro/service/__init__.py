@@ -74,11 +74,12 @@ from repro.service.durability import (
 )
 from repro.service.merge import merge_shard_skylines, merge_with_delta
 from repro.service.router import ShardRouter, size_balanced_cuts
-from repro.service.service import SkylineService
+from repro.service.service import QueryExecutionTrace, SkylineService
 from repro.service.shard import Shard
 
 __all__ = [
     "SkylineService",
+    "QueryExecutionTrace",
     "ServiceConfig",
     "Shard",
     "ShardRouter",

@@ -26,7 +26,11 @@ from repro.core.queries import RangeQuery, classify
 # One unit of shard-local work: the index of the query in the caller's batch
 # plus the query itself.
 WorkItem = Tuple[int, RangeQuery]
-ShardQueryFn = Callable[[int, RangeQuery], List[Point]]
+# One shard-local answer: the local skyline plus whether a tombstone forced
+# the shard to rescan its resident points (computed once, here, and surfaced
+# through the service's per-query traces).
+ShardAnswer = Tuple[List[Point], bool]
+ShardQueryFn = Callable[[int, RangeQuery], ShardAnswer]
 
 
 def build_worklists(
@@ -52,15 +56,15 @@ def execute_worklists(
     worklists: Dict[int, List[WorkItem]],
     shard_query: ShardQueryFn,
     parallelism: int = 1,
-) -> Dict[Tuple[int, int], List[Point]]:
-    """Run every worklist; returns ``(query position, sid) -> local result``.
+) -> Dict[Tuple[int, int], ShardAnswer]:
+    """Run every worklist; returns ``(query position, sid) -> local answer``.
 
     With ``parallelism > 1`` shards are fanned out across a thread pool,
     one worker per shard at most.
     """
-    results: Dict[Tuple[int, int], List[Point]] = {}
+    results: Dict[Tuple[int, int], ShardAnswer] = {}
 
-    def run_shard(sid: int) -> List[Tuple[Tuple[int, int], List[Point]]]:
+    def run_shard(sid: int) -> List[Tuple[Tuple[int, int], ShardAnswer]]:
         return [
             ((position, sid), shard_query(sid, query))
             for position, query in worklists[sid]

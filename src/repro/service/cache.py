@@ -80,3 +80,13 @@ class ResultCache:
         """Fraction of lookups served from cache (0.0 when none happened)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def describe(self) -> dict:
+        """Hit/miss counters and occupancy, for dashboards and reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate(), 3),
+        }

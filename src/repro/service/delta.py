@@ -119,6 +119,14 @@ class DeltaBuffer:
     def is_deleted(self, point: Point) -> bool:
         return point_key(point) in self.tombstones
 
+    def describe(self) -> dict:
+        """Current fill of the buffer, for dashboards and reports."""
+        return {
+            "inserts": len(self.inserts),
+            "tombstones": len(self.tombstones),
+            "version": self.version,
+        }
+
     def candidates_in(self, query: RangeQuery) -> List[Point]:
         """Pending inserts inside the query rectangle."""
         return [p for p in self.inserts.values() if query.contains(p)]

@@ -43,7 +43,7 @@ import dataclasses
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.point import Point
+from repro.core.point import Point, resolve_victim_index
 from repro.core.queries import RangeQuery
 from repro.core.skyline import range_skyline
 from repro.em.counters import IOMeter, IOSnapshot, IOStats, IOStatsGroup
@@ -64,6 +64,26 @@ from repro.service.durability import (
 from repro.service.merge import merge_shard_skylines, merge_with_delta
 from repro.service.router import ShardRouter, size_balanced_cuts
 from repro.service.shard import Shard
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryExecutionTrace:
+    """How one query of a batch was served (``SkylineService.last_traces``).
+
+    ``shard_ids`` are the shards the router selected (the rest were
+    pruned); ``cache_hit`` means the result came straight from the result
+    cache; ``coalesced`` marks a duplicate served from its in-batch
+    leader's answer; ``tombstone_fallback`` says at least one selected
+    shard rescanned its resident points because a tombstone invalidated
+    its static answer.  Consumers such as
+    :class:`repro.engine.ShardedServiceBackend` read these instead of
+    re-deriving routing and tombstone facts from service internals.
+    """
+
+    shard_ids: Tuple[int, ...]
+    cache_hit: bool = False
+    coalesced: bool = False
+    tombstone_fallback: bool = False
 
 
 class SkylineService:
@@ -114,6 +134,8 @@ class SkylineService:
         self._replaying = False
         # Set by `open` with the block-transfer cost of the last recovery.
         self.recovery: Optional[Dict[str, int]] = None
+        # Per-query traces of the most recent query_many call.
+        self.last_traces: List[QueryExecutionTrace] = []
         self.router: ShardRouter
         self.shards: List[Shard] = []
         self.store: Optional[DurableStore] = None
@@ -346,8 +368,13 @@ class SkylineService:
         across a thread pool when the service is configured with
         ``parallelism > 1`` -- and merged per query with the pending
         delta.
+
+        After the call, :attr:`last_traces` holds one
+        :class:`QueryExecutionTrace` per query (routing, cache hit,
+        coalescing, tombstone fallback), aligned with the results.
         """
         results: List[Optional[List[Point]]] = [None] * len(queries)
+        traces: List[Optional[QueryExecutionTrace]] = [None] * len(queries)
         plan: Dict[int, Tuple[Tuple, List[int]]] = {}
         leaders: Dict[Tuple, int] = {}
         followers: List[Tuple[int, int]] = []
@@ -362,6 +389,9 @@ class SkylineService:
             cached = self.cache.get(key) if use_cache else None
             if cached is not None:
                 results[position] = cached
+                traces[position] = QueryExecutionTrace(
+                    shard_ids=tuple(shard_ids), cache_hit=True
+                )
                 continue
             if key in leaders:
                 followers.append((position, leaders[key]))
@@ -379,18 +409,30 @@ class SkylineService:
             for position, query in misses:
                 key, shard_ids = plan[position]
                 merged = merge_shard_skylines(
-                    [local[(position, sid)] for sid in shard_ids]
+                    [local[(position, sid)][0] for sid in shard_ids]
                 )
                 merged = merge_with_delta(merged, self.delta.candidates_in(query))
                 if use_cache:
                     self.cache.put(key, merged)
                 results[position] = merged
+                # The fallback flag comes from the executor itself (each
+                # _shard_query computed it once) -- never re-derived here.
+                traces[position] = QueryExecutionTrace(
+                    shard_ids=tuple(shard_ids),
+                    tombstone_fallback=any(
+                        local[(position, sid)][1] for sid in shard_ids
+                    ),
+                )
         self.coalesced += len(followers)
         for position, leader_position in followers:
             results[position] = list(results[leader_position])  # type: ignore[arg-type]
+            leader_trace = traces[leader_position]
+            assert leader_trace is not None
+            traces[position] = dataclasses.replace(leader_trace, coalesced=True)
+        self.last_traces = traces  # type: ignore[assignment]
         return results  # type: ignore[return-value]
 
-    def _shard_query(self, sid: int, query: RangeQuery) -> List[Point]:
+    def _shard_query(self, sid: int, query: RangeQuery) -> Tuple[List[Point], bool]:
         """One shard's local skyline inside ``query``, tombstone-aware.
 
         A tombstone inside the rectangle invalidates the shard's static
@@ -399,7 +441,9 @@ class SkylineService:
         resident points -- a scan charged as ``ceil(resident / B)`` block
         reads on the shard's own ledger (the fallback is not free, and
         charging the shard keeps parallel totals exact); otherwise the
-        static structure answers at full I/O efficiency.
+        static structure answers at full I/O efficiency.  Returns the
+        answer plus whether the fallback fired (surfaced in the batch's
+        :class:`QueryExecutionTrace`).
         """
         shard = self.shards[sid]
         if self.delta.tombstone_hits(query, shard.x_lo, shard.x_hi, sid):
@@ -408,8 +452,8 @@ class SkylineService:
                 max(1, math.ceil(scanned / self.config.block_size))
             )
             live = [p for p in shard.points if not self.delta.is_deleted(p)]
-            return range_skyline(live, query)
-        return shard.query(query)
+            return range_skyline(live, query), True
+        return shard.query(query), False
 
     def skyline(self) -> List[Point]:
         """The skyline of the whole live point set."""
@@ -463,11 +507,10 @@ class SkylineService:
             for p in shard.points
             if p.x == point.x and p.y == point.y and not self.delta.is_deleted(p)
         ]
-        if not candidates:
+        victim_index = resolve_victim_index(candidates, point)
+        if victim_index is None:
             return False
-        victim = next(
-            (p for p in candidates if p.ident == point.ident), candidates[0]
-        )
+        victim = candidates[victim_index]
         if self.wal is not None and not self._replaying:
             self.wal.log_delete(victim)
         self.delta.add_tombstone(victim, sid)
@@ -505,6 +548,13 @@ class SkylineService:
     def meter(self) -> IOMeter:
         """``with service.meter() as m: ...`` measures I/Os of the block."""
         return IOMeter(self.stats)
+
+    def engine(self) -> "object":
+        """Migration shim: this service wrapped as a :class:`repro.engine
+        .SkylineEngine` (the recommended request/response front door)."""
+        from repro.engine import ShardedServiceBackend, SkylineEngine
+
+        return SkylineEngine(ShardedServiceBackend(self))
 
     def close(self) -> int:
         """Clean shutdown: force the WAL tail durable; returns records flushed.
@@ -552,7 +602,13 @@ class SkylineService:
         )
 
     def describe(self) -> Dict[str, object]:
-        """A status snapshot a service dashboard would render."""
+        """A status snapshot a service dashboard would render.
+
+        ``result_cache`` and ``delta`` carry the full counter sets
+        (cache hits/misses, pending insert/tombstone sizes) so callers
+        such as :class:`repro.engine.ShardedServiceBackend` can populate
+        per-request execution reports without reaching into private state.
+        """
         status: Dict[str, object] = {
             "shard_count": len(self.shards),
             "shard_sizes": [len(shard) for shard in self.shards],
@@ -561,9 +617,11 @@ class SkylineService:
             "live_points": len(self),
             "delta_inserts": len(self.delta.inserts),
             "delta_tombstones": len(self.delta.tombstones),
+            "delta": self.delta.describe(),
             "compactions": self.compactions,
             "cache_entries": len(self.cache),
             "cache_hit_rate": round(self.cache.hit_rate(), 3),
+            "result_cache": self.cache.describe(),
             "coalesced": self.coalesced,
             "io_total": self.io_total(),
             "blocks_in_use": self.blocks_in_use(),

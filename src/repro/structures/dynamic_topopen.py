@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.point import Point
+from repro.core.point import Point, resolve_victim_index
 from repro.core.queries import RangeQuery
 from repro.em.storage import StorageManager
 from repro.pqa.iocpqa import IOCPQA
@@ -168,17 +168,17 @@ class DynamicTopOpenStructure:
         self._refresh_path(point.x)
 
     def delete(self, point: Point) -> bool:
-        """Delete the point with ``point``'s coordinates; returns success."""
+        """Delete the point with ``point``'s coordinates; returns success.
+
+        Among coordinate twins, a stored point whose ``ident`` equals
+        ``point.ident`` is preferred, so the structure removes the same
+        identity as every other structure indexing the same point set
+        (the facade's right-open structure stores the axis-swapped copy of
+        each point, and the swap preserves ``ident``).
+        """
         path = self._descend(point.x)
         leaf_id, leaf = path[-1]
-        victim = next(
-            (
-                i
-                for i, p in enumerate(leaf.points)
-                if p.x == point.x and p.y == point.y
-            ),
-            None,
-        )
+        victim = resolve_victim_index(leaf.points, point)
         if victim is None:
             return False
         del leaf.points[victim]

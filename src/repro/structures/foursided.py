@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.point import Point
+from repro.core.point import Point, resolve_victim_index
 from repro.core.queries import FourSidedQuery, RangeQuery
 from repro.core.skyline import skyline
 from repro.em.storage import StorageManager
@@ -167,42 +167,45 @@ class FourSidedStructure:
         leaf.points.sort(key=lambda p: p.x)
         self.storage.write(leaf_id, leaf)
         for node_id, node in path[:-1]:
+            # A point past the rightmost separator descends into the last
+            # child; its subtree's recorded x-max must be raised, or
+            # _decompose would treat the subtree as fully contained in
+            # rectangles the new point sticks out of (leaking an
+            # out-of-range point through the node's right-open answer).
+            index = node.child_index_for(point.x)
+            if node.separators[index] < point.x:
+                node.separators[index] = point.x
+                self.storage.write(node_id, node)
             if node.right_open is not None:
                 node.right_open.insert(_swap(point))
 
     def delete(self, point: Point) -> bool:
-        """Delete one point with matching coordinates; returns success."""
-        victim = next(
-            (
-                i
-                for i, p in enumerate(self.points)
-                if p.x == point.x and p.y == point.y
-            ),
-            None,
-        )
+        """Delete one point with matching coordinates; returns success.
+
+        Among coordinate twins, a stored point whose ``ident`` equals
+        ``point.ident`` is preferred, and that *resolved* victim (with its
+        stored ``ident``) is what gets removed from the leaf and from the
+        swapped right-open structures along the path -- so every secondary
+        structure drops the same identity as the primary point list.
+        """
+        victim = resolve_victim_index(self.points, point)
         if victim is None:
             return False
+        stored = self.points[victim]
         del self.points[victim]
         self._updates_since_build += 1
         if self._needs_rebuild():
             self._rebuild()
             return True
-        path = self._descend(point.x)
+        path = self._descend(stored.x)
         leaf_id, leaf = path[-1]
-        leaf_victim = next(
-            (
-                i
-                for i, p in enumerate(leaf.points)
-                if p.x == point.x and p.y == point.y
-            ),
-            None,
-        )
+        leaf_victim = resolve_victim_index(leaf.points, stored)
         if leaf_victim is not None:
             del leaf.points[leaf_victim]
         self.storage.write(leaf_id, leaf)
         for node_id, node in path[:-1]:
             if node.right_open is not None:
-                node.right_open.delete(_swap(point))
+                node.right_open.delete(_swap(stored))
         return True
 
     def _needs_rebuild(self) -> bool:

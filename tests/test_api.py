@@ -86,6 +86,28 @@ def test_static_index_rejects_updates():
         index.delete(Point(1, 1))
 
 
+def test_delete_preserves_ident_through_swapped_right_open():
+    """Regression: deleting one coordinate twin must remove the *same*
+    identity from the axis-swapped right-open structure, so a later
+    right-open query reports the surviving twin's ident."""
+    background = [Point(10, 90, 7), Point(90, 10, 8)]
+    for order in ((1, 2), (2, 1)):
+        index = RangeSkylineIndex(make_storage(), background, dynamic=True)
+        for ident in order:
+            index.insert(Point(50, 50, ident))
+        assert index.delete(Point(50, 50, 1))
+        for query in (
+            RightOpenQuery(40, 40, 60),
+            TopOpenQuery(40, 60, 40),
+            FourSidedQuery(40, 60, 40, 60),
+        ):
+            twins = [p for p in index.query(query) if (p.x, p.y) == (50, 50)]
+            assert [p.ident for p in twins] == [2], (order, type(query).__name__)
+        # The surviving twin deletes cleanly afterwards.
+        assert index.delete(Point(50, 50, 2))
+        assert not any((p.x, p.y) == (50, 50) for p in index.points)
+
+
 def test_skyline_and_empty_index():
     points = random_points(80, 1000, 5)
     index = RangeSkylineIndex(make_storage(), points)

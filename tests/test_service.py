@@ -438,6 +438,30 @@ def test_api_delete_removes_exactly_one_ident():
     assert len(index.points) == 38
 
 
+def test_describe_exposes_cache_and_delta_counters():
+    """`describe()` carries the full result-cache and delta counter sets,
+    so execution reports can source them without private state."""
+    points = [Point(float(i * 7 % 101) + i * 1e-3, float(i * 13 % 97) + i * 1e-3, i) for i in range(60)]
+    service = SkylineService(points, shard_count=4, cache_capacity=32)
+    query = TopOpenQuery(5.0, 80.0, 10.0)
+    service.query(query)
+    service.query(query)  # second lookup hits the cache
+    service.insert(Point(200.5, 200.5, 9_001))
+    assert service.delete(points[3])
+    status = service.describe()
+    cache = status["result_cache"]
+    assert cache["hits"] == service.cache.hits
+    assert cache["misses"] == service.cache.misses
+    assert cache["entries"] == len(service.cache)
+    assert cache["capacity"] == 32
+    assert cache["hit_rate"] == round(service.cache.hit_rate(), 3)
+    assert cache["hits"] >= 1
+    delta = status["delta"]
+    assert delta["inserts"] == 1 == status["delta_inserts"]
+    assert delta["tombstones"] == 1 == status["delta_tombstones"]
+    assert delta["version"] == service.delta.version
+
+
 def test_service_reexports():
     import repro
     import repro.api

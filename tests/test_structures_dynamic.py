@@ -164,3 +164,26 @@ def test_foursided_validation_and_empty():
     assert empty.query(FourSidedQuery(0, 1, 0, 1)) == []
     assert empty.height() == 1
     assert four_sided_query_bound(1000, 10, 64, 0.5) > 1.0
+
+
+def test_foursided_insert_past_rightmost_separator_stays_bounded():
+    """Regression: an insert past the base tree's rightmost separator must
+    raise the ancestors' recorded x-max, or a later 4-sided query whose
+    x_hi falls between the stale separator and the new point treats the
+    subtree as fully contained and leaks the out-of-range point through
+    the node's right-open structure."""
+    initial = [Point(float(i), float((i * 7) % 23) + i * 1e-3, i) for i in range(17)]
+    structure = FourSidedStructure(
+        StorageManager(EMConfig(block_size=8, memory_blocks=16)),
+        initial,
+        epsilon=0.5,
+    )
+    live = list(initial)
+    far = Point(5606.0, -1.0, 99)  # way past every recorded separator
+    structure.insert(far)
+    live.append(far)
+    query = FourSidedQuery(0.0, 5605.0, -2.0, 50.0)  # x_hi just misses it
+    got = sorted((p.x, p.y) for p in structure.query(query))
+    want = sorted((p.x, p.y) for p in range_skyline(live, query))
+    assert got == want
+    assert all(x <= 5605.0 for x, _ in got)
