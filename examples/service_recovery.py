@@ -6,10 +6,13 @@ Run with::
 
 The scenario mirrors an operator's worst day: a durable sharded
 :class:`repro.engine.SkylineEngine` absorbs mixed catalogue traffic
-(inserts, deletes, query batches, threshold-triggered compactions), its
-write-ahead log group-committing every update and its compactions leaving
-block-level shard snapshots behind -- and then the process dies at an
-arbitrary point of the durable WAL.  :func:`repro.service.crashed_copy`
+(inserts, deletes, query batches, memtable seals and periodic drain
+checkpoints of the leveled update path), its write-ahead log
+group-committing every update and its drain checkpoints leaving
+block-level, *level-aware* snapshots behind (per-level blocks plus the
+memtable and tombstone table, so recovery restores the exact level
+layout) -- and then the process dies at an arbitrary point of the durable
+WAL.  :func:`repro.service.crashed_copy`
 materialises the kill (only the durable prefix survives; the in-memory
 group-commit tail and any snapshot whose checkpoint record died are
 gone), and :meth:`repro.engine.SkylineEngine.open` -- the engine's
@@ -95,11 +98,17 @@ def main() -> int:
             for a in (rng.uniform(0, 0.95 * UNIVERSE) for _ in range(QUERIES_PER_TICK))
         ]
         read_io = sum(r.report.blocks for r in engine.query_many(queries))
+        if tick % 2 == 1:
+            # Drain checkpoint: pay all merge debt, log a WAL record, and
+            # (on the snapshot cadence) write a level-aware snapshot.
+            engine.drain()
+            note()
         status = engine.describe()["backend"]
         durability = status["durability_detail"]
+        levels = {row["level"]: row["records"] for row in status["levels"]}
         print(
             f"tick {tick:2d}: live={status['live_points']} "
-            f"compactions={status['compactions']} "
+            f"levels={levels} "
             f"wal={durability['wal_durable_records']}+{durability['wal_pending']} pending "
             f"snapshots={durability['snapshots']} "
             f"read_io={read_io} write_io={write_io}"
@@ -127,7 +136,9 @@ def main() -> int:
     recovery = recovered.backend.service.recovery
     print(
         f"recovered: loaded snapshot gen {recovery['snapshot_generation']} "
-        f"({recovery['snapshot_points']} points, folded to LSN {recovery['folded_lsn']}), "
+        f"({recovery['snapshot_points']} points across "
+        f"{recovery['snapshot_levels']} levels + base, "
+        f"folded to LSN {recovery['folded_lsn']}), "
         f"replayed {recovery['replayed_records']} WAL records; "
         f"recovery cost = {recovery['recovery_io']} block transfers "
         f"({recovery['snapshot_load_io']} snapshot load + "

@@ -11,10 +11,12 @@ rectangles) interleaved with a trickle of catalogue updates (new offers
 inserted, stale offers deleted).  Every request comes back with its
 :class:`~repro.engine.ExecutionReport`, so the per-tick figures -- block
 transfers, cache hits, shard pruning -- are sums of per-request report
-fields rather than counter diffs; writes land in the in-memory delta and
-the service compacts (the report of the tripping write carries the
-rebuild cost) whenever the delta passes the configured threshold.  A
-final summary checks the engine against the in-memory reference skyline.
+fields rather than counter diffs; writes land in the level-0 memtable
+and, whenever it passes the configured threshold, seal into the leveled
+merge scheduler -- each write's report carries at most the bounded
+incremental merge step (``maintenance_blocks``), never a stop-the-world
+rebuild.  A final summary checks the engine against the in-memory
+reference skyline and the ledger partition.
 """
 
 from __future__ import annotations
@@ -81,7 +83,7 @@ def main() -> None:
     print(f"serving {len(engine)} points from {len(service.shards)} shards")
     header = (
         f"{'tick':>4} {'queries':>8} {'cache hits':>11} {'pruned':>7} "
-        f"{'read I/O':>9} {'write I/O':>10} {'delta':>6} {'compactions':>12}"
+        f"{'read I/O':>9} {'write I/O':>10} {'memtable':>9} {'merges':>7}"
     )
     print(header)
     print("-" * len(header))
@@ -94,8 +96,9 @@ def main() -> None:
 
         # Bursty writes every third tick: 2/3 inserts at off-grid
         # coordinates, 1/3 deletes.  Read-only ticks in between are served
-        # straight from the result cache (writes invalidate it by bumping
-        # the delta version embedded in every cache key).
+        # straight from the result cache (a write only invalidates the
+        # cached answers whose rectangles overlap the shard it routes to,
+        # via the per-shard write versions embedded in every cache key).
         write_io = 0
         if tick % 3 == 0:
             for w in range(WRITES_PER_TICK):
@@ -118,18 +121,22 @@ def main() -> None:
 
         print(
             f"{tick:>4} {len(results):>8} {hits:>11} {pruned:>7} "
-            f"{read_io:>9} {write_io:>10} {len(service.delta):>6} "
-            f"{service.compactions:>12}"
+            f"{read_io:>9} {write_io:>10} {len(service.delta.inserts):>9} "
+            f"{service.lsm.scheduler.merges_completed:>7}"
         )
 
     status = engine.describe()
     backend = status["backend"]
     print("\nfinal state:")
-    for key in ("shard_sizes", "live_points", "compactions", "io_total"):
+    for key in ("shard_sizes", "live_points", "update_path", "io_total"):
         print(f"  {key}: {backend[key]}")
+    print(f"  levels: {backend['levels']}")
     print(f"  result_cache: {backend['result_cache']}")
     print(f"  engine: {status['engine']}")
-    assert engine.attributed_io() == engine.io_total() - engine.build_io
+    assert (
+        engine.attributed_io() + engine.maintenance_io()
+        == engine.io_total() - engine.build_io
+    )
 
     reference = sorted((p.x, p.y) for p in range_skyline(live, RangeQuery()))
     served = sorted((p.x, p.y) for p in engine.query(RangeQuery()).points)

@@ -125,6 +125,11 @@ def run_recovery_sweep(
     store and records the recovery cost split into snapshot reads and
     WAL-suffix replay.  The recovered live set and a skyline probe must
     match the pre-shutdown service exactly.
+
+    The sweep pins the legacy ``threshold-compact`` update path: its
+    auto-compactions are what drive the snapshot cadence being measured
+    (the leveled path checkpoints at explicit drains instead; its
+    update-cost profile is benchmarked by ``bench_updates``).
     """
     table = BenchmarkTable(
         f"Recovery cost vs snapshot cadence -- n={n}, {updates} updates, "
@@ -145,6 +150,7 @@ def run_recovery_sweep(
                 block_size=block_size,
                 memory_blocks=memory_blocks,
                 delta_threshold=delta_threshold,
+                update_path="threshold-compact",
                 durability=True,
                 wal_group_commit=8,
                 snapshot_every_compactions=cadence,

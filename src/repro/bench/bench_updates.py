@@ -1,0 +1,212 @@
+"""Update-path benchmarks: leveled incremental merges vs threshold compact.
+
+The sweep drives the *same* mixed read/write workload through the sharded
+service on both update paths and measures, per cell:
+
+* **mean update I/O** -- the average block transfers per insert/delete,
+  counting both the update's own attributed charge and the incremental
+  merge debt it paid (``maintenance_blocks``), so the leveled path's
+  amortisation cannot hide work;
+* **max single-op I/O spike** -- the worst transfer count any single
+  update charged.  On the legacy ``threshold-compact`` path this is the
+  ``O(n/B)`` stop-the-world rebuild the update tripping the threshold
+  pays; on the leveled path it is bounded by
+  ``ServiceConfig.merge_step_blocks`` -- the headline claim of the
+  leveled refactor is this spike dropping by >= 10x at n = 50k;
+* **mean query I/O** -- cache-bypassing probes interleaved with the
+  updates; the leveled path fans across the level structures, and the
+  acceptance bound is staying within 1.5x of the legacy path's mean;
+* the **ledger partition** -- ``attributed + maintenance == total -
+  build`` is asserted on every cell before its row is recorded.
+
+``benchmarks/bench_updates.py`` drives the sweep (pytest or ``--quick``
+CLI) and persists the table to ``BENCH_updates.json`` via
+:func:`repro.bench.reporting.write_json_report`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.reporting import BenchmarkTable
+from repro.core.point import Point
+from repro.core.queries import FourSidedQuery, RangeQuery, TopOpenQuery
+from repro.engine import QueryRequest, SkylineEngine, amortized_update_io
+from repro.service import ServiceConfig
+from repro.workloads import uniform_points
+
+Summary = Dict[str, Dict[str, float]]
+
+UPDATE_PATHS = ("threshold-compact", "leveled")
+
+
+def _fresh_updates(count: int, seed: int) -> List[Point]:
+    rng = random.Random(seed)
+    xs = rng.sample(range(2_000_000, 2_000_000 + 20 * count), count)
+    ys = rng.sample(range(2_000_000, 2_000_000 + 20 * count), count)
+    return [
+        Point(float(x), float(y), 1_000_000 + i)
+        for i, (x, y) in enumerate(zip(xs, ys))
+    ]
+
+
+def _probe_queries(universe: int, count: int, seed: int):
+    """A fixed mix of top-open and 4-sided probes over the base universe."""
+    rng = random.Random(seed)
+    probes = []
+    for _ in range(count):
+        a, b = sorted(rng.uniform(0, universe) for _ in range(2))
+        c = rng.uniform(0, universe)
+        probes.append(TopOpenQuery(a, b, c))
+        lo, hi = sorted(rng.uniform(0, universe) for _ in range(2))
+        probes.append(FourSidedQuery(a, b, lo, hi))
+    return probes
+
+
+def run_update_path_sweep(
+    ns: Sequence[int] = (10_000, 50_000),
+    updates: int = 256,
+    query_every: int = 8,
+    shard_count: int = 8,
+    block_size: int = 64,
+    memory_blocks: int = 32,
+    delta_threshold: int = 128,
+    merge_step_blocks: int = 8,
+    universe: int = 1_000_000,
+    seed: int = 0,
+) -> Tuple[BenchmarkTable, Summary]:
+    """The leveled-vs-threshold-compact sweep described in the module doc.
+
+    Every cell runs the identical op sequence: mostly inserts with one
+    delete per eight updates, a pair of cache-bypassing probes every
+    ``query_every`` updates, all through the engine so each op's exact
+    ledger delta (attributed plus maintenance) is observable.  ``updates``
+    must exceed ``delta_threshold`` so the legacy path actually pays at
+    least one stop-the-world compaction inside the measured window.
+    """
+    if updates <= delta_threshold:
+        raise ValueError("updates must exceed delta_threshold so the legacy "
+                         "path compacts inside the measured window")
+    table = BenchmarkTable(
+        f"Update-path comparison -- {updates} mixed updates, "
+        f"B={block_size}, memtable={delta_threshold}, "
+        f"step={merge_step_blocks}"
+    )
+    summary: Summary = {}
+    for n in ns:
+        base = uniform_points(n, universe=universe, seed=seed)
+        payloads = _fresh_updates(updates, seed=seed + 1)
+        probes = _probe_queries(universe, max(2, updates // query_every), seed + 2)
+        for update_path in UPDATE_PATHS:
+            engine = SkylineEngine.sharded(
+                base,
+                ServiceConfig(
+                    shard_count=shard_count,
+                    block_size=block_size,
+                    memory_blocks=memory_blocks,
+                    delta_threshold=delta_threshold,
+                    merge_step_blocks=merge_step_blocks,
+                    update_path=update_path,
+                ),
+            )
+            service = engine.backend.service
+            rng = random.Random(seed + 3)
+            live = list(base)
+            update_costs: List[int] = []
+            query_costs: List[int] = []
+            probe_iter = iter(probes)
+            for i, point in enumerate(payloads):
+                if i % 8 == 7 and live:
+                    victim = live.pop(rng.randrange(len(live)))
+                    result = engine.delete(victim)
+                    assert result.applied
+                else:
+                    result = engine.insert(point)
+                    live.append(point)
+                update_costs.append(
+                    result.report.blocks + result.report.maintenance_blocks
+                )
+                if i % query_every == query_every - 1:
+                    try:
+                        probe = next(probe_iter)
+                    except StopIteration:
+                        probe_iter = iter(probes)
+                        probe = next(probe_iter)
+                    query = engine.query(
+                        QueryRequest(probe, consistency="fresh")
+                    )
+                    query_costs.append(query.report.blocks)
+            # The partition invariant must hold on every cell.
+            assert (
+                engine.attributed_io() + engine.maintenance_io()
+                == engine.io_total() - engine.build_io
+            ), f"ledger partition broke: n={n} path={update_path}"
+            plan = engine.explain(RangeQuery())
+            mean_update = sum(update_costs) / len(update_costs)
+            max_spike = max(update_costs)
+            mean_query = sum(query_costs) / len(query_costs)
+            cell = {
+                "mean_update_io": round(mean_update, 3),
+                "max_update_spike": max_spike,
+                "mean_query_io": round(mean_query, 3),
+                "compactions": service.compactions,
+                "merges_completed": 0
+                if service.lsm is None
+                else service.lsm.scheduler.merges_completed,
+                "maintenance_io": engine.maintenance_io(),
+                "levels": 0 if service.lsm is None else len(service.lsm.levels),
+                "amortized_bound": round(
+                    amortized_update_io(
+                        len(service),
+                        block_size,
+                        service.config.level_growth,
+                        delta_threshold,
+                    ),
+                    3,
+                ),
+                "ledger_ok": 1,
+            }
+            summary[f"n={n}/{update_path}"] = cell
+            table.add(
+                measured_io=max_spike,
+                n=n,
+                update_path=update_path,
+                mean_update_io=cell["mean_update_io"],
+                mean_query_io=cell["mean_query_io"],
+                compactions=service.compactions,
+                merges=cell["merges_completed"],
+                levels=cell["levels"],
+                maintenance_io=cell["maintenance_io"],
+                update_bound=plan.update_bound,
+            )
+    return table, summary
+
+
+def check(summary: Summary, spike_factor: float = 10.0) -> None:
+    """The acceptance assertions both pytest and the CLI run enforce."""
+    ns = sorted({int(key.split("/")[0].split("=")[1]) for key in summary})
+    for n in ns:
+        legacy = summary[f"n={n}/threshold-compact"]
+        leveled = summary[f"n={n}/leveled"]
+        assert legacy["compactions"] >= 1, (
+            f"legacy path never compacted at n={n}; the spike comparison "
+            "would be vacuous"
+        )
+        assert leveled["compactions"] == 0
+        assert leveled["merges_completed"] >= 1
+        assert leveled["ledger_ok"] and legacy["ledger_ok"]
+        spike_ratio = legacy["max_update_spike"] / max(
+            1, leveled["max_update_spike"]
+        )
+        assert spike_ratio >= spike_factor, (
+            f"n={n}: leveled max spike {leveled['max_update_spike']} is not "
+            f">= {spike_factor}x below legacy {legacy['max_update_spike']}"
+        )
+        query_ratio = leveled["mean_query_io"] / max(
+            1e-9, legacy["mean_query_io"]
+        )
+        assert query_ratio <= 1.5, (
+            f"n={n}: leveled mean query I/O {leveled['mean_query_io']} "
+            f"exceeds 1.5x legacy {legacy['mean_query_io']}"
+        )

@@ -33,9 +33,12 @@ from repro.engine.plan import (
     BOUND_DYNAMIC_EASY,
     BOUND_FOUR_SIDED,
     BOUND_STATIC_EASY,
+    BOUND_UPDATE_LEVELED,
+    BOUND_UPDATE_THRESHOLD,
     EASY_TOP_OPEN_VARIANTS,
     QueryPlan,
     ScopePlan,
+    amortized_update_io,
     bound_for,
     structure_for,
 )
@@ -67,6 +70,9 @@ __all__ = [
     "BOUND_STATIC_EASY",
     "BOUND_DYNAMIC_EASY",
     "BOUND_FOUR_SIDED",
+    "BOUND_UPDATE_LEVELED",
+    "BOUND_UPDATE_THRESHOLD",
+    "amortized_update_io",
     "CONSISTENCY_LEVELS",
     "OP_INSERT",
     "OP_DELETE",

@@ -30,7 +30,14 @@ from repro.core.queries import RangeQuery
 from repro.em.config import EMConfig
 from repro.em.counters import IOSnapshot
 from repro.em.storage import StorageManager
-from repro.engine.plan import QueryPlan, build_plan, structure_for
+from repro.engine.plan import (
+    BOUND_UPDATE_LEVELED,
+    BOUND_UPDATE_THRESHOLD,
+    QueryPlan,
+    amortized_update_io,
+    build_plan,
+    structure_for,
+)
 from repro.engine.requests import OP_INSERT, QueryRequest, UpdateRequest
 from repro.service.config import ServiceConfig
 from repro.service.durability import DurableStore
@@ -61,11 +68,20 @@ class Backend(Protocol):
 
     #: Stable backend identifier, embedded in plans and reports.
     name: str
-    #: Label reports use as the ``structure`` of update requests.
-    write_path: str
+
+    @property
+    def write_path(self) -> str:
+        """Label reports use as the ``structure`` of update requests."""
+        ...
 
     def snapshot(self) -> IOSnapshot:
         """Current ledger counters (engine measures per-request deltas)."""
+        ...
+
+    def maintenance_snapshot(self) -> IOSnapshot:
+        """Current maintenance-ledger counters: the incremental merge
+        work charged alongside updates (all-zero on backends without a
+        leveled update path)."""
         ...
 
     def io_total(self) -> int:
@@ -113,6 +129,11 @@ class Backend(Protocol):
         backend has no delta to fold)."""
         ...
 
+    def drain(self) -> Dict[str, int]:
+        """Pay all outstanding incremental merge debt now (no-op when
+        the backend has no merge scheduler); returns the drain counters."""
+        ...
+
     def close(self) -> int:
         """Flush/shutdown; returns backend-specific flush count."""
         ...
@@ -146,6 +167,9 @@ class LocalIndexBackend:
     # -- ledger --------------------------------------------------------
     def snapshot(self) -> IOSnapshot:
         return self.index.storage.snapshot()
+
+    def maintenance_snapshot(self) -> IOSnapshot:
+        return IOSnapshot()
 
     def io_total(self) -> int:
         return self.index.io_total()
@@ -215,6 +239,10 @@ class LocalIndexBackend:
     def compact(self) -> None:
         """No-op: the monolithic index applies updates in place."""
 
+    def drain(self) -> Dict[str, int]:
+        """No-op: the monolithic index has no merge scheduler."""
+        return {"merge_io": 0, "merges_completed": 0}
+
     def close(self) -> int:
         self.index.storage.flush()
         return 0
@@ -224,10 +252,18 @@ class ShardedServiceBackend:
     """A :class:`repro.service.SkylineService` behind the engine API."""
 
     name = "sharded-service"
-    write_path = "delta-buffer"
 
     def __init__(self, service: SkylineService) -> None:
         self.service = service
+
+    @property
+    def write_path(self) -> str:
+        """Label reports carry for updates: the configured update path."""
+        return (
+            "leveled-lsm"
+            if self.service.config.update_path == "leveled"
+            else "delta-buffer"
+        )
 
     @classmethod
     def build(
@@ -252,6 +288,9 @@ class ShardedServiceBackend:
     # -- ledger --------------------------------------------------------
     def snapshot(self) -> IOSnapshot:
         return self.service.snapshot()
+
+    def maintenance_snapshot(self) -> IOSnapshot:
+        return self.service.maintenance.snapshot()
 
     def io_total(self) -> int:
         return self.service.io_total()
@@ -304,16 +343,61 @@ class ShardedServiceBackend:
 
     # -- planning ------------------------------------------------------
     def plan(self, request: QueryRequest) -> QueryPlan:
-        # Every shard is a static RangeSkylineIndex over its resident
-        # points; the delta merge is in-memory and charges no transfers.
+        # Every shard (and every leveled component) is a static
+        # RangeSkylineIndex over its resident points; the memtable merge
+        # is in-memory and charges no transfers.  On the leveled path the
+        # query additionally fans across every level structure, so the
+        # plan carries one scope per level and reports the level layout
+        # plus the amortized update bound instantiated with the actual
+        # B, n, growth factor and memtable capacity.
         service = self.service
+        config = service.config
         visited = self._visited(request.rect)
         scopes: List[Tuple[Optional[int], int]] = [
             (sid, len(service.shards[sid])) for sid in visited
         ]
-        epsilon = service.config.epsilon
+        epsilon = config.epsilon
         if structure_for(request.variant) == "four-sided":
             epsilon = max(0.25, epsilon)  # the shard index floors it too
+        level_scopes: List[Tuple[int, int]] = []
+        level_layout: List[Tuple[int, int]] = []
+        if service.lsm is not None:
+            # Level 0 counts the live memtable plus any sealed-but-not-yet-
+            # flushed frozen memtables, so summing the layout's record
+            # counts plus the base scopes always reproduces len(service)
+            # resident records.
+            level_layout.append(
+                (
+                    0,
+                    len(service.delta.inserts)
+                    + sum(len(c) for c in service.lsm.frozen),
+                )
+            )
+            rect = request.rect
+            for level in sorted(service.lsm.levels):
+                comp = service.lsm.levels[level]
+                # Mirror the execution-side prune: a level whose x-span
+                # misses the rectangle answers for free, so it adds no
+                # search term to the predicted cost.
+                if (
+                    comp.points
+                    and comp.points[0].x <= rect.x_hi
+                    and comp.points[-1].x >= rect.x_lo
+                ):
+                    level_scopes.append((level, len(comp)))
+                level_layout.append((level, len(comp)))
+            update_path = "leveled"
+            update_bound = BOUND_UPDATE_LEVELED
+            update_io = amortized_update_io(
+                len(service),
+                self.block_size(),
+                config.level_growth,
+                config.delta_threshold,
+            )
+        else:
+            update_path = "threshold-compact"
+            update_bound = BOUND_UPDATE_THRESHOLD
+            update_io = len(service) / max(2, self.block_size())
         return build_plan(
             request,
             backend=self.name,
@@ -322,6 +406,11 @@ class ShardedServiceBackend:
             dynamic=False,
             scopes=scopes,
             shards_pruned=len(service.shards) - len(visited),
+            level_scopes=level_scopes,
+            update_path=update_path,
+            level_layout=level_layout,
+            update_bound=update_bound,
+            update_io=update_io,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -335,6 +424,9 @@ class ShardedServiceBackend:
 
     def compact(self) -> None:
         self.service.compact()
+
+    def drain(self) -> Dict[str, int]:
+        return self.service.drain()
 
     def close(self) -> int:
         return self.service.close()

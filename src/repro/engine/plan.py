@@ -50,6 +50,26 @@ BOUND_STATIC_EASY = "O(log_B n + k/B)"  # Theorems 1 and 6 (swapped)
 BOUND_DYNAMIC_EASY = "O(log_{2B^eps}(n/B) + k/B^(1-eps))"  # Theorem 4
 BOUND_FOUR_SIDED = "O((n/B)^eps + k/B)"  # Theorem 6
 
+#: Update-path bounds the sharded backend instantiates (Theorems 4/6 pay
+#: O(log_B n) amortized per update via the logarithmic method; the leveled
+#: subsystem realises it with growth factor g and memtable capacity c).
+BOUND_UPDATE_LEVELED = "O((g/B) * log_g(n/c)) amortized per update"
+BOUND_UPDATE_THRESHOLD = "O(n/B) worst-case rebuild at the delta threshold"
+
+
+def amortized_update_io(
+    n: int, block_size: int, growth: int, memtable_capacity: int
+) -> float:
+    """The leveled path's amortized per-update transfers, instantiated.
+
+    Each record is rewritten at most ``g`` times per level (leveling) over
+    ``log_g(n/c)`` levels, at ``1/B`` transfers per rewritten record.
+    """
+    b = max(2, block_size)
+    g = max(2, growth)
+    levels = max(1.0, math.log(max(2.0, n / max(1, memtable_capacity)), g))
+    return g * levels / b
+
 
 def structure_for(variant: str) -> str:
     """The structure :meth:`repro.RangeSkylineIndex.query` dispatches to."""
@@ -98,12 +118,17 @@ class ScopePlan:
 
     ``shard`` is the shard id on the sharded backend, ``None`` on the
     monolithic one; ``n`` is the points resident in that instance and
-    ``search_io`` its instantiated k-independent term.
+    ``search_io`` its instantiated k-independent term.  ``level`` marks
+    the leveled-update-path component the scope belongs to (``None`` for
+    a base shard or the monolithic index): on the leveled path a query
+    fans across the base shards *and* every level structure, and the plan
+    carries one scope per instance so the search term stays honest.
     """
 
     shard: Optional[int]
     n: int
     search_io: float
+    level: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -123,6 +148,14 @@ class QueryPlan:
     shards_pruned: int
     search_io: float
     per_result_io: float
+    # Update-path facts (sharded backend): how writes reach the static
+    # structures, the current level layout (records per level, level 0
+    # being the memtable), and the amortized update bound instantiated
+    # with the backend's actual B, n, growth and memtable capacity.
+    update_path: Optional[str] = None
+    level_layout: Tuple[Tuple[int, int], ...] = ()
+    update_bound: Optional[str] = None
+    update_io: Optional[float] = None
 
     def predicted_io(self, k: int) -> float:
         """The bound instantiated at output size ``k`` (block transfers)."""
@@ -163,12 +196,19 @@ def build_plan(
     dynamic: bool,
     scopes: Sequence[Tuple[Optional[int], int]],
     shards_pruned: int = 0,
+    level_scopes: Sequence[Tuple[int, int]] = (),
+    update_path: Optional[str] = None,
+    level_layout: Sequence[Tuple[int, int]] = (),
+    update_bound: Optional[str] = None,
+    update_io: Optional[float] = None,
 ) -> QueryPlan:
     """Assemble a :class:`QueryPlan` from a backend's structural facts.
 
     ``scopes`` lists the structure instances that will serve the request
-    as ``(shard_id_or_None, resident_points)`` pairs; ``dynamic`` says
-    whether the easy-variant structures are Theorem 4's dynamic ones.
+    as ``(shard_id_or_None, resident_points)`` pairs; ``level_scopes``
+    lists the leveled components the query additionally fans across as
+    ``(level, resident_points)`` pairs; ``dynamic`` says whether the
+    easy-variant structures are Theorem 4's dynamic ones.
     """
     variant = request.variant
     structure = structure_for(variant)
@@ -179,6 +219,14 @@ def build_plan(
             search_io=search_term(structure, dynamic, n, block_size, epsilon),
         )
         for sid, n in scopes
+    ) + tuple(
+        ScopePlan(
+            shard=None,
+            n=n,
+            search_io=search_term(structure, dynamic, n, block_size, epsilon),
+            level=level,
+        )
+        for level, n in level_scopes
     )
     search_io = sum(scope.search_io for scope in scope_plans)
     per_result = per_result_term(structure, dynamic, block_size, epsilon)
@@ -193,8 +241,12 @@ def build_plan(
         epsilon=epsilon,
         dynamic=dynamic,
         scopes=scope_plans,
-        shards_visited=len(scope_plans),
+        shards_visited=len(scopes),
         shards_pruned=shards_pruned,
         search_io=search_io,
         per_result_io=per_result,
+        update_path=update_path,
+        level_layout=tuple(level_layout),
+        update_bound=update_bound,
+        update_io=update_io,
     )

@@ -38,10 +38,19 @@ class ExecutionReport:
         The structure that served a query (per the plan), or the
         backend's write path for updates.
     reads / writes:
-        This request's block-transfer ledger delta, split by direction.
-        For an update that trips the compaction threshold, the rebuild it
-        triggered is part of this request's charge -- the ledger never
-        loses a transfer between reports.
+        This request's *attributed* block-transfer ledger delta, split by
+        direction.  On the legacy threshold-compact path, an update that
+        trips the compaction threshold pays the whole rebuild here; on
+        the leveled path the bounded incremental merge work piggybacked
+        on an update is split out into ``maintenance_blocks`` instead --
+        either way the ledger never loses a transfer between reports.
+    maintenance_blocks:
+        Transfers of incremental merge debt this update paid alongside
+        its own work (leveled update path).  Counted in the engine's
+        ``maintenance_io()``, not in ``blocks``, so the partition
+        ``attributed + maintenance == total - build`` stays exact while
+        per-update charges reflect the bounded step, not the amortised
+        backlog.
     cache_hit:
         Whether the result came from the backend's result cache (then
         ``blocks`` is typically 0).
@@ -70,6 +79,7 @@ class ExecutionReport:
     tombstone_fallback: bool = False
     result_size: int = 0
     predicted_io: Optional[float] = None
+    maintenance_blocks: int = 0
 
     @property
     def blocks(self) -> int:

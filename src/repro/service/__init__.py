@@ -6,12 +6,16 @@ set is partitioned into x-range shards, each backed by its own
 (:class:`~repro.service.shard.Shard`); a router prunes the shards whose
 x-range misses a query (:class:`~repro.service.router.ShardRouter`);
 batches regroup into per-shard worklists with optional thread fan-out
-(:mod:`~repro.service.batch`); results are cached in an epoch-keyed LRU
-(:class:`~repro.service.cache.ResultCache`); and writes take a
-Bentley--Saxe-style log-merge path -- an in-memory delta that compaction
-periodically folds into rebuilt, size-rebalanced static shards
-(:class:`~repro.service.delta.DeltaBuffer`,
-:meth:`SkylineService.compact`).
+(:mod:`~repro.service.batch`); results are cached in a per-shard-scoped
+LRU (:class:`~repro.service.cache.ResultCache`); and writes take the
+leveled log-structured path (:mod:`~repro.service.lsm`): the memtable
+(:class:`~repro.service.delta.DeltaBuffer`) seals into immutable level
+components of geometrically increasing capacity that a
+:class:`~repro.service.lsm.CompactionScheduler` merges downward in
+bounded incremental steps, with :meth:`SkylineService.drain` as the
+explicit full-drain and :meth:`SkylineService.compact` as the
+operator-driven major compaction folding everything back into rebuilt,
+size-rebalanced static shards.
 
 Why the shard merge is correct
 ------------------------------
@@ -50,6 +54,15 @@ service charges as ``ceil(resident / B)`` block reads on the shard's
 ledger; all other shards keep their static-structure I/O efficiency.
 Compaction restores the tombstone-free fast path.
 
+*Levels.*  On the leveled update path the same two arguments generalise
+from 2 sources (delta + base) to ``k + 1``: each level component answers
+locally (static structure, or the charged rescan when a tombstone it owns
+lies inside ``Q``), and one right-to-left running-max-y pass over the
+union of all local answers -- base merge, levels, frozen memtables,
+memtable candidates -- yields the global skyline
+(:func:`~repro.service.merge.merge_component_skylines` carries the
+proof for overlapping x-ranges).
+
 Durability
 ----------
 :mod:`repro.service.durability` adds crash safety on top: a durable
@@ -72,7 +85,12 @@ from repro.service.durability import (
     WriteAheadLog,
     crashed_copy,
 )
-from repro.service.merge import merge_shard_skylines, merge_with_delta
+from repro.service.lsm import Component, CompactionScheduler, LevelManager
+from repro.service.merge import (
+    merge_component_skylines,
+    merge_shard_skylines,
+    merge_with_delta,
+)
 from repro.service.router import ShardRouter, size_balanced_cuts
 from repro.service.service import QueryExecutionTrace, SkylineService
 from repro.service.shard import Shard
@@ -84,6 +102,9 @@ __all__ = [
     "Shard",
     "ShardRouter",
     "DeltaBuffer",
+    "Component",
+    "LevelManager",
+    "CompactionScheduler",
     "ResultCache",
     "DurableStore",
     "WriteAheadLog",
@@ -91,6 +112,7 @@ __all__ = [
     "crashed_copy",
     "size_balanced_cuts",
     "merge_shard_skylines",
+    "merge_component_skylines",
     "merge_with_delta",
     "build_worklists",
     "execute_worklists",

@@ -1,12 +1,20 @@
-"""An LRU cache of query results keyed by shard epochs and delta version.
+"""An LRU cache of query results keyed by per-shard epochs and versions.
 
 A cached answer is only ever returned for the exact generation of data it
-was computed against: the key embeds the epoch of every shard the query
-touches plus the delta version, both of which advance on writes and
-compactions.  Stale entries thus become unreachable immediately and age out
-of the LRU; :meth:`ResultCache.invalidate_all` additionally drops them
-eagerly (the service calls it on compaction, when whole generations die at
-once).
+was computed against: the key embeds, for every shard the query's
+rectangle overlaps, the shard's rebuild epoch *and* the per-shard write
+version the service bumps whenever an update lands in that shard's
+x-range.  Invalidation is therefore scoped: an insert routed to shard 3
+makes only keys visiting shard 3 unreachable, while a cached answer whose
+rectangle lies entirely in shard 5's range stays valid -- correct because
+a range-skyline answer depends only on the live points inside the
+rectangle, all of which lie in the visited shards' x-ranges (a point
+outside the rectangle can neither appear in nor dominate anything in the
+answer).  This replaces the old global delta version, which evicted every
+cached answer on any write anywhere.  Stale entries become unreachable
+immediately and age out of the LRU; :meth:`ResultCache.invalidate_all`
+additionally drops them eagerly (the service calls it on compaction, when
+whole generations die at once).
 """
 
 from __future__ import annotations
@@ -22,20 +30,20 @@ CacheKey = Tuple[Hashable, ...]
 
 def make_key(
     query: RangeQuery,
-    shard_epochs: Sequence[Tuple[int, int]],
-    delta_version: int,
+    shard_scopes: Sequence[Tuple[int, int, int]],
 ) -> CacheKey:
     """Cache key: the query rectangle plus the data generation it reads.
 
-    ``shard_epochs`` is the (sid, epoch) of every shard the query overlaps.
+    ``shard_scopes`` carries ``(sid, epoch, write_version)`` for every
+    shard the query overlaps: ``epoch`` advances on rebuilds,
+    ``write_version`` on every update routed into the shard's x-range.
     """
     return (
         query.x_lo,
         query.x_hi,
         query.y_lo,
         query.y_hi,
-        tuple(shard_epochs),
-        delta_version,
+        tuple(shard_scopes),
     )
 
 

@@ -28,10 +28,36 @@ class ServiceConfig:
     epsilon:
         The query/update trade-off knob forwarded to every shard's
         :class:`repro.RangeSkylineIndex`.
+    update_path:
+        How writes reach the static structures.  ``"leveled"`` (the
+        default) runs the Bentley--Saxe-style leveled subsystem of
+        :mod:`repro.service.lsm`: the memtable seals into an immutable
+        component when it fills, a :class:`~repro.service.lsm
+        .CompactionScheduler` merges levels of geometrically increasing
+        capacity in bounded incremental steps piggybacked on updates, and
+        no single update ever pays an ``O(n/B)`` rebuild.
+        ``"threshold-compact"`` is the legacy single-threshold path kept
+        for benchmarking the difference: the flat delta triggers a
+        stop-the-world :meth:`SkylineService.compact` when it fills.
     delta_threshold:
-        Once the in-memory delta (pending inserts plus tombstones) reaches
-        this many entries, the next write triggers :meth:`SkylineService
-        .compact` (when ``auto_compact`` is on).
+        Capacity of the level-0 memtable.  On the leveled path, once this
+        many *pending inserts* accumulate the memtable is sealed and
+        scheduled for an incremental merge into level 1.  On the legacy
+        path, once the flat delta (pending inserts plus tombstones)
+        reaches this many entries the next write triggers
+        :meth:`SkylineService.compact` (when ``auto_compact`` is on).
+    level_growth:
+        Geometric fan-out of the leveled update path: level ``j`` holds up
+        to ``delta_threshold * level_growth**j`` records before it is
+        scheduled for a merge into level ``j + 1``.
+    merge_step_blocks:
+        Bound on the incremental merge work piggybacked on a single
+        update: at most this many block transfers of pending merge debt
+        are paid (charged to the service's maintenance ledger) per
+        insert/delete.  The worst-case single-update I/O is therefore
+        ``O(merge_step_blocks)`` instead of the legacy path's ``O(n/B)``
+        rebuild; :meth:`SkylineService.drain` pays all outstanding debt
+        at once.
     cache_capacity:
         Maximum number of query results kept in the LRU result cache
         (0 disables caching).
@@ -69,7 +95,10 @@ class ServiceConfig:
     block_size: int = 64
     memory_blocks: int = 32
     epsilon: float = 0.5
+    update_path: str = "leveled"
     delta_threshold: int = 128
+    level_growth: int = 4
+    merge_step_blocks: int = 8
     cache_capacity: int = 256
     parallelism: int = 1
     auto_compact: bool = True
@@ -80,9 +109,22 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.shard_count < 1:
             raise ValueError(f"shard_count must be >= 1, got {self.shard_count}")
+        if self.update_path not in ("leveled", "threshold-compact"):
+            raise ValueError(
+                "update_path must be 'leveled' or 'threshold-compact', "
+                f"got {self.update_path!r}"
+            )
         if self.delta_threshold < 1:
             raise ValueError(
                 f"delta_threshold must be >= 1, got {self.delta_threshold}"
+            )
+        if self.level_growth < 2:
+            raise ValueError(
+                f"level_growth must be >= 2, got {self.level_growth}"
+            )
+        if self.merge_step_blocks < 1:
+            raise ValueError(
+                f"merge_step_blocks must be >= 1, got {self.merge_step_blocks}"
             )
         if self.cache_capacity < 0:
             raise ValueError(

@@ -15,25 +15,35 @@ rectangle contains a tombstone of some shard recomputes that shard's local
 skyline from the shard's resident live points; shards untouched by
 tombstones keep using their static structures at full I/O efficiency.
 
-Tombstones are bucketed by the *owning shard id* (the shard whose x-range
-contains the deleted static point, supplied by the service at
-:meth:`DeltaBuffer.add_tombstone` time).  A batch of ``Q`` queries over
-``S`` shards therefore probes only each shard's own bucket instead of
-sweeping every tombstone ``Q * S`` times.  Buckets are maintained on every
-mutation path -- tombstone creation, revival by re-insert, and
-:meth:`DeltaBuffer.clear` at compaction -- and shard ids stay valid for the
-bucket's whole lifetime because compaction clears the buffer whenever shard
-boundaries move.
+Tombstones are bucketed by the *owning component* -- the base shard id (an
+``int``) for victims resident in a static shard, or a leveled component's
+owner key (``("c", component_id)``, see :mod:`repro.service.lsm`) for
+victims resident in an immutable level.  A batch of ``Q`` queries over
+``S`` components therefore probes only each component's own bucket instead
+of sweeping every tombstone ``Q * S`` times.  Buckets are maintained on
+every mutation path -- tombstone creation, revival by re-insert,
+consumption/re-owning when a level merge rewrites the victim's component,
+and :meth:`DeltaBuffer.clear` at compaction -- and owner keys stay valid
+for the bucket's whole lifetime because compaction clears the buffer
+whenever shard boundaries or the level layout move wholesale.
+
+On the leveled update path the buffer doubles as the level-0 *memtable*:
+:meth:`DeltaBuffer.seal_inserts` drains the pending inserts into an
+immutable component while tombstones stay behind (they are consumed by the
+merges that rewrite their victims' components, never flushed).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.point import Point
 from repro.core.queries import RangeQuery
 
 Key = Tuple[float, float, Optional[int]]
+#: A tombstone's owning component: a base shard id, a leveled component's
+#: owner key, or ``None`` for the unknown-owner catch-all bucket.
+Owner = Optional[Hashable]
 
 
 def point_key(point: Point) -> Key:
@@ -47,13 +57,17 @@ class DeltaBuffer:
     def __init__(self) -> None:
         self.inserts: Dict[Key, Point] = {}
         self.tombstones: Dict[Key, Point] = {}
-        # Shard-id buckets over the same tombstones (``None`` = unknown
-        # owner, checked by every shard) plus the reverse key -> sid map
-        # that keeps revival O(1).
-        self._tombstones_by_shard: Dict[Optional[int], Dict[Key, Point]] = {}
-        self._tombstone_shard: Dict[Key, Optional[int]] = {}
-        # Bumped on every mutation; result-cache keys embed it, so any
-        # write implicitly invalidates every cached answer.
+        # Owner buckets over the same tombstones (``None`` = unknown
+        # owner, checked by every component) plus the reverse key -> owner
+        # map that keeps revival O(1).
+        self._tombstones_by_shard: Dict[Owner, Dict[Key, Point]] = {}
+        self._tombstone_shard: Dict[Key, Owner] = {}
+        # Bumped on every mutation -- an internal change counter for
+        # introspection (describe()) and tests.  Result-cache invalidation
+        # does NOT run through it: the service scopes invalidation with
+        # per-shard write versions (see SkylineService._bump_region and
+        # repro.service.cache.make_key), bumped on every write routed into
+        # a shard's x-range.
         self.version = 0
 
     def __len__(self) -> int:
@@ -83,12 +97,16 @@ class DeltaBuffer:
         self.version += 1
         return removed
 
-    def add_tombstone(self, point: Point, sid: Optional[int] = None) -> None:
-        """Record that the *static* point ``point`` is deleted.
+    def add_tombstone(self, point: Point, sid: Owner = None) -> None:
+        """Record that the resident point ``point`` is deleted.
 
-        ``sid`` is the id of the shard owning the point; it buckets the
-        tombstone so queries against other shards never scan it.  ``None``
-        (owner unknown) lands in a catch-all bucket every shard checks.
+        ``sid`` is the owner key of the component holding the point (a
+        base shard id, or a level component's owner key); it buckets the
+        tombstone so queries against other components never scan it.
+        ``None`` (owner unknown) lands in a catch-all bucket every
+        component checks.  Re-adding an existing tombstone under a new
+        owner moves it between buckets, which is how level merges re-own
+        the tombstones that survive them.
         """
         key = point_key(point)
         if key in self.tombstones:
@@ -97,6 +115,38 @@ class DeltaBuffer:
         self._tombstone_shard[key] = sid
         self._tombstones_by_shard.setdefault(sid, {})[key] = point
         self.version += 1
+
+    def seal_inserts(self) -> List[Point]:
+        """Drain the pending inserts (the level-0 memtable) for a flush.
+
+        Returns the drained points sorted by increasing x; tombstones stay
+        in the buffer (a merge consumes them when it rewrites their
+        victims' component, see :mod:`repro.service.lsm`).
+        """
+        sealed = sorted(self.inserts.values(), key=lambda p: (p.x, p.y))
+        self.inserts.clear()
+        self.version += 1
+        return sealed
+
+    def drop_tombstone(self, key: Key) -> None:
+        """Forget one tombstone (its victim left the store for good --
+        a level merge dropped the dead record from its output)."""
+        del self.tombstones[key]
+        self._unbucket(key)
+        self.version += 1
+
+    def restore_insert(self, point: Point) -> None:
+        """Re-materialise ``point`` as a pending insert.
+
+        Used when a level merge consumed a tombstone whose point was
+        *revived* while the merge was in flight: the merged output dropped
+        the record, so the live copy moves back into the memtable."""
+        self.inserts[point_key(point)] = point
+        self.version += 1
+
+    def tombstone_owner(self, key: Key) -> Owner:
+        """The owner bucket a tombstone currently lives under."""
+        return self._tombstone_shard[key]
 
     def clear(self) -> None:
         """Empty the buffer (after a compaction)."""
@@ -131,24 +181,29 @@ class DeltaBuffer:
         """Pending inserts inside the query rectangle."""
         return [p for p in self.inserts.values() if query.contains(p)]
 
-    def shard_tombstones(self, sid: Optional[int]) -> List[Point]:
-        """The tombstones bucketed under shard ``sid`` (test/introspection)."""
+    def shard_tombstones(self, sid: Owner) -> List[Point]:
+        """The tombstones bucketed under owner ``sid`` (test/introspection)."""
         return list(self._tombstones_by_shard.get(sid, {}).values())
+
+    def owned_tombstones(self, owner: Owner) -> Dict[Key, Point]:
+        """A copy of the key -> victim table bucketed under ``owner``."""
+        return dict(self._tombstones_by_shard.get(owner, {}))
 
     def tombstone_hits(
         self,
         query: RangeQuery,
         x_lo: float,
         x_hi: float,
-        sid: Optional[int] = None,
+        sid: Owner = None,
     ) -> bool:
         """Whether a tombstone lies inside ``query`` within ``[x_lo, x_hi)``.
 
-        Only then is the static answer of the shard covering that x-range
-        unreliable (a deleted point outside the rectangle can neither appear
-        in, nor have dominated anything in, the answer).  When the caller
-        passes its shard id, only that shard's bucket (plus the unknown-owner
-        catch-all) is scanned; without a ``sid`` the full table is swept.
+        Only then is the static answer of the component covering that
+        x-range unreliable (a deleted point outside the rectangle can
+        neither appear in, nor have dominated anything in, the answer).
+        When the caller passes its owner key, only that component's bucket
+        (plus the unknown-owner catch-all) is scanned; without a ``sid``
+        the full table is swept.
         """
         if sid is None:
             candidates = list(self.tombstones.values())

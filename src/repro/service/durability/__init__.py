@@ -29,13 +29,20 @@ replayed compaction records).
 from repro.service.durability.crash import CrashSimulator, crashed_copy
 from repro.service.durability.snapshot import (
     SnapshotManifest,
+    SnapshotState,
+    TombstoneRecord,
     load_snapshot,
+    load_snapshot_state,
+    read_record_blocks,
+    write_record_blocks,
     write_snapshot_blocks,
 )
 from repro.service.durability.store import DurableStore
 from repro.service.durability.wal import (
     OP_COMPACT,
     OP_DELETE,
+    OP_DRAIN,
+    OP_FLUSH,
     OP_INSERT,
     WalRecord,
     WriteAheadLog,
@@ -46,11 +53,18 @@ __all__ = [
     "WriteAheadLog",
     "WalRecord",
     "SnapshotManifest",
+    "SnapshotState",
+    "TombstoneRecord",
     "write_snapshot_blocks",
+    "write_record_blocks",
+    "read_record_blocks",
     "load_snapshot",
+    "load_snapshot_state",
     "CrashSimulator",
     "crashed_copy",
     "OP_INSERT",
     "OP_DELETE",
     "OP_COMPACT",
+    "OP_FLUSH",
+    "OP_DRAIN",
 ]

@@ -70,6 +70,7 @@ def crashed_copy(store: DurableStore, prefix: int) -> DurableStore:
         if manifest.installed_lsn > prefix:
             for shard_ids in manifest.shard_blocks:
                 dropped.extend(shard_ids)
+            dropped.extend(manifest.extra_blocks())
             if manifest.block_id is not None:
                 dropped.append(manifest.block_id)
     clone.manifests = [m for m in clone.manifests if m.installed_lsn <= prefix]

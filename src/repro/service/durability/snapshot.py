@@ -9,22 +9,54 @@ constructions obey.  A :class:`SnapshotManifest` (one more block) names the
 point blocks, the shard boundaries and epochs, and the WAL LSN up to which
 the log is folded into the snapshot.
 
-Recovery (:func:`load_snapshot`) is the mirror image: one read for the
-manifest block plus one read per point block, after which only the WAL
+Recovery (:func:`load_snapshot_state`) is the mirror image: one read for
+the manifest block plus one read per point block, after which only the WAL
 suffix past ``folded_lsn`` needs replaying.  Recovery therefore costs
 ``O(n/B + w/B)`` block transfers where ``w`` is the number of WAL records
 since the last installed snapshot -- the quantity
 ``snapshot_every_compactions`` trades against snapshot write volume.
+
+Level-aware snapshots
+---------------------
+On the leveled update path a snapshot may also be anchored at a *drain*
+checkpoint, where levels 1..k, the memtable and the tombstone table are
+not empty.  The manifest then carries one block list per level (plus
+memtable and tombstone block lists), so recovery restores the *exact
+level layout* -- not just the flattened point set -- before replaying the
+WAL suffix.  Tombstone records name their owning component as a level
+number (base-resident victims are re-routed by x at load time, since
+recovery re-cuts the shards).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.point import Point
 from repro.em.disk import BlockId
 from repro.service.durability.store import DurableStore
+
+
+@dataclass(frozen=True)
+class TombstoneRecord:
+    """One serialised tombstone: the exact victim plus its owner.
+
+    ``level`` is the level number owning the victim (``None`` for a
+    base-shard resident, whose owning shard id recovery re-derives by
+    routing ``x`` through the re-cut router).
+    """
+
+    x: float
+    y: float
+    ident: Optional[int]
+    level: Optional[int] = None
+
+    def point(self) -> Point:
+        return Point(self.x, self.y, self.ident)
+
+    def record_size(self) -> int:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -51,15 +83,75 @@ class SnapshotManifest:
     shard_blocks: Tuple[Tuple[BlockId, ...], ...]
     point_count: int
     block_id: Optional[BlockId] = None
+    # Leveled state (empty at compaction checkpoints, where everything is
+    # folded into the base; populated at drain checkpoints).
+    level_blocks: Tuple[Tuple[int, Tuple[BlockId, ...]], ...] = ()
+    level_counts: Tuple[Tuple[int, int], ...] = ()
+    memtable_blocks: Tuple[BlockId, ...] = ()
+    memtable_count: int = 0
+    tombstone_blocks: Tuple[BlockId, ...] = ()
+    tombstone_count: int = 0
 
     @property
     def block_count(self) -> int:
         """Blocks this snapshot occupies: point blocks plus the manifest."""
-        return sum(len(blocks) for blocks in self.shard_blocks) + 1
+        return (
+            sum(len(blocks) for blocks in self.shard_blocks)
+            + sum(len(blocks) for _, blocks in self.level_blocks)
+            + len(self.memtable_blocks)
+            + len(self.tombstone_blocks)
+            + 1
+        )
+
+    def extra_blocks(self) -> List[BlockId]:
+        """Every non-base block (level, memtable, tombstone) this snapshot
+        owns -- the crash simulator and reclamation free these alongside
+        the shard blocks."""
+        extras: List[BlockId] = []
+        for _, blocks in self.level_blocks:
+            extras.extend(blocks)
+        extras.extend(self.memtable_blocks)
+        extras.extend(self.tombstone_blocks)
+        return extras
 
     def record_size(self) -> int:
         """The manifest is directory metadata; it fits one block slot."""
         return 1
+
+
+@dataclass
+class SnapshotState:
+    """Everything a level-aware snapshot restores: the base shard points,
+    the per-level point lists, the memtable, and the tombstone table."""
+
+    base_points: List[Point] = field(default_factory=list)
+    levels: List[Tuple[int, List[Point]]] = field(default_factory=list)
+    memtable: List[Point] = field(default_factory=list)
+    tombstones: List[TombstoneRecord] = field(default_factory=list)
+
+
+def write_record_blocks(
+    store: DurableStore, records: Sequence[object]
+) -> Tuple[BlockId, ...]:
+    """Serialise arbitrary one-slot records in blocks of ``<= B``, one
+    charged write each (the primitive base, level, memtable and tombstone
+    areas all share)."""
+    B = store.block_size
+    ids: List[BlockId] = []
+    for start in range(0, len(records), B):
+        ids.append(store.storage.create(list(records[start : start + B])))
+    return tuple(ids)
+
+
+def read_record_blocks(
+    store: DurableStore, block_ids: Sequence[BlockId]
+) -> List[object]:
+    """Read back blocks written by :func:`write_record_blocks`, one
+    charged read each."""
+    records: List[object] = []
+    for block_id in block_ids:
+        records.extend(store.storage.read(block_id))
+    return records
 
 
 def write_snapshot_blocks(
@@ -75,13 +167,9 @@ def write_snapshot_blocks(
     """
     all_blocks: List[Tuple[BlockId, ...]] = []
     total = 0
-    B = store.block_size
     for points in shard_points:
         ordered = list(points)
-        shard_ids: List[BlockId] = []
-        for start in range(0, len(ordered), B):
-            shard_ids.append(store.storage.create(ordered[start : start + B]))
-        all_blocks.append(tuple(shard_ids))
+        all_blocks.append(write_record_blocks(store, ordered))
         total += len(ordered)
     return tuple(all_blocks), total
 
@@ -103,3 +191,32 @@ def load_snapshot(store: DurableStore, manifest: SnapshotManifest) -> List[Point
             f"points, blocks held {len(points)}"
         )
     return points
+
+
+def load_snapshot_state(
+    store: DurableStore, manifest: SnapshotManifest
+) -> SnapshotState:
+    """Read the full level-aware state a snapshot holds: base points plus
+    per-level points, the memtable, and the tombstone table (all charged
+    one read per block, like :func:`load_snapshot`)."""
+    state = SnapshotState(base_points=load_snapshot(store, manifest))
+    for (level, block_ids), (level_again, count) in zip(
+        manifest.level_blocks, manifest.level_counts
+    ):
+        assert level == level_again
+        points = [p for p in read_record_blocks(store, block_ids)]
+        if len(points) != count:
+            raise RuntimeError(
+                f"snapshot corrupt: level {level} promises {count} points, "
+                f"blocks held {len(points)}"
+            )
+        state.levels.append((level, points))
+    state.memtable = list(read_record_blocks(store, manifest.memtable_blocks))
+    if len(state.memtable) != manifest.memtable_count:
+        raise RuntimeError("snapshot corrupt: memtable block count mismatch")
+    state.tombstones = list(
+        read_record_blocks(store, manifest.tombstone_blocks)
+    )
+    if len(state.tombstones) != manifest.tombstone_count:
+        raise RuntimeError("snapshot corrupt: tombstone block count mismatch")
+    return state

@@ -145,6 +145,9 @@ class DurableStore:
                     for block_id in shard_ids:
                         self.storage.free(block_id)
                         freed_snapshot += 1
+                for block_id in manifest.extra_blocks():
+                    self.storage.free(block_id)
+                    freed_snapshot += 1
                 if manifest.block_id is not None:
                     self.storage.free(manifest.block_id)
                     freed_snapshot += 1

@@ -31,6 +31,14 @@ from repro.service.durability.store import DurableStore
 OP_INSERT = "insert"
 OP_DELETE = "delete"
 OP_COMPACT = "compact"
+# Level-aware checkpoint records of the leveled update path: a FLUSH marks
+# the memtable sealing into the merge scheduler (so replay seals at exactly
+# the same record boundary the live service did, whatever thresholds the
+# recovering config would have used), and a DRAIN marks an explicit
+# full-drain of the merge queue -- a quiescent point a snapshot may be
+# anchored to, like a compaction checkpoint.
+OP_FLUSH = "flush"
+OP_DRAIN = "drain"
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,16 @@ class WriteAheadLog:
     def log_compact(self) -> WalRecord:
         """A compaction checkpoint; forces the whole tail durable first."""
         return self.append(OP_COMPACT, force=True)
+
+    def log_flush(self) -> WalRecord:
+        """A memtable-seal marker (leveled path); group-committed like an
+        update -- a seal is a scheduling event, not a durability point."""
+        return self.append(OP_FLUSH)
+
+    def log_drain(self) -> WalRecord:
+        """A drain checkpoint (leveled path); forces the tail durable so a
+        snapshot may be anchored to it."""
+        return self.append(OP_DRAIN, force=True)
 
     def flush(self) -> int:
         """Force the in-memory tail to the store; returns records committed.

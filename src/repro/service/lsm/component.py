@@ -1,0 +1,71 @@
+"""One immutable component of the leveled update subsystem.
+
+A :class:`Component` is a frozen batch of points.  Level components (the
+result of a merge) are backed by a static :class:`repro.RangeSkylineIndex`
+on a private simulated machine with a private
+:class:`~repro.em.counters.IOStats` ledger -- the same isolation discipline
+as :class:`~repro.service.shard.Shard`, so queries against a level charge
+exactly one ledger and concurrent batch workers never race a counter.
+Frozen memtables (a sealed level 0 awaiting its flush merge) carry no
+index and no machine: they are still in memory, so scanning them is free,
+exactly like the flat delta the leveled path replaces.
+
+Construction of an indexed component eagerly charges the build to the
+component's *private* ledger.  The ledger only joins the service-wide
+aggregate after the :class:`~repro.service.lsm.CompactionScheduler` has
+mirrored the build cost into the maintenance ledger in bounded steps and
+reset it -- that escrow is what turns an ``O(m/B)`` build into ``O(1)``
+visible work per update.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api import RangeSkylineIndex
+from repro.core.point import Point
+from repro.em.config import EMConfig
+from repro.em.counters import IOStats
+from repro.em.storage import StorageManager
+
+#: Owner key of a component in the tombstone table (see
+#: :class:`repro.service.delta.DeltaBuffer`): distinct from the plain
+#: ``int`` shard ids the base tier uses.
+OwnerKey = Tuple[str, int]
+
+
+class Component:
+    """An immutable, x-sorted batch of points, optionally indexed."""
+
+    def __init__(
+        self,
+        comp_id: int,
+        points: Sequence[Point],
+        em_config: Optional[EMConfig] = None,
+        epsilon: float = 0.5,
+        build_index: bool = True,
+    ) -> None:
+        self.comp_id = comp_id
+        self.points: List[Point] = sorted(points, key=lambda p: (p.x, p.y))
+        self.stats: Optional[IOStats] = None
+        self.storage: Optional[StorageManager] = None
+        self.index: Optional[RangeSkylineIndex] = None
+        if build_index:
+            assert em_config is not None
+            self.stats = IOStats()
+            self.storage = StorageManager(em_config, stats=self.stats)
+            self.index = RangeSkylineIndex(
+                self.storage, self.points, dynamic=False, epsilon=epsilon
+            )
+
+    @property
+    def owner(self) -> OwnerKey:
+        """This component's owner key in the tombstone table."""
+        return ("c", self.comp_id)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "level" if self.index is not None else "frozen"
+        return f"Component({self.comp_id}, {kind}, {len(self.points)} pts)"

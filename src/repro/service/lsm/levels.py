@@ -1,0 +1,198 @@
+"""The visible level layout of the leveled update path.
+
+The :class:`LevelManager` owns everything between the level-0 memtable
+(the service's :class:`~repro.service.delta.DeltaBuffer`) and the
+size-rebalanced base shards:
+
+* **frozen memtables** -- sealed level-0 batches awaiting their flush
+  merge; in memory, scan-free, visible to every query;
+* **levels 1..k** -- immutable :class:`~repro.service.lsm.Component`
+  structures of geometrically increasing capacity
+  (``delta_threshold * level_growth**j`` records at level ``j``), each on
+  its own simulated machine with its own ledger;
+* the :class:`~repro.service.lsm.CompactionScheduler` that merges a
+  level into the next in bounded incremental steps.
+
+The manager never touches the base shards: a full
+:meth:`repro.service.SkylineService.compact` folds every component into a
+rebuilt base and calls :meth:`LevelManager.reset`.  Visibility is the
+invariant that keeps intermediate merge states correct: a component stays
+queryable until the merge that rewrites it is fully paid, at which point
+the swap is atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.point import Point
+from repro.em.config import EMConfig
+from repro.em.counters import IOStats
+from repro.service.delta import DeltaBuffer
+from repro.service.lsm.component import Component
+from repro.service.lsm.scheduler import CompactionScheduler, MergeJob
+
+
+class LevelManager:
+    """Frozen memtables, levels 1..k, and their merge scheduler."""
+
+    def __init__(
+        self,
+        *,
+        em_config: EMConfig,
+        epsilon: float,
+        block_size: int,
+        memtable_capacity: int,
+        level_growth: int,
+        merge_step_blocks: int,
+        delta: DeltaBuffer,
+        maintenance: IOStats,
+        retired: IOStats,
+        on_layout_change: Callable[[], None],
+    ) -> None:
+        self.em_config = em_config
+        self.epsilon = epsilon
+        self.block_size = block_size
+        self.memtable_capacity = memtable_capacity
+        self.level_growth = level_growth
+        self.merge_step_blocks = merge_step_blocks
+        self.delta = delta
+        self.maintenance = maintenance
+        self.retired = retired
+        self._on_layout_change = on_layout_change
+        self.frozen: List[Component] = []
+        self.levels: Dict[int, Component] = {}
+        self.scheduler = CompactionScheduler(self)
+        self._next_comp_id = 1
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def next_component_id(self) -> int:
+        comp_id = self._next_comp_id
+        self._next_comp_id += 1
+        return comp_id
+
+    def capacity(self, level: int) -> int:
+        """Record capacity of ``level`` (level 0 is the memtable)."""
+        return self.memtable_capacity * self.level_growth**level
+
+    def components(self) -> List[Component]:
+        """Every visible immutable component, frozen first, then levels
+        in increasing depth (query fan-out order)."""
+        return self.frozen + [
+            self.levels[j] for j in sorted(self.levels)
+        ]
+
+    def find_frozen(self, frozen_id: Optional[int]) -> Optional[Component]:
+        for comp in self.frozen:
+            if comp.comp_id == frozen_id:
+                return comp
+        return None
+
+    def stats_members(self) -> List[IOStats]:
+        """The visible level ledgers (members of the service aggregate)."""
+        return [
+            comp.stats
+            for comp in self.components()
+            if comp.stats is not None
+        ]
+
+    def remove_component(self, comp: Component) -> None:
+        """Drop a merge input from visibility, retiring its ledger."""
+        if comp in self.frozen:
+            self.frozen.remove(comp)
+        for j, level_comp in list(self.levels.items()):
+            if level_comp is comp:
+                del self.levels[j]
+        if comp.stats is not None:
+            self.retired.absorb(comp.stats)
+        self._on_layout_change()
+
+    def install_level(self, level: int, comp: Component) -> None:
+        """Make a paid-off merge output visible at ``level``."""
+        assert level not in self.levels
+        self.levels[level] = comp
+        self._on_layout_change()
+
+    # ------------------------------------------------------------------
+    # Update-path entry points
+    # ------------------------------------------------------------------
+    def seal(self, points: List[Point]) -> Component:
+        """Freeze a full memtable and schedule its flush into level 1."""
+        comp = Component(self.next_component_id(), points, build_index=False)
+        self.frozen.append(comp)
+        self.scheduler.schedule(MergeJob("flush", frozen_id=comp.comp_id))
+        self._on_layout_change()
+        return comp
+
+    def tick(self) -> int:
+        """One update's worth of piggybacked merge work (bounded)."""
+        return self.scheduler.pay(self.merge_step_blocks)
+
+    def drain(self) -> int:
+        """Pay all outstanding merge debt; returns transfers charged."""
+        return self.scheduler.drain()
+
+    def reset(self) -> None:
+        """Forget every component (a full compaction folded them into the
+        base); visible ledgers are retired so no charge is lost."""
+        self.scheduler.clear()
+        for comp in self.components():
+            if comp.stats is not None:
+                self.retired.absorb(comp.stats)
+        self.frozen = []
+        self.levels = {}
+        self._on_layout_change()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_points(self) -> List[Point]:
+        """Points resident in visible components, minus tombstoned ones."""
+        return [
+            p
+            for comp in self.components()
+            for p in comp.points
+            if not self.delta.is_deleted(p)
+        ]
+
+    def resident(self) -> int:
+        return sum(len(comp) for comp in self.components())
+
+    def describe_levels(self) -> List[dict]:
+        """Per-level fill: {level, records, tombstones, capacity,
+        merge_debt}, the block :meth:`SkylineService.describe` surfaces.
+
+        Level 0 is the memtable (records = pending inserts; its
+        tombstone count is the whole table, which conceptually lives at
+        level 0 until merges consume it).  ``merge_debt`` sits on the
+        level the active merge is building towards.
+        """
+        active = self.scheduler.active
+        rows = [
+            {
+                "level": 0,
+                "records": len(self.delta.inserts),
+                "tombstones": len(self.delta.tombstones),
+                "capacity": self.capacity(0),
+                "merge_debt": 0,
+                "frozen": [len(c) for c in self.frozen],
+            }
+        ]
+        for j in sorted(set(self.levels) | ({active.out_level} if active else set())):
+            comp = self.levels.get(j)
+            rows.append(
+                {
+                    "level": j,
+                    "records": 0 if comp is None else len(comp),
+                    "tombstones": 0
+                    if comp is None
+                    else len(self.delta.owned_tombstones(comp.owner)),
+                    "capacity": self.capacity(j),
+                    "merge_debt": active.debt
+                    if active is not None and active.out_level == j
+                    else 0,
+                }
+            )
+        return rows

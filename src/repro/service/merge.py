@@ -43,6 +43,35 @@ def merge_shard_skylines(per_shard: Sequence[Sequence[Point]]) -> List[Point]:
     return [p for part in parts for p in part]
 
 
+def merge_component_skylines(sources: Sequence[Sequence[Point]]) -> List[Point]:
+    """Merge candidate sets from overlapping components into one skyline.
+
+    This is :func:`merge_shard_skylines` generalised from the x-disjoint
+    shard partition to ``k + 1`` arbitrary sources -- the base-shard merge,
+    one local answer per immutable level component, and the in-memory
+    memtable candidates -- whose x-ranges overlap freely.  The same
+    right-to-left running-max-y argument applies once the pass runs over
+    the *union* in decreasing-x order: with globally distinct coordinates
+    (the service's general-position invariant), a candidate survives in
+    the union's skyline iff its y strictly exceeds the maximum y among all
+    candidates of strictly larger x.  Sources need not be skylines
+    themselves -- points dominated within their own source are dominated in
+    the union too, so the sweep drops them the same way.  Every source
+    must contain only points inside the query rectangle.  Returns the
+    skyline sorted by increasing x.
+    """
+    candidates = [p for source in sources for p in source]
+    candidates.sort(key=lambda p: (-p.x, -p.y))
+    best_y = float("-inf")
+    kept: List[Point] = []
+    for point in candidates:
+        if point.y > best_y:
+            kept.append(point)
+            best_y = point.y
+    kept.reverse()
+    return kept
+
+
 def merge_with_delta(
     static_result: Sequence[Point], delta_candidates: Iterable[Point]
 ) -> List[Point]:

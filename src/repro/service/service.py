@@ -4,41 +4,71 @@
 :class:`~repro.service.router.ShardRouter` prunes shards per query, each
 :class:`~repro.service.shard.Shard` answers locally on its own simulated
 machine, :mod:`~repro.service.merge` folds local answers into the global
-skyline, the :class:`~repro.service.delta.DeltaBuffer` absorbs writes until
-:meth:`SkylineService.compact` rebuilds the static shards, and the
-:class:`~repro.service.cache.ResultCache` short-circuits repeated queries
-between writes.  The public surface mirrors
-:class:`repro.RangeSkylineIndex` (``query``, ``query_many``, ``insert``,
-``delete``, ``skyline``, ``io_total``), so the two are interchangeable in
-benchmarks and applications.
+skyline, and the :class:`~repro.service.cache.ResultCache`
+short-circuits repeated queries between writes.  The public surface
+mirrors :class:`repro.RangeSkylineIndex` (``query``, ``query_many``,
+``insert``, ``delete``, ``skyline``, ``io_total``), so the two are
+interchangeable in benchmarks and applications.
+
+Update path
+-----------
+Writes never touch the static shard structures directly.  On the default
+``"leveled"`` path (:mod:`repro.service.lsm`), inserts land in the
+level-0 memtable (the :class:`~repro.service.delta.DeltaBuffer`) and
+deletes of resident points become component-bucketed tombstones; when the
+memtable fills it is sealed and a
+:class:`~repro.service.lsm.CompactionScheduler` merges it -- and, as they
+overflow, the immutable levels of geometrically increasing capacity it
+feeds -- downwards in *bounded incremental steps* of at most
+``ServiceConfig.merge_step_blocks`` transfers piggybacked per update.  No
+single update ever pays an ``O(n/B)`` rebuild; the worst case drops to
+``O(1)`` transfers while the amortised cost stays the logarithmic-method
+``O((g/B) log_g n)``.  Queries fan across the memtable, the frozen
+memtables, every level and the base shards, folded by the generalised
+right-to-left running-max-y merge
+(:func:`~repro.service.merge.merge_component_skylines`).
+:meth:`SkylineService.drain` pays all outstanding merge debt at once, and
+:meth:`SkylineService.compact` remains the explicit *major* compaction
+that folds everything back into rebuilt, size-rebalanced base shards.
+The legacy ``"threshold-compact"`` path (flat delta, stop-the-world
+compaction at a size threshold) is kept for benchmarking the difference.
 
 I/O accounting
 --------------
-Every shard machine charges a *private* :class:`~repro.em.counters.IOStats`
-ledger, and the service-wide total is an
-:class:`~repro.em.counters.IOStatsGroup` summing them (plus a retired-ledger
-accumulator that keeps totals monotone across compaction rebuilds, and the
-durability store's ledger when durability is on).  Nothing is ever shared
-between batch workers, so ``parallelism > 1`` charges bit-identical totals
-to a serial run.  When a tombstone forces a shard to recompute its local
-skyline from resident points, that scan is charged as
-``ceil(resident / B)`` block reads on the shard's ledger -- the fallback is
-never free, so sharded-vs-monolithic comparisons stay honest under deletes.
+Every shard machine and every level component charges a *private*
+:class:`~repro.em.counters.IOStats` ledger, and the service-wide total is
+an :class:`~repro.em.counters.IOStatsGroup` summing them (plus a
+retired-ledger accumulator that keeps totals monotone across rebuilds and
+merges, the *maintenance ledger* that incremental merge work is charged
+to, and the durability store's ledger when durability is on).  Nothing is
+ever shared between batch workers, so ``parallelism > 1`` charges
+bit-identical totals to a serial run.  When a tombstone forces a shard or
+level to recompute its local skyline from resident points, that scan is
+charged as ``ceil(resident / B)`` block reads on the component's ledger
+-- the fallback is never free, so comparisons stay honest under deletes.
+Incremental merge work is escrowed: a merge's output is staged on a
+private ledger and its exact cost is mirrored onto the maintenance ledger
+in bounded steps, so ``attributed + maintenance == total - build`` holds
+on every path (asserted by the engine tests and benches).
 
 Durability
 ----------
 With ``ServiceConfig(durability=True)`` the service runs on a
 :class:`~repro.service.durability.DurableStore`: every acknowledged
-insert/delete is appended to a group-committed write-ahead log, compactions
-log a checkpoint record and (every ``snapshot_every_compactions``-th time)
-serialise the rebuilt shards as block-level snapshots, and
-:meth:`SkylineService.open` rebuilds the exact durable state after a crash
-by loading the newest surviving snapshot and replaying the WAL suffix --
-all of it charged to the store's block-transfer ledger.
+insert/delete is appended to a group-committed write-ahead log, memtable
+seals and drains are logged as level-aware records (``flush`` /
+``drain``), compactions and drains log checkpoint records and (every
+``snapshot_every_compactions``-th checkpoint) serialise the state as
+block-level snapshots -- per-level manifests included, so recovery
+restores the exact level layout -- and :meth:`SkylineService.open`
+rebuilds the exact durable state after a crash by loading the newest
+surviving snapshot and replaying the WAL suffix, all charged to the
+store's block-transfer ledger.
 """
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -50,18 +80,28 @@ from repro.em.counters import IOMeter, IOSnapshot, IOStats, IOStatsGroup
 from repro.service.batch import build_worklists, execute_worklists
 from repro.service.cache import ResultCache, make_key
 from repro.service.config import ServiceConfig
-from repro.service.delta import DeltaBuffer
+from repro.service.delta import DeltaBuffer, point_key
 from repro.service.durability import (
     OP_COMPACT,
     OP_DELETE,
+    OP_DRAIN,
+    OP_FLUSH,
     OP_INSERT,
     DurableStore,
     SnapshotManifest,
+    SnapshotState,
+    TombstoneRecord,
     WriteAheadLog,
-    load_snapshot,
+    load_snapshot_state,
+    write_record_blocks,
     write_snapshot_blocks,
 )
-from repro.service.merge import merge_shard_skylines, merge_with_delta
+from repro.service.lsm import Component, LevelManager
+from repro.service.merge import (
+    merge_component_skylines,
+    merge_shard_skylines,
+    merge_with_delta,
+)
 from repro.service.router import ShardRouter, size_balanced_cuts
 from repro.service.shard import Shard
 
@@ -74,8 +114,8 @@ class QueryExecutionTrace:
     pruned); ``cache_hit`` means the result came straight from the result
     cache; ``coalesced`` marks a duplicate served from its in-batch
     leader's answer; ``tombstone_fallback`` says at least one selected
-    shard rescanned its resident points because a tombstone invalidated
-    its static answer.  Consumers such as
+    shard or level component rescanned its resident points because a
+    tombstone invalidated its static answer.  Consumers such as
     :class:`repro.engine.ShardedServiceBackend` read these instead of
     re-deriving routing and tombstone facts from service internals.
     """
@@ -117,20 +157,25 @@ class SkylineService:
         self.config = dataclasses.replace(base, **overrides) if overrides else base
         if store is not None and not self.config.durability:
             self.config = dataclasses.replace(self.config, durability=True)
-        # Retired ledger: absorbs each dead shard generation's counters on
-        # rebuild, so io_total() stays monotone across compactions.
+        # Retired ledger: absorbs each dead shard generation's (and merged
+        # level component's) counters, so io_total() stays monotone.
         self._retired = IOStats()
-        self.stats = IOStatsGroup([self._retired])
+        # Maintenance ledger: incremental merge work is charged here in
+        # bounded steps, never to any single update's shard ledgers.
+        self.maintenance = IOStats()
+        self.stats = IOStatsGroup([self._retired, self.maintenance])
         self.delta = DeltaBuffer()
         self.cache = ResultCache(self.config.cache_capacity)
         self.compactions = 0
+        self.drains = 0
         # Duplicate queries coalesced within batches (computed once each).
         self.coalesced = 0
         # Build generation: seeds every shard's epoch so cache keys can
         # never collide across compactions.
         self._generation = 0
         # True while `open` replays the WAL suffix: replayed operations are
-        # applied but never re-logged, re-snapshotted or auto-compacted.
+        # applied but never re-logged, re-snapshotted, auto-compacted or
+        # auto-sealed (seals replay from their explicit WAL records).
         self._replaying = False
         # Set by `open` with the block-transfer cost of the last recovery.
         self.recovery: Optional[Dict[str, int]] = None
@@ -138,8 +183,26 @@ class SkylineService:
         self.last_traces: List[QueryExecutionTrace] = []
         self.router: ShardRouter
         self.shards: List[Shard] = []
+        # Per-shard write versions: bumped whenever an update lands in the
+        # shard's x-range, so result-cache invalidation is scoped to the
+        # shards a write can actually affect.
+        self._region_versions: List[int] = []
         self.store: Optional[DurableStore] = None
         self.wal: Optional[WriteAheadLog] = None
+        self.lsm: Optional[LevelManager] = None
+        if self.config.update_path == "leveled":
+            self.lsm = LevelManager(
+                em_config=self.config.shard_em_config(),
+                epsilon=self.config.epsilon,
+                block_size=self.config.block_size,
+                memtable_capacity=self.config.delta_threshold,
+                level_growth=self.config.level_growth,
+                merge_step_blocks=self.config.merge_step_blocks,
+                delta=self.delta,
+                maintenance=self.maintenance,
+                retired=self._retired,
+                on_layout_change=self._refresh_members,
+            )
         self._build_shards(list(points))
         if self.config.durability:
             durable_store = store if store is not None else DurableStore(
@@ -163,7 +226,7 @@ class SkylineService:
             self.store = durable_store
             self.store.service_config = self.config
             self.wal = WriteAheadLog(self.store, self.config.wal_group_commit)
-            self.stats.add(self.store.stats)
+            self._refresh_members()
             if virgin:
                 # Baseline snapshot at service birth: recovery always has a
                 # snapshot to stand on, so a crash before the first
@@ -182,17 +245,19 @@ class SkylineService:
     ) -> "SkylineService":
         """Rebuild the service a crash (or clean shutdown) left on ``store``.
 
-        Loads the newest surviving snapshot (``O(n/B)`` block reads),
-        replays the durable WAL suffix past its ``folded_lsn`` (``O(w/B)``
-        reads for ``w`` unfolded records), and returns a service whose
-        ``live_points()`` and query answers equal the pre-crash durable
-        state.  The block-transfer cost is recorded in :attr:`recovery`
-        (and surfaced by :meth:`describe`), split into the terms the
-        snapshot cadence trades against each other: ``snapshot_load_io``
-        (store reads for the point blocks), ``replay_io`` (store reads
-        for the WAL suffix) and ``rebuild_io`` (shard-machine transfers
-        rebuilding the indexes, including rebuilds replayed compaction
-        records trigger), with ``recovery_io`` their sum.
+        Loads the newest surviving snapshot (``O(n/B)`` block reads) --
+        including its level layout, memtable and tombstone table when the
+        snapshot was anchored at a drain checkpoint -- replays the durable
+        WAL suffix past its ``folded_lsn`` (``O(w/B)`` reads for ``w``
+        unfolded records), and returns a service whose ``live_points()``
+        and query answers equal the pre-crash durable state.  The
+        block-transfer cost is recorded in :attr:`recovery` (and surfaced
+        by :meth:`describe`), split into the terms the snapshot cadence
+        trades against each other: ``snapshot_load_io`` (store reads for
+        the point blocks), ``replay_io`` (store reads for the WAL suffix)
+        and ``rebuild_io`` (shard- and level-machine transfers rebuilding
+        the indexes, including rebuilds replayed compaction records
+        trigger), with ``recovery_io`` their sum.
         """
         base = config or store.service_config or ServiceConfig()
         cfg = dataclasses.replace(base, **overrides) if overrides else base
@@ -201,40 +266,66 @@ class SkylineService:
         start = store.stats.snapshot()
         manifest = store.latest_manifest()
         if manifest is None:  # virgin store: nothing to load or replay
-            points: List[Point] = []
+            state = SnapshotState()
             folded = 0
         else:
-            points = load_snapshot(store, manifest)
+            state = load_snapshot_state(store, manifest)
             folded = manifest.folded_lsn
         loaded = store.stats.snapshot()
-        service = cls(points, cfg, store=store, _recovering=True)
-        # Measure replay from after the constructor: on a virgin store the
-        # constructor writes the baseline snapshot, which is birth cost,
-        # not replay.
-        constructed = store.stats.snapshot()
-        replayed = 0
-        service._replaying = True
+        recorded_config = store.service_config
         try:
-            for record in store.read_wal_suffix(folded):
-                replayed += 1
-                if record.op == OP_INSERT:
-                    service.insert(record.point())
-                elif record.op == OP_DELETE:
-                    service.delete(record.point())
-                elif record.op == OP_COMPACT:
-                    service.compact()
-                else:  # pragma: no cover - corrupt record
-                    raise ValueError(f"unknown WAL op {record.op!r}")
-        finally:
-            service._replaying = False
+            service = cls(state.base_points, cfg, store=store, _recovering=True)
+            service._restore_snapshot_state(state)
+            # Measure replay from after the constructor: on a virgin store
+            # the constructor writes the baseline snapshot, which is birth
+            # cost, not replay.
+            constructed = store.stats.snapshot()
+            replayed = 0
+            service._replaying = True
+            try:
+                for record in store.read_wal_suffix(folded):
+                    replayed += 1
+                    if record.op == OP_INSERT:
+                        service.insert(record.point())
+                    elif record.op == OP_DELETE:
+                        service.delete(record.point())
+                    elif record.op == OP_COMPACT:
+                        service.compact()
+                    elif record.op in (OP_FLUSH, OP_DRAIN):
+                        if service.lsm is None:
+                            raise ValueError(
+                                "the WAL holds leveled-path records "
+                                f"({record.op!r}); open the store with "
+                                "update_path='leveled'"
+                            )
+                        if record.op == OP_FLUSH:
+                            service._seal_memtable()
+                        else:
+                            service.drain()
+                    else:  # pragma: no cover - corrupt record
+                        raise ValueError(f"unknown WAL op {record.op!r}")
+            finally:
+                service._replaying = False
+        except Exception:
+            # A failed open must not poison the store: the constructor
+            # records the opening config on it, and a later open without
+            # an explicit config falls back to that record.
+            store.service_config = recorded_config
+            raise
         snapshot_load = loaded - start
         replay_io = store.stats.snapshot() - constructed
         # Every shard-side transfer so far happened inside this open():
         # the initial rebuild from the snapshot points plus any full
         # rebuilds replayed compaction records triggered.
         rebuild_io = service.query_io_total()
+        snapshot_points = (
+            len(state.base_points)
+            + sum(len(points) for _, points in state.levels)
+            + len(state.memtable)
+        )
         service.recovery = {
-            "snapshot_points": len(points),
+            "snapshot_points": snapshot_points,
+            "snapshot_levels": len(state.levels),
             "snapshot_generation": 0 if manifest is None else manifest.generation,
             "folded_lsn": folded,
             "snapshot_load_reads": snapshot_load.reads,
@@ -248,9 +339,58 @@ class SkylineService:
         }
         return service
 
+    def _restore_snapshot_state(self, state: SnapshotState) -> None:
+        """Rebuild the exact level layout a level-aware snapshot recorded."""
+        if not state.levels and not state.memtable and not state.tombstones:
+            return
+        if self.lsm is None:
+            raise ValueError(
+                "the snapshot holds a leveled layout; open it with "
+                "update_path='leveled'"
+            )
+        level_owner: Dict[int, Tuple[str, int]] = {}
+        for level, points in state.levels:
+            comp = Component(
+                self.lsm.next_component_id(),
+                points,
+                em_config=self.config.shard_em_config(),
+                epsilon=self.config.epsilon,
+            )
+            self.lsm.install_level(level, comp)
+            level_owner[level] = comp.owner
+            for p in points:
+                self._live_xs.add(p.x)
+                self._live_ys.add(p.y)
+        for p in state.memtable:
+            self.delta.inserts[point_key(p)] = p
+            self._live_xs.add(p.x)
+            self._live_ys.add(p.y)
+        for record in state.tombstones:
+            victim = record.point()
+            owner = (
+                level_owner[record.level]
+                if record.level is not None
+                else self.router.route_point(victim.x)
+            )
+            self.delta.add_tombstone(victim, owner)
+            self._live_xs.discard(victim.x)
+            self._live_ys.discard(victim.y)
+
     # ------------------------------------------------------------------
     # Construction / compaction
     # ------------------------------------------------------------------
+    def _refresh_members(self) -> None:
+        """Recompute the aggregate's member ledgers: the accumulator and
+        maintenance ledgers, every shard machine, every visible level
+        component, and the durability store."""
+        members = [self._retired, self.maintenance]
+        members += [shard.stats for shard in self.shards]
+        if self.lsm is not None:
+            members += self.lsm.stats_members()
+        if self.store is not None:
+            members.append(self.store.stats)
+        self.stats.set_members(members)
+
     def _build_shards(self, points: List[Point]) -> None:
         """(Re)partition ``points`` into size-balanced x-range shards."""
         self._live_xs = {p.x for p in points}
@@ -285,47 +425,126 @@ class SkylineService:
                     epoch=self._generation,
                 )
             )
-        members = [self._retired] + [shard.stats for shard in self.shards]
-        if self.store is not None:
-            members.append(self.store.stats)
-        self.stats.set_members(members)
+        self._region_versions = [0] * len(self.shards)
+        self._refresh_members()
+
+    def _bump_region(self, x: float) -> None:
+        """Invalidate cached answers overlapping the shard region of ``x``."""
+        self._region_versions[self.router.route_point(x)] += 1
 
     def compact(self) -> None:
-        """Fold the delta into the static shards and rebalance boundaries.
+        """Major compaction: fold *everything* -- memtable, frozen
+        memtables, every level, minus tombstones -- into rebuilt,
+        size-rebalanced base shards.
 
-        Rebuilds every shard from the live point set (static points minus
-        tombstones, plus pending inserts), re-cutting shard boundaries so
-        the shards come out size-balanced again; then empties the delta and
-        drops the result cache.  Rebuild I/Os are charged to the new
-        generation's ledgers -- that is the amortised cost the logarithmic
-        method pays for keeping queries on static-structure speeds.
+        On the leveled path this is the explicit operator-driven fold (and
+        the one place tombstones against base-resident points are
+        reclaimed); the incremental scheduler handles routine maintenance,
+        so no *update* ever triggers this ``O(n/B)`` rebuild.  On the
+        legacy path it is the threshold-triggered stop-the-world
+        compaction of old.  Rebuild I/Os are charged to the new
+        generation's ledgers -- the amortised cost the logarithmic method
+        pays for keeping queries on static-structure speeds.
 
         On a durable service the compaction first logs a checkpoint record
         (forcing the whole WAL tail durable) and, every
-        ``snapshot_every_compactions``-th time, serialises the rebuilt
-        shards as a block-level snapshot anchored at that record.
+        ``snapshot_every_compactions``-th checkpoint, serialises the
+        rebuilt shards as a block-level snapshot.
         """
         checkpoint = None
         if self.wal is not None and not self._replaying:
             checkpoint = self.wal.log_compact()
         self._build_shards(self.live_points())
         self.delta.clear()
+        if self.lsm is not None:
+            self.lsm.reset()
         self.cache.invalidate_all()
         self.compactions += 1
         if (
             checkpoint is not None
-            and self.compactions % self.config.snapshot_every_compactions == 0
+            and self._checkpoints % self.config.snapshot_every_compactions == 0
         ):
             self._write_snapshot(
                 folded_lsn=checkpoint.lsn, installed_lsn=checkpoint.lsn
             )
 
+    def drain(self) -> Dict[str, int]:
+        """Pay every outstanding transfer of incremental merge debt now.
+
+        The explicit full-drain entry point of the leveled path: completes
+        the active merge and every queued one (flushing nothing new -- the
+        memtable keeps absorbing writes), charging the remaining debt to
+        the maintenance ledger in one call.  A quiescent drain is a
+        durability checkpoint: it logs a ``drain`` WAL record and, on the
+        snapshot cadence, serialises a *level-aware* snapshot (per-level
+        blocks plus memtable and tombstone table) the next :meth:`open`
+        restores exactly.  A no-op on the legacy path.
+        """
+        if self.lsm is None:
+            return {"merge_io": 0, "merges_completed": 0}
+        checkpoint = None
+        if self.wal is not None and not self._replaying:
+            checkpoint = self.wal.log_drain()
+        charged = self.lsm.drain()
+        self.drains += 1
+        if (
+            checkpoint is not None
+            and self._checkpoints % self.config.snapshot_every_compactions == 0
+        ):
+            self._write_snapshot(
+                folded_lsn=checkpoint.lsn, installed_lsn=checkpoint.lsn
+            )
+        return {
+            "merge_io": charged,
+            "merges_completed": self.lsm.scheduler.merges_completed,
+        }
+
+    @property
+    def _checkpoints(self) -> int:
+        """Checkpoints taken so far (compactions plus drains): the counter
+        the snapshot cadence runs on."""
+        return self.compactions + self.drains
+
     def _write_snapshot(self, folded_lsn: int, installed_lsn: int) -> None:
-        """Serialise the (delta-free) shards to the store and chain a manifest."""
+        """Serialise the shards -- and, at a drain checkpoint, the level
+        layout, memtable and tombstone table -- and chain a manifest."""
         assert self.store is not None
         blocks, total = write_snapshot_blocks(
             self.store, [shard.points for shard in self.shards]
         )
+        level_blocks: Tuple[Tuple[int, Tuple], ...] = ()
+        level_counts: Tuple[Tuple[int, int], ...] = ()
+        memtable_points: List[Point] = []
+        tombstone_records: List[TombstoneRecord] = []
+        if self.lsm is not None:
+            # Snapshots are only taken at quiescent checkpoints: no frozen
+            # memtable awaits a flush and no merge is in flight, so the
+            # level layout is exactly the visible levels.
+            assert not self.lsm.frozen and self.lsm.scheduler.active is None
+            owner_level = {
+                self.lsm.levels[j].owner: j for j in self.lsm.levels
+            }
+            for j in sorted(self.lsm.levels):
+                comp = self.lsm.levels[j]
+                level_blocks += (
+                    (j, write_record_blocks(self.store, comp.points)),
+                )
+                level_counts += ((j, len(comp.points)),)
+            memtable_points = sorted(
+                self.delta.inserts.values(), key=lambda p: (p.x, p.y)
+            )
+            for key, victim in self.delta.tombstones.items():
+                owner = self.delta.tombstone_owner(key)
+                tombstone_records.append(
+                    TombstoneRecord(
+                        victim.x,
+                        victim.y,
+                        victim.ident,
+                        level=owner_level.get(owner),
+                    )
+                )
+        memtable_blocks = write_record_blocks(self.store, memtable_points)
+        tombstone_blocks = write_record_blocks(self.store, tombstone_records)
         self.store.install_manifest(
             SnapshotManifest(
                 generation=self._generation,
@@ -334,11 +553,20 @@ class SkylineService:
                 cuts=tuple(self.router.cuts),
                 shard_blocks=blocks,
                 point_count=total,
+                level_blocks=level_blocks,
+                level_counts=level_counts,
+                memtable_blocks=memtable_blocks,
+                memtable_count=len(memtable_points),
+                tombstone_blocks=tombstone_blocks,
+                tombstone_count=len(tombstone_records),
             )
         )
 
     def delta_exceeds_threshold(self) -> bool:
-        """Whether a background scheduler should trigger :meth:`compact`."""
+        """Whether a background scheduler should trigger :meth:`compact`
+        (legacy path) or a memtable seal is due (leveled path)."""
+        if self.lsm is not None:
+            return len(self.delta.inserts) >= self.config.delta_threshold
         return len(self.delta) >= self.config.delta_threshold
 
     def _maybe_compact(self) -> None:
@@ -348,6 +576,49 @@ class SkylineService:
             return
         if self.config.auto_compact and self.delta_exceeds_threshold():
             self.compact()
+
+    def _maybe_seal(self) -> None:
+        """Seal the memtable when it fills (leveled path; logged so replay
+        seals at exactly the same record boundary)."""
+        if self._replaying or self.lsm is None:
+            return
+        if (
+            self.config.auto_compact
+            and len(self.delta.inserts) >= self.config.delta_threshold
+        ):
+            if self.wal is not None:
+                self.wal.log_flush()
+            self._seal_memtable()
+
+    def _maybe_reclaim_tombstones(self) -> None:
+        """Safety valve for delete-heavy workloads (leveled path).
+
+        Merges only consume tombstones owned by the components they
+        rewrite, and base-resident tombstones die only at a major
+        compaction -- so a pure-delete flood would otherwise grow the
+        table without bound and pay the ``ceil(resident/B)`` fallback
+        rescan on every overlapping query forever.  Once the tombstones
+        alone reach ``delta_threshold * level_growth`` (a deliberately
+        higher bar than the memtable seal), an auto-compacting service
+        pays one major compaction to reclaim them: amortised over that
+        many deletes the cost is the same logarithmic-method budget, and
+        the routine insert path still never triggers a rebuild.
+        """
+        if self._replaying or self.lsm is None or not self.config.auto_compact:
+            return
+        if (
+            len(self.delta.tombstones)
+            >= self.config.delta_threshold * self.config.level_growth
+        ):
+            self.compact()
+
+    def _seal_memtable(self) -> None:
+        """Freeze the pending inserts into an immutable component and
+        schedule its incremental flush into level 1."""
+        assert self.lsm is not None
+        sealed = self.delta.seal_inserts()
+        if sealed:
+            self.lsm.seal(sealed)
 
     # ------------------------------------------------------------------
     # Queries
@@ -366,8 +637,8 @@ class SkylineService:
         the remaining misses are regrouped into per-shard worklists
         (sorted by variant and x for buffer-pool locality), executed --
         across a thread pool when the service is configured with
-        ``parallelism > 1`` -- and merged per query with the pending
-        delta.
+        ``parallelism > 1`` -- and merged per query with the level
+        components and the pending memtable.
 
         After the call, :attr:`last_traces` holds one
         :class:`QueryExecutionTrace` per query (routing, cache hit,
@@ -383,8 +654,10 @@ class SkylineService:
             shard_ids = self.router.shards_for(query)
             key = make_key(
                 query,
-                [(sid, self.shards[sid].epoch) for sid in shard_ids],
-                self.delta.version,
+                [
+                    (sid, self.shards[sid].epoch, self._region_versions[sid])
+                    for sid in shard_ids
+                ],
             )
             cached = self.cache.get(key) if use_cache else None
             if cached is not None:
@@ -411,17 +684,31 @@ class SkylineService:
                 merged = merge_shard_skylines(
                     [local[(position, sid)][0] for sid in shard_ids]
                 )
-                merged = merge_with_delta(merged, self.delta.candidates_in(query))
+                fallback = any(local[(position, sid)][1] for sid in shard_ids)
+                if self.lsm is not None:
+                    sources: List[Sequence[Point]] = [merged]
+                    for comp in self.lsm.components():
+                        comp_result, comp_fallback = self._component_query(
+                            comp, query
+                        )
+                        sources.append(comp_result)
+                        fallback = fallback or comp_fallback
+                    # Unsorted is fine: merge_component_skylines orders
+                    # the whole union itself.
+                    sources.append(self.delta.candidates_in(query))
+                    merged = merge_component_skylines(sources)
+                else:
+                    merged = merge_with_delta(
+                        merged, self.delta.candidates_in(query)
+                    )
                 if use_cache:
                     self.cache.put(key, merged)
                 results[position] = merged
-                # The fallback flag comes from the executor itself (each
-                # _shard_query computed it once) -- never re-derived here.
+                # The fallback flag comes from the executors themselves
+                # (each computed it once) -- never re-derived here.
                 traces[position] = QueryExecutionTrace(
                     shard_ids=tuple(shard_ids),
-                    tombstone_fallback=any(
-                        local[(position, sid)][1] for sid in shard_ids
-                    ),
+                    tombstone_fallback=fallback,
                 )
         self.coalesced += len(followers)
         for position, leader_position in followers:
@@ -455,6 +742,49 @@ class SkylineService:
             return range_skyline(live, query), True
         return shard.query(query), False
 
+    def _component_query(
+        self, comp: Component, query: RangeQuery
+    ) -> Tuple[List[Point], bool]:
+        """One level component's local skyline inside ``query``.
+
+        Frozen memtables are in memory: the scan is free, like the flat
+        delta of old.  Indexed levels answer through their static
+        structure unless a tombstone they own lies inside the rectangle,
+        in which case the local skyline is recomputed from the level's
+        resident live points -- charged as ``ceil(resident / B)`` block
+        reads on the component's own ledger, the same fallback discipline
+        as the base shards.  A component whose x-span misses the
+        rectangle is pruned for free (its points are x-sorted; none can
+        lie in, or dominate anything in, the answer -- the same argument
+        as router shard pruning), so narrow queries do not pay one
+        charged search per level.
+        """
+        if (
+            not comp.points
+            or comp.points[-1].x < query.x_lo
+            or comp.points[0].x > query.x_hi
+        ):
+            return [], False
+        if comp.index is None:
+            return (
+                [
+                    p
+                    for p in comp.points
+                    if query.contains(p) and not self.delta.is_deleted(p)
+                ],
+                False,
+            )
+        if self.delta.tombstone_hits(
+            query, float("-inf"), float("inf"), comp.owner
+        ):
+            assert comp.stats is not None
+            comp.stats.record_read(
+                max(1, math.ceil(len(comp.points) / self.config.block_size))
+            )
+            live = [p for p in comp.points if not self.delta.is_deleted(p)]
+            return range_skyline(live, query), True
+        return comp.index.query(query), False
+
     def skyline(self) -> List[Point]:
         """The skyline of the whole live point set."""
         return self.query(RangeQuery())
@@ -463,13 +793,17 @@ class SkylineService:
     # Updates
     # ------------------------------------------------------------------
     def insert(self, point: Point) -> None:
-        """Buffer an insert in the delta (visible to queries immediately).
+        """Buffer an insert in the memtable (visible to queries
+        immediately).
 
         The general-position assumption every structure of the paper makes
         is enforced here, at the write boundary: a coordinate colliding
         with a live point raises immediately instead of corrupting a later
-        compaction rebuild.  On a durable service the accepted insert is
-        appended to the WAL before it is applied.
+        merge or rebuild.  On a durable service the accepted insert is
+        appended to the WAL before it is applied.  On the leveled path the
+        insert also pays at most ``merge_step_blocks`` transfers of
+        piggybacked merge debt and, when the memtable fills, seals it --
+        bounded work, never an ``O(n/B)`` rebuild.
         """
         if point.x in self._live_xs or point.y in self._live_ys:
             raise ValueError(
@@ -481,17 +815,24 @@ class SkylineService:
         self._live_xs.add(point.x)
         self._live_ys.add(point.y)
         self.delta.insert(point)
-        self._maybe_compact()
+        self._bump_region(point.x)
+        if self.lsm is not None:
+            self.lsm.tick()
+            self._maybe_seal()
+        else:
+            self._maybe_compact()
 
     def delete(self, point: Point) -> bool:
         """Delete one live point matching ``point``; returns success.
 
         Among coordinate twins, a point with the same ``ident`` is
-        preferred.  A pending insert is simply dropped from the delta; a
-        static point gets a tombstone (bucketed under its owning shard)
-        until the next compaction.  On a durable service the *exact* victim
-        -- coordinates plus ``ident`` -- is logged, so replay removes
-        precisely the point the live service removed.
+        preferred.  A pending memtable insert is simply dropped; a point
+        resident in a frozen memtable, a level component or a base shard
+        gets a tombstone bucketed under its owning component, masking
+        exactly that component until a merge or compaction reclaims it.
+        On a durable service the *exact* victim -- coordinates plus
+        ``ident`` -- is logged, so replay removes precisely the point the
+        live service removed.
         """
         removed = self.delta.remove_insert(point)
         if removed is not None:
@@ -499,48 +840,88 @@ class SkylineService:
                 self.wal.log_delete(removed)
             self._live_xs.discard(removed.x)
             self._live_ys.discard(removed.y)
+            self._bump_region(removed.x)
+            if self.lsm is not None:
+                self.lsm.tick()
             return True
-        sid = self.router.route_point(point.x)
-        shard = self.shards[sid]
-        candidates = [
-            p
-            for p in shard.points
-            if p.x == point.x and p.y == point.y and not self.delta.is_deleted(p)
-        ]
-        victim_index = resolve_victim_index(candidates, point)
-        if victim_index is None:
-            return False
-        victim = candidates[victim_index]
+        victim = None
+        owner: object = None
+        if self.lsm is not None:
+            for comp in self.lsm.components():
+                # comp.points is x-sorted: bisect to the coordinate-match
+                # run instead of scanning the whole component per delete.
+                lo = bisect.bisect_left(comp.points, point.x, key=lambda p: p.x)
+                hi = bisect.bisect_right(comp.points, point.x, key=lambda p: p.x)
+                candidates = [
+                    p
+                    for p in comp.points[lo:hi]
+                    if p.y == point.y and not self.delta.is_deleted(p)
+                ]
+                victim_index = resolve_victim_index(candidates, point)
+                if victim_index is not None:
+                    victim = candidates[victim_index]
+                    owner = comp.owner
+                    break
+        if victim is None:
+            sid = self.router.route_point(point.x)
+            shard = self.shards[sid]
+            candidates = [
+                p
+                for p in shard.points
+                if p.x == point.x
+                and p.y == point.y
+                and not self.delta.is_deleted(p)
+            ]
+            victim_index = resolve_victim_index(candidates, point)
+            if victim_index is None:
+                return False
+            victim = candidates[victim_index]
+            owner = sid
         if self.wal is not None and not self._replaying:
             self.wal.log_delete(victim)
-        self.delta.add_tombstone(victim, sid)
+        self.delta.add_tombstone(victim, owner)
         self._live_xs.discard(victim.x)
         self._live_ys.discard(victim.y)
-        self._maybe_compact()
+        self._bump_region(victim.x)
+        if self.lsm is not None:
+            self.lsm.tick()
+            self._maybe_reclaim_tombstones()
+        else:
+            self._maybe_compact()
         return True
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def live_points(self) -> List[Point]:
-        """The current point set: static minus tombstones, plus the delta."""
+        """The current point set: base and level residents minus
+        tombstones, plus the pending memtable."""
         live = [
             p
             for shard in self.shards
             for p in shard.points
             if not self.delta.is_deleted(p)
         ]
+        if self.lsm is not None:
+            live.extend(self.lsm.live_points())
         live.extend(self.delta.inserts.values())
         return live
 
     def __len__(self) -> int:
-        pending = len(self.delta.inserts) - len(self.delta.tombstones)
-        return sum(len(shard) for shard in self.shards) + pending
+        resident = sum(len(shard) for shard in self.shards)
+        if self.lsm is not None:
+            resident += self.lsm.resident()
+        return resident + len(self.delta.inserts) - len(self.delta.tombstones)
 
     def io_total(self) -> int:
-        """Block transfers charged across every shard machine so far (plus
-        the durability store, when durability is on)."""
+        """Block transfers charged across every shard and level machine so
+        far (plus the durability store, when durability is on)."""
         return self.stats.total
+
+    def maintenance_io(self) -> int:
+        """Transfers charged to the maintenance ledger: incremental merge
+        work paid in bounded steps alongside updates and drains."""
+        return self.maintenance.total
 
     def snapshot(self) -> IOSnapshot:
         return self.stats.snapshot()
@@ -588,37 +969,69 @@ class SkylineService:
         return self.io_total() - self.durability_io()
 
     def drop_caches(self) -> None:
-        """Empty every shard's buffer pool (cold-cache measurements)."""
+        """Empty every shard's and level's buffer pool (cold-cache
+        measurements)."""
         for shard in self.shards:
             if shard.storage is not None:
                 shard.storage.drop_cache()
+        if self.lsm is not None:
+            for comp in self.lsm.components():
+                if comp.storage is not None:
+                    comp.storage.drop_cache()
 
     def blocks_in_use(self) -> int:
-        """Allocated blocks across all shard machines (space usage)."""
-        return sum(
+        """Allocated blocks across all shard and level machines."""
+        total = sum(
             shard.storage.blocks_in_use()
             for shard in self.shards
             if shard.storage is not None
         )
+        if self.lsm is not None:
+            total += sum(
+                comp.storage.blocks_in_use()
+                for comp in self.lsm.components()
+                if comp.storage is not None
+            )
+        return total
 
     def describe(self) -> Dict[str, object]:
         """A status snapshot a service dashboard would render.
 
-        ``result_cache`` and ``delta`` carry the full counter sets
-        (cache hits/misses, pending insert/tombstone sizes) so callers
-        such as :class:`repro.engine.ShardedServiceBackend` can populate
-        per-request execution reports without reaching into private state.
+        ``result_cache`` carries the full cache counter set, and
+        ``levels`` the per-level fill -- one row per level with
+        ``{records, tombstones, capacity, merge_debt}`` (level 0 is the
+        memtable) -- replacing the flat ``delta`` block of old, so
+        callers such as :class:`repro.engine.ShardedServiceBackend` can
+        populate per-request execution reports without reaching into
+        private state.
         """
+        if self.lsm is not None:
+            levels = self.lsm.describe_levels()
+            scheduler = self.lsm.scheduler.describe()
+        else:
+            levels = [
+                {
+                    "level": 0,
+                    "records": len(self.delta.inserts),
+                    "tombstones": len(self.delta.tombstones),
+                    "capacity": self.config.delta_threshold,
+                    "merge_debt": 0,
+                }
+            ]
+            scheduler = None
         status: Dict[str, object] = {
             "shard_count": len(self.shards),
             "shard_sizes": [len(shard) for shard in self.shards],
             "shard_epochs": [shard.epoch for shard in self.shards],
             "cuts": list(self.router.cuts),
             "live_points": len(self),
+            "update_path": self.config.update_path,
             "delta_inserts": len(self.delta.inserts),
             "delta_tombstones": len(self.delta.tombstones),
-            "delta": self.delta.describe(),
+            "levels": levels,
             "compactions": self.compactions,
+            "drains": self.drains,
+            "maintenance_io": self.maintenance_io(),
             "cache_entries": len(self.cache),
             "cache_hit_rate": round(self.cache.hit_rate(), 3),
             "result_cache": self.cache.describe(),
@@ -627,6 +1040,8 @@ class SkylineService:
             "blocks_in_use": self.blocks_in_use(),
             "durability": self.config.durability,
         }
+        if scheduler is not None:
+            status["scheduler"] = scheduler
         if self.store is not None and self.wal is not None:
             durability = dict(self.store.describe())
             durability["wal_pending"] = self.wal.pending

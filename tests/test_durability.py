@@ -85,8 +85,12 @@ def drive(service, ops, rng):
         elif roll < 0.75 and live:
             victim = live.pop(rng.randrange(len(live)))
             assert service.delete(victim)
-        elif roll < 0.9:
+        elif roll < 0.85:
             service.compact()
+        elif roll < 0.9:
+            # A no-op on the legacy path; on the leveled path it logs a
+            # drain checkpoint and may anchor a level-aware snapshot.
+            service.drain()
         else:
             # Queries must not disturb durability state at all.
             before = (service.wal.durable_count, service.wal.pending)
@@ -110,8 +114,11 @@ def drive(service, ops, rng):
     shard_count=st.integers(min_value=1, max_value=3),
     group_commit=st.sampled_from([1, 3]),
     snapshot_every=st.sampled_from([1, 2]),
+    update_path=st.sampled_from(["leveled", "threshold-compact"]),
 )
-def test_crash_recovery_every_prefix(seed, shard_count, group_commit, snapshot_every):
+def test_crash_recovery_every_prefix(
+    seed, shard_count, group_commit, snapshot_every, update_path
+):
     rng = random.Random(seed)
     points = seed_points(30, seed=seed)
     service = SkylineService(
@@ -124,6 +131,7 @@ def test_crash_recovery_every_prefix(seed, shard_count, group_commit, snapshot_e
             durability=True,
             wal_group_commit=group_commit,
             snapshot_every_compactions=snapshot_every,
+            update_path=update_path,
         ),
     )
     expected = drive(service, ops=18, rng=rng)
@@ -248,11 +256,13 @@ def test_crashed_copy_truncates_mid_block():
 
 
 def test_manifests_dropped_beyond_kill_point():
+    """Legacy-path regression: snapshot cadence at auto compactions."""
     points = seed_points(40, seed=1)
     service = SkylineService(
         points,
         ServiceConfig(shard_count=2, block_size=8, memory_blocks=8,
-                      delta_threshold=4, durability=True, wal_group_commit=1),
+                      delta_threshold=4, durability=True, wal_group_commit=1,
+                      update_path="threshold-compact"),
     )
     for i in range(12):
         service.insert(Point(70_000.0 + i * 1.5, 80_000.0 + i * 2.5, 9_000 + i))
@@ -284,7 +294,8 @@ def test_reclaim_frees_superseded_history():
     service = SkylineService(
         seed_points(40, seed=13),
         ServiceConfig(shard_count=2, block_size=8, memory_blocks=8,
-                      delta_threshold=5, durability=True, wal_group_commit=1),
+                      delta_threshold=5, durability=True, wal_group_commit=1,
+                      update_path="threshold-compact"),
     )
     for i in range(20):
         service.insert(Point(60_000.0 + i * 1.75, 50_000.0 + i * 2.75, 6_000 + i))
@@ -350,6 +361,7 @@ def test_snapshot_cadence_bounds_replay():
             ServiceConfig(shard_count=2, block_size=8, memory_blocks=8,
                           delta_threshold=5, durability=True,
                           wal_group_commit=1,
+                          update_path="threshold-compact",
                           snapshot_every_compactions=snapshot_every),
         )
         for i in range(20):

@@ -233,13 +233,51 @@ def test_report_blocks_sum_to_ledger_total_both_backends():
 
 
 def test_sharded_compaction_is_charged_to_the_tripping_update():
+    """Legacy threshold-compact path: the update that trips the threshold
+    pays the whole O(n/B) rebuild in its own report."""
     points = make_points(120)
-    _, sharded = make_engines(points, delta_threshold=4)
+    _, sharded = make_engines(
+        points, delta_threshold=4, update_path="threshold-compact"
+    )
     cheap = [sharded.insert(Point(30_000.0 + i, 30_000.0 + i, 5_000 + i)) for i in range(3)]
     tripping = sharded.insert(Point(40_000.0, 40_000.0, 5_999))
     assert all(r.report.blocks == 0 for r in cheap)  # delta inserts are in-memory
     assert tripping.report.blocks > 0  # the rebuild landed on this request
     assert sharded.backend.service.compactions == 1
+
+
+def test_leveled_updates_charge_bounded_maintenance_not_rebuilds():
+    """Leveled path: the update at the same threshold seals the memtable
+    and pays at most merge_step_blocks of incremental debt, reported as
+    maintenance -- never an O(n/B) rebuild in its attributed charge."""
+    points = make_points(120)
+    _, sharded = make_engines(
+        points, delta_threshold=4, merge_step_blocks=4
+    )
+    service = sharded.backend.service
+    reports = [
+        sharded.insert(Point(30_000.0 + i, 30_000.0 + i, 5_000 + i)).report
+        for i in range(16)
+    ]
+    assert service.compactions == 0
+    assert service.lsm is not None
+    assert service.lsm.scheduler.merges_completed >= 1
+    budget = service.config.merge_step_blocks
+    for report in reports:
+        assert report.blocks == 0  # memtable inserts are in-memory
+        assert report.maintenance_blocks <= budget
+    assert sharded.maintenance_io() == sum(
+        r.maintenance_blocks for r in reports
+    )
+    sharded.drain()  # outstanding debt lands in maintenance too
+    assert (
+        sharded.attributed_io() + sharded.maintenance_io()
+        == sharded.io_total() - sharded.build_io
+    )
+    # The answers stay correct through seals, merges and the drain.
+    assert canon(sharded.query(RangeQuery()).points) == canon(
+        range_skyline(service.live_points(), RangeQuery())
+    )
 
 
 def test_query_batch_native_executor_results_and_accounting():
@@ -539,7 +577,11 @@ def test_engine_describe_shapes():
     assert {"hits", "misses", "entries", "hit_rate"} <= set(
         backend_status["result_cache"]
     )
-    assert {"inserts", "tombstones"} <= set(backend_status["delta"])
+    assert backend_status["update_path"] == "leveled"
+    memtable_row = backend_status["levels"][0]
+    assert {"level", "records", "tombstones", "capacity", "merge_debt"} <= set(
+        memtable_row
+    )
 
 
 def test_engine_durability_open_close_passthrough():

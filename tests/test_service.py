@@ -208,8 +208,9 @@ def test_result_cache_epochs_and_writes():
     again = service.query(query)
     assert again == first
     assert service.cache.hits == 1
-    # A write bumps the delta version: the old entry is unreachable.
-    service.insert(Point(points[0].x + 0.5, points[0].y + 0.5, 999))
+    # A write inside the query's rectangle bumps the write version of a
+    # visited shard: the old entry is unreachable.
+    service.insert(Point(points[10].x + 0.5, points[10].y + 0.5, 999))
     hits_before = service.cache.hits
     service.query(query)
     assert service.cache.hits == hits_before
@@ -223,6 +224,39 @@ def test_result_cache_epochs_and_writes():
     cache.put(("c",), [Point(3, 3)])
     assert len(cache) == 2
     assert cache.get(("a",)) is None
+
+
+def test_result_cache_invalidation_scoped_per_shard():
+    """Satellite regression: cache keys embed per-shard write versions, so
+    an update routed into one shard's x-range keeps cached answers whose
+    rectangles live entirely in *other* shards' ranges valid -- before the
+    fix any write bumped a global version and evicted everything."""
+    points = uniform_points(400, universe=1_000_000, seed=19)
+    service = SkylineService(points, shard_count=4, delta_threshold=10_000)
+    # Warm a query confined to shard 0's range.
+    lo0, hi0 = service.router.shard_range(0)
+    probe0 = TopOpenQuery(max(lo0, 0.0), hi0 - 1e-6, 0.0)
+    assert service.router.shards_for(probe0) == [0]
+    first = service.query(probe0)
+    hits_before = service.cache.hits
+    # An insert routed to the last shard must not evict it...
+    lo3, _ = service.router.shard_range(3)
+    service.insert(Point(lo3 + 0.5, 2_000_000.5, 9_000))
+    again = service.query(probe0)
+    assert service.cache.hits == hits_before + 1
+    assert canon(again) == canon(first)
+    # ...and a delete there must not either.
+    victim = next(p for p in points if p.x >= lo3)
+    assert service.delete(victim)
+    service.query(probe0)
+    assert service.cache.hits == hits_before + 2
+    # A write into shard 0's own range does invalidate the cached answer.
+    service.insert(Point(probe0.x_lo + 0.25, 3_000_000.5, 9_001))
+    fresh = service.query(probe0)
+    assert service.cache.hits == hits_before + 2  # miss: recomputed
+    assert canon(fresh) == canon(
+        range_skyline(service.live_points(), probe0)
+    )
 
 
 def test_batch_coalesces_duplicates_and_parallel_matches():
@@ -380,10 +414,13 @@ def test_service_buckets_tombstones_under_owning_shard():
     )
 
 
-def test_auto_compaction_threshold():
+def test_auto_compaction_threshold_legacy_path():
+    """The legacy threshold-compact path still triggers a stop-the-world
+    rebuild when the flat delta fills."""
     points = uniform_points(200, seed=9)
     service = SkylineService(
-        points, shard_count=2, delta_threshold=8, auto_compact=True
+        points, shard_count=2, delta_threshold=8, auto_compact=True,
+        update_path="threshold-compact",
     )
     for i in range(8):
         service.insert(Point(points[i].x + 0.5, points[i].y + 0.5, 500 + i))
@@ -391,6 +428,28 @@ def test_auto_compaction_threshold():
     assert len(service.delta) == 0
     # Shard boundaries were rebalanced over the grown point set.
     assert sum(len(s) for s in service.shards) == 208
+
+
+def test_leveled_path_seals_instead_of_compacting():
+    """On the leveled path the same threshold seals the memtable into the
+    merge scheduler: no compaction, no O(n/B) rebuild on the update."""
+    points = uniform_points(200, seed=9)
+    service = SkylineService(
+        points, shard_count=2, delta_threshold=8, auto_compact=True,
+    )
+    for i in range(8):
+        service.insert(Point(points[i].x + 0.5, points[i].y + 0.5, 500 + i))
+    assert service.compactions == 0
+    assert len(service.delta.inserts) == 0  # sealed into a frozen memtable
+    assert service.lsm is not None
+    assert service.lsm.scheduler.pending_jobs >= 1
+    # The base shards were not rebuilt; the new points live in the
+    # frozen/leveled components until merges push them down.
+    assert sum(len(s) for s in service.shards) == 200
+    assert len(service) == 208
+    service.drain()
+    assert service.lsm.scheduler.pending_jobs == 0
+    assert sum(len(c) for c in service.lsm.components()) == 8
 
 
 def test_general_position_enforced_on_insert():
@@ -438,9 +497,11 @@ def test_api_delete_removes_exactly_one_ident():
     assert len(index.points) == 38
 
 
-def test_describe_exposes_cache_and_delta_counters():
-    """`describe()` carries the full result-cache and delta counter sets,
-    so execution reports can source them without private state."""
+def test_describe_exposes_cache_and_level_counters():
+    """`describe()` carries the full result-cache counter set and the
+    per-level fill rows ({records, tombstones, capacity, merge_debt})
+    that replaced the flat `delta` block, so execution reports can source
+    them without private state."""
     points = [Point(float(i * 7 % 101) + i * 1e-3, float(i * 13 % 97) + i * 1e-3, i) for i in range(60)]
     service = SkylineService(points, shard_count=4, cache_capacity=32)
     query = TopOpenQuery(5.0, 80.0, 10.0)
@@ -456,10 +517,28 @@ def test_describe_exposes_cache_and_delta_counters():
     assert cache["capacity"] == 32
     assert cache["hit_rate"] == round(service.cache.hit_rate(), 3)
     assert cache["hits"] >= 1
-    delta = status["delta"]
-    assert delta["inserts"] == 1 == status["delta_inserts"]
-    assert delta["tombstones"] == 1 == status["delta_tombstones"]
-    assert delta["version"] == service.delta.version
+    assert status["update_path"] == "leveled"
+    assert status["delta_inserts"] == 1
+    assert status["delta_tombstones"] == 1
+    levels = status["levels"]
+    memtable = levels[0]
+    assert memtable["level"] == 0
+    assert memtable["records"] == 1
+    assert memtable["tombstones"] == 1
+    assert memtable["capacity"] == service.config.delta_threshold
+    assert memtable["merge_debt"] == 0
+    assert {"active", "queued_jobs", "merges_completed"} <= set(
+        status["scheduler"]
+    )
+    assert status["maintenance_io"] == service.maintenance_io()
+    # The legacy path reports the flat delta as a single level-0 row.
+    legacy = SkylineService(
+        points, shard_count=2, update_path="threshold-compact"
+    )
+    legacy.insert(Point(300.5, 300.5, 9_002))
+    rows = legacy.describe()["levels"]
+    assert len(rows) == 1 and rows[0]["records"] == 1
+    assert "scheduler" not in legacy.describe()
 
 
 def test_service_reexports():
