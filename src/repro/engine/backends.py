@@ -22,6 +22,7 @@ ledger -- the invariant the engine's accounting tests pin down.
 
 from __future__ import annotations
 
+import bisect
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.api import RangeSkylineIndex
@@ -134,6 +135,21 @@ class Backend(Protocol):
         the backend has no merge scheduler); returns the drain counters."""
         ...
 
+    def split_shard(self, sid: int, cut: Optional[float] = None) -> Optional[float]:
+        """Split shard ``sid`` (no-op returning ``None`` on backends
+        without a shard topology); returns the cut applied."""
+        ...
+
+    def merge_shards(self, sid: int) -> Optional[float]:
+        """Merge shards ``sid`` and ``sid + 1`` (no-op returning ``None``
+        on backends without a shard topology); returns the removed cut."""
+        ...
+
+    def fold_shard(self, sid: int) -> int:
+        """Fold shard ``sid`` in place (no-op returning 0 on backends
+        without a shard topology); returns records touched."""
+        ...
+
     def close(self) -> int:
         """Flush/shutdown; returns backend-specific flush count."""
         ...
@@ -242,6 +258,18 @@ class LocalIndexBackend:
     def drain(self) -> Dict[str, int]:
         """No-op: the monolithic index has no merge scheduler."""
         return {"merge_io": 0, "merges_completed": 0}
+
+    def split_shard(self, sid: int, cut: Optional[float] = None) -> Optional[float]:
+        """No-op: the monolithic index has no shard topology."""
+        return None
+
+    def merge_shards(self, sid: int) -> Optional[float]:
+        """No-op: the monolithic index has no shard topology."""
+        return None
+
+    def fold_shard(self, sid: int) -> int:
+        """No-op: the monolithic index has no shard topology."""
+        return 0
 
     def close(self) -> int:
         self.index.storage.flush()
@@ -376,14 +404,13 @@ class ShardedServiceBackend:
             rect = request.rect
             for level in sorted(service.lsm.levels):
                 comp = service.lsm.levels[level]
-                # Mirror the execution-side prune: a level whose x-span
-                # misses the rectangle answers for free, so it adds no
-                # search term to the predicted cost.
-                if (
-                    comp.points
-                    and comp.points[0].x <= rect.x_hi
-                    and comp.points[-1].x >= rect.x_lo
-                ):
+                # Mirror the execution-side prune: a level with no point
+                # in the rectangle's x-window answers for free, so it
+                # adds no search term to the predicted cost.
+                lo = bisect.bisect_left(
+                    comp.points, rect.x_lo, key=lambda p: p.x
+                )
+                if lo < len(comp.points) and comp.points[lo].x <= rect.x_hi:
                     level_scopes.append((level, len(comp)))
                 level_layout.append((level, len(comp)))
             update_path = "leveled"
@@ -411,6 +438,7 @@ class ShardedServiceBackend:
             level_layout=level_layout,
             update_bound=update_bound,
             update_io=update_io,
+            topology_version=service.router.version,
         )
 
     # -- lifecycle -----------------------------------------------------
@@ -427,6 +455,15 @@ class ShardedServiceBackend:
 
     def drain(self) -> Dict[str, int]:
         return self.service.drain()
+
+    def split_shard(self, sid: int, cut: Optional[float] = None) -> Optional[float]:
+        return self.service.split_shard(sid, cut)
+
+    def merge_shards(self, sid: int) -> Optional[float]:
+        return self.service.merge_shards(sid)
+
+    def fold_shard(self, sid: int) -> int:
+        return self.service.fold_shard(sid)
 
     def close(self) -> int:
         return self.service.close()

@@ -385,6 +385,42 @@ class SkylineEngine:
         self._maintenance += (self.backend.snapshot() - before).total
         return counters
 
+    def split_shard(self, sid: int, cut: Optional[float] = None) -> Optional[float]:
+        """Split shard ``sid`` of a sharded backend (see
+        :meth:`repro.service.SkylineService.split_shard`); a no-op
+        returning ``None`` on the monolithic backend.
+
+        The split's transfers land on the service's maintenance ledger;
+        the engine folds them into :meth:`maintenance_io`, so the
+        accounting identity keeps holding.  Updates that trigger an
+        *adaptive* split inside :meth:`update` need no special handling
+        -- their reports already split out the maintenance delta.
+        """
+        before = self.backend.snapshot()
+        cut = self.backend.split_shard(sid, cut)
+        self._maintenance += (self.backend.snapshot() - before).total
+        return cut
+
+    def merge_shards(self, sid: int) -> Optional[float]:
+        """Merge shards ``sid`` and ``sid + 1`` of a sharded backend (see
+        :meth:`repro.service.SkylineService.merge_shards`); a no-op
+        returning ``None`` on the monolithic backend.  Charged like
+        :meth:`split_shard`."""
+        before = self.backend.snapshot()
+        cut = self.backend.merge_shards(sid)
+        self._maintenance += (self.backend.snapshot() - before).total
+        return cut
+
+    def fold_shard(self, sid: int) -> int:
+        """Fold shard ``sid`` of a sharded backend in place (see
+        :meth:`repro.service.SkylineService.fold_shard`); a no-op
+        returning 0 on the monolithic backend.  Charged like
+        :meth:`split_shard`."""
+        before = self.backend.snapshot()
+        touched = self.backend.fold_shard(sid)
+        self._maintenance += (self.backend.snapshot() - before).total
+        return touched
+
     def close(self) -> int:
         """Shut the backend down cleanly (WAL flush on a durable service).
 

@@ -156,6 +156,12 @@ class QueryPlan:
     level_layout: Tuple[Tuple[int, int], ...] = ()
     update_bound: Optional[str] = None
     update_io: Optional[float] = None
+    # Topology facts (sharded backend): the router version the scopes were
+    # planned against.  Scopes always come from the *live* router -- the
+    # actual shard count is ``shards_visited + shards_pruned``, which can
+    # differ from ``ServiceConfig.shard_count`` once online splits/merges
+    # (or a degenerate cut computation) have moved the layout.
+    topology_version: Optional[int] = None
 
     def predicted_io(self, k: int) -> float:
         """The bound instantiated at output size ``k`` (block transfers)."""
@@ -201,6 +207,7 @@ def build_plan(
     level_layout: Sequence[Tuple[int, int]] = (),
     update_bound: Optional[str] = None,
     update_io: Optional[float] = None,
+    topology_version: Optional[int] = None,
 ) -> QueryPlan:
     """Assemble a :class:`QueryPlan` from a backend's structural facts.
 
@@ -249,4 +256,5 @@ def build_plan(
         level_layout=tuple(level_layout),
         update_bound=update_bound,
         update_io=update_io,
+        topology_version=topology_version,
     )

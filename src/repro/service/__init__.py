@@ -91,9 +91,14 @@ from repro.service.merge import (
     merge_shard_skylines,
     merge_with_delta,
 )
-from repro.service.router import ShardRouter, size_balanced_cuts
+from repro.service.router import (
+    ShardRouter,
+    size_balanced_cuts,
+    size_balanced_midpoint,
+)
 from repro.service.service import QueryExecutionTrace, SkylineService
 from repro.service.shard import Shard
+from repro.service.topology import TopologyManager
 
 __all__ = [
     "SkylineService",
@@ -101,6 +106,7 @@ __all__ = [
     "ServiceConfig",
     "Shard",
     "ShardRouter",
+    "TopologyManager",
     "DeltaBuffer",
     "Component",
     "LevelManager",
@@ -111,6 +117,7 @@ __all__ = [
     "CrashSimulator",
     "crashed_copy",
     "size_balanced_cuts",
+    "size_balanced_midpoint",
     "merge_shard_skylines",
     "merge_component_skylines",
     "merge_with_delta",

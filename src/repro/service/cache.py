@@ -1,20 +1,30 @@
-"""An LRU cache of query results keyed by per-shard epochs and versions.
+"""An LRU cache of query results keyed by per-shard identities and versions.
 
 A cached answer is only ever returned for the exact generation of data it
 was computed against: the key embeds, for every shard the query's
-rectangle overlaps, the shard's rebuild epoch *and* the per-shard write
-version the service bumps whenever an update lands in that shard's
-x-range.  Invalidation is therefore scoped: an insert routed to shard 3
-makes only keys visiting shard 3 unreachable, while a cached answer whose
-rectangle lies entirely in shard 5's range stays valid -- correct because
-a range-skyline answer depends only on the live points inside the
-rectangle, all of which lie in the visited shards' x-ranges (a point
-outside the rectangle can neither appear in nor dominate anything in the
-answer).  This replaces the old global delta version, which evicted every
-cached answer on any write anywhere.  Stale entries become unreachable
-immediately and age out of the LRU; :meth:`ResultCache.invalidate_all`
-additionally drops them eagerly (the service calls it on compaction, when
-whole generations die at once).
+rectangle overlaps, the shard's stable :attr:`~repro.service.shard
+.Shard.uid` *and* the per-shard write version the service bumps whenever
+an update lands in that shard's x-range.  Invalidation is therefore
+scoped: an insert routed to one shard makes only keys visiting that shard
+unreachable, while a cached answer whose rectangle lies entirely in
+another shard's range stays valid -- correct because a range-skyline
+answer depends only on the live points inside the rectangle, all of which
+lie in the visited shards' x-ranges (a point outside the rectangle can
+neither appear in nor dominate anything in the answer).  Keying on the
+uid rather than the positional shard id extends the same scoping to
+*topology* changes: a hot-shard split or cold-shard merge destroys the
+uids of exactly the shards it rewrites, so only keys touching the changed
+shards become unreachable while every other cached answer (whose shards
+kept their uids, even if their positional ids shifted) survives.  Stale
+entries become unreachable immediately and age out of the LRU;
+:meth:`ResultCache.invalidate_all` additionally drops them eagerly (the
+service calls it on compaction, when whole generations die at once).
+
+A cache built with ``capacity <= 0`` is *disabled*: it stores nothing and
+every lookup is a miss.  Disabled lookups still count as misses -- a
+dashboard reading ``hit_rate`` sees an honest 0.0 over real traffic, not
+a 0/0 that merely looks like one -- and :meth:`ResultCache.describe`
+reports the state explicitly.
 """
 
 from __future__ import annotations
@@ -30,13 +40,14 @@ CacheKey = Tuple[Hashable, ...]
 
 def make_key(
     query: RangeQuery,
-    shard_scopes: Sequence[Tuple[int, int, int]],
+    shard_scopes: Sequence[Tuple[int, int]],
 ) -> CacheKey:
     """Cache key: the query rectangle plus the data generation it reads.
 
-    ``shard_scopes`` carries ``(sid, epoch, write_version)`` for every
-    shard the query overlaps: ``epoch`` advances on rebuilds,
-    ``write_version`` on every update routed into the shard's x-range.
+    ``shard_scopes`` carries ``(uid, write_version)`` for every shard the
+    query overlaps: the ``uid`` is stable for the shard's whole life (and
+    dies with it at a split, merge or compaction), ``write_version``
+    advances on every update routed into the shard's x-range.
     """
     return (
         query.x_lo,
@@ -56,12 +67,22 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: CacheKey) -> Optional[List[Point]]:
-        """The cached result, refreshed to most-recently-used; None on miss."""
+        """The cached result, refreshed to most-recently-used; None on miss.
+
+        A disabled cache (``capacity <= 0``) never hits, but the lookup
+        still counts as a miss so ``hit_rate`` keeps measuring real
+        traffic instead of silently reporting over zero lookups.
+        """
         if self.capacity <= 0:
+            self.misses += 1
             return None
         entry = self._entries.get(key)
         if entry is None:
@@ -81,11 +102,17 @@ class ResultCache:
             self._entries.popitem(last=False)
 
     def invalidate_all(self) -> None:
-        """Eagerly drop every entry (epoch keys already make them stale)."""
+        """Eagerly drop every entry (uid keys already make them stale)."""
         self._entries.clear()
 
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when none happened)."""
+        """Fraction of lookups served from cache.
+
+        Exactly ``0.0`` before the first lookup (0/0 is pinned, not
+        incidental): no traffic means no hits, and consumers such as
+        ``describe()["cache_hit_rate"]`` rely on the value being a plain
+        float either way.
+        """
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -97,4 +124,5 @@ class ResultCache:
             "entries": len(self._entries),
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate(), 3),
+            "state": "enabled" if self.enabled else "disabled",
         }

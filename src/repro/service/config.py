@@ -58,6 +58,43 @@ class ServiceConfig:
         ``O(merge_step_blocks)`` instead of the legacy path's ``O(n/B)``
         rebuild; :meth:`SkylineService.drain` pays all outstanding debt
         at once.
+    adaptive_topology:
+        Whether the service's :class:`~repro.service.topology
+        .TopologyManager` manages the shard layout *online*: every
+        ``topology_check_every``-th update it re-examines per-shard load
+        (base residents plus the memtable and level records in each
+        shard's x-range) and splits a hot shard or merges two adjacent
+        cold shards -- each a bounded local operation charged to the
+        maintenance ledger, never a stop-the-world global rebuild.  Off
+        by default: a static-topology service only re-cuts at an explicit
+        :meth:`~repro.service.SkylineService.compact`.  Manual
+        :meth:`~repro.service.SkylineService.split_shard` /
+        :meth:`~repro.service.SkylineService.merge_shards` work either
+        way.
+    split_load_factor:
+        A shard is *hot* -- and split at its size-balanced midpoint --
+        when its range load reaches this many times the target load
+        (``live points / shard_count``).  Must exceed 1.
+    merge_load_factor:
+        Two adjacent shards are *cold* -- and merged into one -- when
+        their combined range load is at most this fraction of the target
+        load.  Must be below 1 (and below ``split_load_factor``), or
+        split/merge would thrash.
+    fold_pressure_factor:
+        The adaptive topology's third trigger, after hot splits and cold
+        merges: when the *level-resident* records inside one shard's
+        x-range (its slice of the LSM tower) exceed this fraction of the
+        target load, the shard is *folded* -- split and immediately
+        merged back, a bounded local compaction of just that range that
+        pulls its tower slice down into the base shard and consumes its
+        tombstones without changing the cut count.  Keeps a skewed
+        insert stream from accumulating its hot region in ever-deeper
+        level components.  ``0`` disables pressure folds.
+    topology_check_every:
+        How many updates pass between adaptive-topology policy checks.
+        A check is one routing pass over the memtable plus one bisect
+        per (level component, cut); the splits/merges/folds it may
+        trigger are bounded by the affected range's own rebuild cost.
     cache_capacity:
         Maximum number of query results kept in the LRU result cache
         (0 disables caching).
@@ -99,6 +136,11 @@ class ServiceConfig:
     delta_threshold: int = 128
     level_growth: int = 4
     merge_step_blocks: int = 8
+    adaptive_topology: bool = False
+    split_load_factor: float = 2.0
+    merge_load_factor: float = 0.5
+    fold_pressure_factor: float = 0.25
+    topology_check_every: int = 16
     cache_capacity: int = 256
     parallelism: int = 1
     auto_compact: bool = True
@@ -125,6 +167,24 @@ class ServiceConfig:
         if self.merge_step_blocks < 1:
             raise ValueError(
                 f"merge_step_blocks must be >= 1, got {self.merge_step_blocks}"
+            )
+        if self.split_load_factor <= 1.0:
+            raise ValueError(
+                f"split_load_factor must be > 1, got {self.split_load_factor}"
+            )
+        if not 0.0 < self.merge_load_factor < 1.0:
+            raise ValueError(
+                f"merge_load_factor must be in (0, 1), got {self.merge_load_factor}"
+            )
+        # merge_load_factor < 1 < split_load_factor (enforced above) is
+        # the hysteresis that keeps split and merge from thrashing.
+        if self.fold_pressure_factor < 0.0:
+            raise ValueError(
+                f"fold_pressure_factor must be >= 0, got {self.fold_pressure_factor}"
+            )
+        if self.topology_check_every < 1:
+            raise ValueError(
+                f"topology_check_every must be >= 1, got {self.topology_check_every}"
             )
         if self.cache_capacity < 0:
             raise ValueError(

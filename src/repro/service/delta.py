@@ -128,6 +128,22 @@ class DeltaBuffer:
         self.version += 1
         return sealed
 
+    def take_inserts_in_range(self, x_lo: float, x_hi: float) -> List[Point]:
+        """Remove and return the pending inserts with ``x_lo <= x < x_hi``.
+
+        The memtable slice a hot-shard split hands over to the split
+        children: the points become base-resident (in x-order), so they
+        leave the level-0 buffer.  Tombstones are untouched.
+        """
+        taken = [
+            p for p in self.inserts.values() if x_lo <= p.x < x_hi
+        ]
+        if taken:
+            for p in taken:
+                del self.inserts[point_key(p)]
+            self.version += 1
+        return sorted(taken, key=lambda p: (p.x, p.y))
+
     def drop_tombstone(self, key: Key) -> None:
         """Forget one tombstone (its victim left the store for good --
         a level merge dropped the dead record from its output)."""

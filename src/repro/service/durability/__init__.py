@@ -43,7 +43,10 @@ from repro.service.durability.wal import (
     OP_DELETE,
     OP_DRAIN,
     OP_FLUSH,
+    OP_FOLD,
     OP_INSERT,
+    OP_MERGE,
+    OP_SPLIT,
     WalRecord,
     WriteAheadLog,
 )
@@ -67,4 +70,7 @@ __all__ = [
     "OP_COMPACT",
     "OP_FLUSH",
     "OP_DRAIN",
+    "OP_SPLIT",
+    "OP_MERGE",
+    "OP_FOLD",
 ]

@@ -71,9 +71,12 @@ class SnapshotManifest:
     anchor record did not survive.  ``block_id`` is the manifest's own block,
     set when the store installs it.  ``point_count`` is verified against the
     loaded points by :func:`load_snapshot`; ``cuts`` records the shard
-    layout the snapshot was taken under for dashboards and forensics only
-    -- recovery deliberately re-cuts by size (it may be opened with a
-    different ``shard_count``), so the recorded cuts are never restored.
+    layout the snapshot was taken under and is *authoritative at
+    recovery*: online splits and merges move the topology between
+    compactions, so :meth:`repro.service.SkylineService.open` restores
+    exactly the recorded cuts (re-cutting by size would silently undo
+    them) and then replays the WAL suffix's ``OP_SPLIT``/``OP_MERGE``
+    records on top.
     """
 
     generation: int

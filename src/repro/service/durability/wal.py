@@ -39,6 +39,18 @@ OP_COMPACT = "compact"
 # anchored to, like a compaction checkpoint.
 OP_FLUSH = "flush"
 OP_DRAIN = "drain"
+# Online topology records: a SPLIT carries the shard position (``ident``)
+# and the cut x-value (``x``) so replay re-applies the exact same cut the
+# live service chose, and a MERGE carries the left shard position of the
+# merged pair.  Both are scheduling events group-committed like updates:
+# losing an unflushed tail record simply reverts the store to the
+# pre-change topology, which is a consistent state.
+OP_SPLIT = "split"
+OP_MERGE = "merge"
+# A FOLD rebuilds one shard in place from its range's live records (its
+# residents plus its slice of the level tower, minus tombstones) without
+# moving any cut -- the topology manager's pressure-relief action.
+OP_FOLD = "fold"
 
 
 @dataclass(frozen=True)
@@ -59,7 +71,7 @@ class WalRecord:
 
     def point(self) -> Point:
         """The point payload of an insert/delete record."""
-        if self.op == OP_COMPACT or self.x is None or self.y is None:
+        if self.op not in (OP_INSERT, OP_DELETE) or self.x is None or self.y is None:
             raise ValueError(f"record {self} carries no point payload")
         return Point(self.x, self.y, self.ident)
 
@@ -119,6 +131,37 @@ class WriteAheadLog:
         """A drain checkpoint (leveled path); forces the tail durable so a
         snapshot may be anchored to it."""
         return self.append(OP_DRAIN, force=True)
+
+    def log_split(self, sid: int, cut: float) -> WalRecord:
+        """A hot-shard split: shard position ``sid`` cut at ``cut``.
+
+        Group-committed like an update; the payload pins the exact cut so
+        replay reproduces the post-split topology bit-for-bit.
+        """
+        lsn = self.store.wal_durable + len(self._tail) + 1
+        record = WalRecord(lsn=lsn, op=OP_SPLIT, x=cut, ident=sid)
+        self._tail.append(record)
+        if len(self._tail) >= self.group_commit_size:
+            self.flush()
+        return record
+
+    def log_merge(self, sid: int) -> WalRecord:
+        """A cold-shard merge of the adjacent pair ``(sid, sid + 1)``."""
+        lsn = self.store.wal_durable + len(self._tail) + 1
+        record = WalRecord(lsn=lsn, op=OP_MERGE, ident=sid)
+        self._tail.append(record)
+        if len(self._tail) >= self.group_commit_size:
+            self.flush()
+        return record
+
+    def log_fold(self, sid: int) -> WalRecord:
+        """An in-place fold of shard ``sid`` (cuts unchanged)."""
+        lsn = self.store.wal_durable + len(self._tail) + 1
+        record = WalRecord(lsn=lsn, op=OP_FOLD, ident=sid)
+        self._tail.append(record)
+        if len(self._tail) >= self.group_commit_size:
+            self.flush()
+        return record
 
     def flush(self) -> int:
         """Force the in-memory tail to the store; returns records committed.

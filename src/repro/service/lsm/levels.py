@@ -23,12 +23,14 @@ the swap is atomic.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import bisect
+import math
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.point import Point
 from repro.em.config import EMConfig
 from repro.em.counters import IOStats
-from repro.service.delta import DeltaBuffer
+from repro.service.delta import DeltaBuffer, point_key
 from repro.service.lsm.component import Component
 from repro.service.lsm.scheduler import CompactionScheduler, MergeJob
 
@@ -133,6 +135,102 @@ class LevelManager:
     def drain(self) -> int:
         """Pay all outstanding merge debt; returns transfers charged."""
         return self.scheduler.drain()
+
+    def handover_slice(self, x_lo: float, x_hi: float) -> Tuple[List[Point], int]:
+        """Carve the records with x in ``[x_lo, x_hi)`` out of the visible
+        components for a topology change to fold into base shards.
+
+        This is the level side of a hot-shard split: the split rebuilds
+        its two children from the hot shard's residents *plus* this slice,
+        so the level structures stop carrying the hot region's weight.
+        Per component the slice is a contiguous run of the x-sorted
+        points; every component holding one is rewritten without it, so
+        after the split the handed-over range is *clean*: no level holds
+        any of its points, and the content-based component prune excludes
+        the remainders from that range's queries for free.  The cost is
+        ``O((n_slice + overlapping component mass) / B)`` -- reading each
+        overlapping component and rebuilding its remainder -- charged to
+        the maintenance ledger; the overlapping mass is bounded by the
+        level tower over the updates since the range was last folded, so
+        a split stays a local operation (``bench_resharding`` asserts the
+        worst step against both a linear per-record bound and a fraction
+        of one measured global rebuild).  An in-flight merge reading a rewritten input is
+        cancelled and re-queued (it re-resolves inputs when it restarts);
+        tombstones owned by a rewritten component are consumed if their
+        victim leaves with the slice (the split children are built from
+        live points only) and re-owned to the remainder component
+        otherwise.  Reads of rewritten indexed components and remainder
+        rebuilds are charged to the maintenance ledger; frozen memtables
+        are in memory and free.
+
+        Returns ``(handed-over live points, records touched)`` -- the
+        caller folds the points into the new base shards and uses the
+        touched count to report the operation's size.
+        """
+        handed: List[Point] = []
+        touched = 0
+        for comp in list(self.components()):
+            pts = comp.points
+            lo = bisect.bisect_left(pts, x_lo, key=lambda p: p.x)
+            hi = bisect.bisect_left(pts, x_hi, key=lambda p: p.x)
+            inside = pts[lo:hi]
+            if not inside:
+                continue
+            remainder = pts[:lo] + pts[hi:]
+            touched += len(pts)
+            active = self.scheduler.active
+            if active is not None and comp in active.inputs:
+                self.scheduler.cancel_active()
+            level = next(
+                (j for j, c in self.levels.items() if c is comp), None
+            )
+            if comp.index is not None and pts:
+                # A real handover reads the component off its machine.
+                self.maintenance.record_read(
+                    math.ceil(len(pts) / self.block_size)
+                )
+            self.remove_component(comp)
+            owned = self.delta.owned_tombstones(comp.owner)
+            handed.extend(
+                p
+                for p in inside
+                if point_key(p) not in owned and not self.delta.is_deleted(p)
+            )
+            for key, victim in owned.items():
+                if x_lo <= victim.x < x_hi and key in self.delta.tombstones:
+                    # The victim leaves with the slice: the children are
+                    # built from live points, so the tombstone is done.
+                    self.delta.drop_tombstone(key)
+            if remainder:
+                if comp.index is None:
+                    new_comp = Component(
+                        self.next_component_id(), remainder, build_index=False
+                    )
+                    self.frozen.append(new_comp)
+                    self.scheduler.schedule(
+                        MergeJob("flush", frozen_id=new_comp.comp_id)
+                    )
+                    self._on_layout_change()
+                else:
+                    new_comp = Component(
+                        self.next_component_id(),
+                        remainder,
+                        em_config=self.em_config,
+                        epsilon=self.epsilon,
+                    )
+                    # The rebuild is part of the bounded topology change:
+                    # mirror the private build cost to maintenance now and
+                    # reset the ledger before it joins the aggregate.
+                    assert new_comp.stats is not None
+                    self.maintenance.record_read(new_comp.stats.reads)
+                    self.maintenance.record_write(new_comp.stats.writes)
+                    new_comp.stats.reset()
+                    assert level is not None
+                    self.install_level(level, new_comp)
+                for key, victim in owned.items():
+                    if key in self.delta.tombstones:
+                        self.delta.add_tombstone(victim, new_comp.owner)
+        return handed, touched
 
     def reset(self) -> None:
         """Forget every component (a full compaction folded them into the

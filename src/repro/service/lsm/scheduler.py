@@ -115,6 +115,27 @@ class CompactionScheduler:
         self.queue.clear()
         self.active = None
 
+    def cancel_active(self, requeue: bool = True) -> Optional[MergeJob]:
+        """Discard the staged output of the active merge (a topology
+        change rewrote one of its inputs underneath it).
+
+        The staged ledger never joined the aggregate, so dropping it
+        loses no charged transfer; debt already mirrored to the
+        maintenance ledger stays counted (the work was genuinely paid,
+        the output merely got superseded).  No captured tombstone was
+        consumed -- consumption happens only at completion -- so the
+        tombstone table is untouched.  With ``requeue`` the job returns
+        to the *front* of the queue and re-resolves its inputs when it
+        next starts (superseded inputs make it a no-op).
+        """
+        if self.active is None:
+            return None
+        job = self.active.job
+        self.active = None
+        if requeue:
+            self.queue.appendleft(job)
+        return job
+
     @property
     def merge_debt(self) -> int:
         """Outstanding transfers of the active job (0 when idle)."""

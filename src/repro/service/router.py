@@ -6,6 +6,17 @@ x-axis into half-open ranges ``[c_{i-1}, c_i)`` (with ``c_{-1} = -inf`` and
 equal-size split of the x-sorted point set, so shards start balanced by
 *size* (not by x-extent) and are re-balanced the same way on every
 compaction.
+
+Cuts are *versioned*: :attr:`ShardRouter.version` advances on every
+topology change, and the online split/merge primitives
+(:meth:`ShardRouter.split_cut`, :meth:`ShardRouter.merge_cut`) mutate the
+cut list locally -- one cut inserted inside a hot shard's range, or one
+cut removed between two cold neighbours -- so the service tier can
+re-shard without a global rebuild (see
+:class:`repro.service.topology.TopologyManager`).  Note that positional
+shard ids shift when a cut is inserted or removed; anything that must
+survive a topology change (result-cache keys, tombstone owner buckets)
+keys on the stable :attr:`repro.service.shard.Shard.uid` instead.
 """
 
 from __future__ import annotations
@@ -43,6 +54,20 @@ def size_balanced_cuts(points: Sequence[Point], shard_count: int) -> List[float]
     return cuts
 
 
+def size_balanced_midpoint(points: Sequence[Point]) -> float | None:
+    """The cut splitting ``points`` into two equal-size halves, placed
+    midway between the two straddling x-coordinates (the one-shard case of
+    :func:`size_balanced_cuts`); ``None`` when no valid cut exists (fewer
+    than two points, or duplicate x at the midpoint)."""
+    if len(points) < 2:
+        return None
+    xs = sorted(p.x for p in points)
+    split = len(xs) // 2
+    left, right = xs[split - 1], xs[split]
+    cut = (left + right) / 2.0
+    return cut if left < cut else None
+
+
 class ShardRouter:
     """Maps points and query rectangles to shard indices."""
 
@@ -50,10 +75,38 @@ class ShardRouter:
         self.cuts = list(cuts)
         if any(b <= a for a, b in zip(self.cuts, self.cuts[1:])):
             raise ValueError(f"cuts must be strictly increasing, got {self.cuts}")
+        # Advances on every topology change (split, merge, full re-cut);
+        # plans and dashboards quote it so a reader can tell two reports
+        # apart when the cut list moved between them.
+        self.version = 0
 
     @property
     def shard_count(self) -> int:
         return len(self.cuts) + 1
+
+    def split_cut(self, sid: int, cut: float) -> None:
+        """Insert ``cut`` inside shard ``sid``'s range: the shard splits
+        into ``sid`` (its points below ``cut``) and ``sid + 1``; every
+        shard to the right shifts one position."""
+        lo, hi = self.shard_range(sid)
+        if not lo < cut < hi:
+            raise ValueError(
+                f"split cut {cut} must lie strictly inside shard {sid}'s "
+                f"range [{lo}, {hi})"
+            )
+        self.cuts.insert(sid, cut)
+        self.version += 1
+
+    def merge_cut(self, sid: int) -> float:
+        """Remove the cut between shards ``sid`` and ``sid + 1``, merging
+        them into one shard at position ``sid``; returns the removed cut."""
+        if not 0 <= sid < len(self.cuts):
+            raise ValueError(
+                f"no adjacent pair at {sid}: only {self.shard_count} shards"
+            )
+        removed = self.cuts.pop(sid)
+        self.version += 1
+        return removed
 
     def shard_range(self, sid: int) -> Tuple[float, float]:
         """The half-open x-range ``[lo, hi)`` covered by shard ``sid``."""

@@ -33,6 +33,25 @@ that folds everything back into rebuilt, size-rebalanced base shards.
 The legacy ``"threshold-compact"`` path (flat delta, stop-the-world
 compaction at a size threshold) is kept for benchmarking the difference.
 
+Topology
+--------
+Shard cuts are no longer frozen between compactions: the
+:class:`~repro.service.topology.TopologyManager` (driven automatically
+with ``ServiceConfig.adaptive_topology``, or by hand through
+:meth:`SkylineService.split_shard` / :meth:`SkylineService.merge_shards`)
+splits a hot shard at the size-balanced midpoint of its range's live
+records -- rebuilding only the two children from the shard's residents
+plus the range's slice of the level components and memtable -- merges
+adjacent cold shards, and *folds* a level-tower-pressured shard back
+into its base structure in place, each a bounded local operation charged
+to the maintenance ledger.  Shard *identity* (:attr:`~repro.service.shard.Shard
+.uid`) is decoupled from shard *position*, so a topology change
+invalidates only the cached answers and tombstone buckets of the shards
+it actually rewrites.  On a durable service splits and merges are
+WAL-logged (``OP_SPLIT``/``OP_MERGE``) and snapshot manifests record the
+live cuts, so crash recovery restores the exact post-change topology at
+every WAL prefix.
+
 I/O accounting
 --------------
 Every shard machine and every level component charges a *private*
@@ -86,7 +105,10 @@ from repro.service.durability import (
     OP_DELETE,
     OP_DRAIN,
     OP_FLUSH,
+    OP_FOLD,
     OP_INSERT,
+    OP_MERGE,
+    OP_SPLIT,
     DurableStore,
     SnapshotManifest,
     SnapshotState,
@@ -102,8 +124,13 @@ from repro.service.merge import (
     merge_shard_skylines,
     merge_with_delta,
 )
-from repro.service.router import ShardRouter, size_balanced_cuts
+from repro.service.router import (
+    ShardRouter,
+    size_balanced_cuts,
+    size_balanced_midpoint,
+)
 from repro.service.shard import Shard
+from repro.service.topology import TopologyManager
 
 
 @dataclasses.dataclass(frozen=True)
@@ -151,6 +178,7 @@ class SkylineService:
         config: Optional[ServiceConfig] = None,
         store: Optional[DurableStore] = None,
         _recovering: bool = False,
+        _initial_cuts: Optional[Sequence[float]] = None,
         **overrides: object,
     ) -> None:
         base = config or ServiceConfig()
@@ -183,10 +211,10 @@ class SkylineService:
         self.last_traces: List[QueryExecutionTrace] = []
         self.router: ShardRouter
         self.shards: List[Shard] = []
-        # Per-shard write versions: bumped whenever an update lands in the
-        # shard's x-range, so result-cache invalidation is scoped to the
-        # shards a write can actually affect.
-        self._region_versions: List[int] = []
+        # Monotone shard-uid allocator: every shard instance (built at
+        # construction, compaction, split or merge) gets a fresh uid, the
+        # stable identity cache keys and tombstone buckets hang off.
+        self._next_uid = 0
         self.store: Optional[DurableStore] = None
         self.wal: Optional[WriteAheadLog] = None
         self.lsm: Optional[LevelManager] = None
@@ -203,7 +231,8 @@ class SkylineService:
                 retired=self._retired,
                 on_layout_change=self._refresh_members,
             )
-        self._build_shards(list(points))
+        self._build_shards(list(points), cuts=_initial_cuts)
+        self.topology = TopologyManager(self)
         if self.config.durability:
             durable_store = store if store is not None else DurableStore(
                 self.config.shard_em_config()
@@ -274,7 +303,17 @@ class SkylineService:
         loaded = store.stats.snapshot()
         recorded_config = store.service_config
         try:
-            service = cls(state.base_points, cfg, store=store, _recovering=True)
+            service = cls(
+                state.base_points,
+                cfg,
+                store=store,
+                _recovering=True,
+                # Topology-aware recovery: the manifest's recorded cuts are
+                # authoritative, so a crash after any number of online
+                # splits/merges restores the exact post-change topology
+                # (re-cutting by size would silently undo them).
+                _initial_cuts=None if manifest is None else manifest.cuts,
+            )
             service._restore_snapshot_state(state)
             # Measure replay from after the constructor: on a virgin store
             # the constructor writes the baseline snapshot, which is birth
@@ -291,6 +330,15 @@ class SkylineService:
                         service.delete(record.point())
                     elif record.op == OP_COMPACT:
                         service.compact()
+                    elif record.op == OP_SPLIT:
+                        assert record.x is not None and record.ident is not None
+                        service.split_shard(record.ident, record.x)
+                    elif record.op == OP_MERGE:
+                        assert record.ident is not None
+                        service.merge_shards(record.ident)
+                    elif record.op == OP_FOLD:
+                        assert record.ident is not None
+                        service.fold_shard(record.ident)
                     elif record.op in (OP_FLUSH, OP_DRAIN):
                         if service.lsm is None:
                             raise ValueError(
@@ -370,7 +418,7 @@ class SkylineService:
             owner = (
                 level_owner[record.level]
                 if record.level is not None
-                else self.router.route_point(victim.x)
+                else self.shards[self.router.route_point(victim.x)].owner
             )
             self.delta.add_tombstone(victim, owner)
             self._live_xs.discard(victim.x)
@@ -391,8 +439,17 @@ class SkylineService:
             members.append(self.store.stats)
         self.stats.set_members(members)
 
-    def _build_shards(self, points: List[Point]) -> None:
-        """(Re)partition ``points`` into size-balanced x-range shards."""
+    def _build_shards(
+        self, points: List[Point], cuts: Optional[Sequence[float]] = None
+    ) -> None:
+        """(Re)partition ``points`` into x-range shards.
+
+        Without ``cuts`` the partition is re-cut size-balanced over
+        ``ServiceConfig.shard_count`` (construction, major compaction);
+        with explicit ``cuts`` the given topology is restored exactly --
+        the recovery path, which must reproduce the post-split/merge
+        layout a snapshot manifest recorded, not re-derive one.
+        """
         self._live_xs = {p.x for p in points}
         self._live_ys = {p.y for p in points}
         if len(self._live_xs) < len(points) or len(self._live_ys) < len(points):
@@ -404,33 +461,59 @@ class SkylineService:
         # start charging, so the aggregate never loses what was paid.
         for shard in self.shards:
             self._retired.absorb(shard.stats)
-        cuts = size_balanced_cuts(points, self.config.shard_count)
+        if cuts is None:
+            cuts = size_balanced_cuts(points, self.config.shard_count)
+        # Topology versions stay monotone across full rebuilds too.
+        version = self.router.version + 1 if self.shards else 0
         self.router = ShardRouter(cuts)
+        self.router.version = version
         buckets: List[List[Point]] = [[] for _ in range(self.router.shard_count)]
         for point in points:
             buckets[self.router.route_point(point.x)].append(point)
-        em_config = self.config.shard_em_config()
         self._generation += 1
         self.shards = []
         for sid, bucket in enumerate(buckets):
             x_lo, x_hi = self.router.shard_range(sid)
-            self.shards.append(
-                Shard(
-                    sid,
-                    x_lo,
-                    x_hi,
-                    bucket,
-                    em_config,
-                    epsilon=self.config.epsilon,
-                    epoch=self._generation,
-                )
-            )
-        self._region_versions = [0] * len(self.shards)
+            self.shards.append(self._new_shard(sid, x_lo, x_hi, bucket))
         self._refresh_members()
+
+    def _new_shard(
+        self,
+        sid: int,
+        x_lo: float,
+        x_hi: float,
+        points: Sequence[Point],
+        charge_maintenance: bool = False,
+    ) -> Shard:
+        """Build one shard with a fresh uid.
+
+        With ``charge_maintenance`` the build cost is mirrored onto the
+        maintenance ledger and the shard's private ledger reset before it
+        joins the aggregate -- the split/merge escrow, matching how the
+        level scheduler charges staged merge outputs.  Without it the
+        build stays on the shard's own ledger (construction/compaction
+        generations, the logarithmic-method accounting).
+        """
+        self._next_uid += 1
+        shard = Shard(
+            sid,
+            x_lo,
+            x_hi,
+            points,
+            self.config.shard_em_config(),
+            epsilon=self.config.epsilon,
+            epoch=self._generation,
+            uid=self._next_uid,
+        )
+        if charge_maintenance:
+            self.maintenance.record_read(shard.stats.reads)
+            self.maintenance.record_write(shard.stats.writes)
+            shard.stats.reset()
+        return shard
 
     def _bump_region(self, x: float) -> None:
         """Invalidate cached answers overlapping the shard region of ``x``."""
-        self._region_versions[self.router.route_point(x)] += 1
+        self.shards[self.router.route_point(x)].write_version += 1
 
     def compact(self) -> None:
         """Major compaction: fold *everything* -- memtable, frozen
@@ -498,6 +581,220 @@ class SkylineService:
             "merge_io": charged,
             "merges_completed": self.lsm.scheduler.merges_completed,
         }
+
+    # ------------------------------------------------------------------
+    # Online topology changes
+    # ------------------------------------------------------------------
+    def _split_cut(self, sid: int) -> Optional[float]:
+        """The size-balanced midpoint of shard ``sid``'s range's live
+        records (base residents, memtable, level slices); ``None`` when
+        fewer than two records live there."""
+        x_lo, x_hi = self.router.shard_range(sid)
+        candidates = [
+            p for p in self.shards[sid].points if not self.delta.is_deleted(p)
+        ]
+        candidates += [
+            p for p in self.delta.inserts.values() if x_lo <= p.x < x_hi
+        ]
+        if self.lsm is not None:
+            for comp in self.lsm.components():
+                pts = comp.points
+                lo = bisect.bisect_left(pts, x_lo, key=lambda p: p.x)
+                hi = bisect.bisect_left(pts, x_hi, key=lambda p: p.x)
+                candidates += [
+                    p for p in pts[lo:hi] if not self.delta.is_deleted(p)
+                ]
+        return size_balanced_midpoint(candidates)
+
+    def split_shard(
+        self, sid: int, cut: Optional[float] = None
+    ) -> Optional[float]:
+        """Split the hot shard ``sid`` in two at ``cut`` -- a bounded
+        *local* operation, never a global rebuild.
+
+        The default cut is the size-balanced midpoint of every live
+        record in the shard's x-range.  The two children are rebuilt from
+        the shard's residents plus the range's slice of the level
+        components (handed over by :meth:`~repro.service.lsm.LevelManager
+        .handover_slice`, which also re-owns or consumes the affected
+        tombstones and re-queues any in-flight merge it supersedes) and
+        the memtable inserts routed there -- so the split is also a local
+        compaction of the hot region.  Every transfer (reading the old
+        shard and sliced components, building the children) is charged to
+        the maintenance ledger, the same escrow as incremental level
+        merges, keeping per-request reports and the ledger partition
+        exact.  On a durable service an ``OP_SPLIT`` record pins the cut
+        so replay reproduces the post-split topology bit-for-bit.
+
+        Returns the cut, or ``None`` when no valid cut exists (fewer than
+        two live records in the range).  Shards to the right shift one
+        position; their uids -- and therefore their cached answers and
+        tombstone buckets -- are untouched.
+        """
+        if not 0 <= sid < len(self.shards):
+            raise ValueError(f"no shard {sid}: {len(self.shards)} shards")
+        shard = self.shards[sid]
+        x_lo, x_hi = self.router.shard_range(sid)
+        if cut is None:
+            cut = self._split_cut(sid)
+            if cut is None:
+                return None
+        if not x_lo < cut < x_hi:
+            raise ValueError(
+                f"cut {cut} outside shard {sid}'s range [{x_lo}, {x_hi})"
+            )
+        if self.wal is not None and not self._replaying:
+            self.wal.log_split(sid, cut)
+        charged_before = self.maintenance.total
+        touched = len(shard.points)
+        handed: List[Point] = []
+        if self.lsm is not None:
+            slice_points, slice_touched = self.lsm.handover_slice(x_lo, x_hi)
+            handed.extend(slice_points)
+            touched += slice_touched
+        memtable_slice = self.delta.take_inserts_in_range(x_lo, x_hi)
+        handed.extend(memtable_slice)
+        touched += len(memtable_slice)
+        # The old shard's residents, minus its own tombstones (consumed:
+        # the children are built from live points, a local reclamation).
+        owned = self.delta.owned_tombstones(shard.owner)
+        union = [
+            p
+            for p in shard.points
+            if point_key(p) not in owned and not self.delta.is_deleted(p)
+        ]
+        union.extend(handed)
+        for key in owned:
+            if key in self.delta.tombstones:
+                self.delta.drop_tombstone(key)
+        if shard.points:
+            self.maintenance.record_read(
+                math.ceil(len(shard.points) / self.config.block_size)
+            )
+        self._retired.absorb(shard.stats)
+        self.router.split_cut(sid, cut)
+        left = [p for p in union if p.x < cut]
+        right = [p for p in union if p.x >= cut]
+        self.shards[sid : sid + 1] = [
+            self._new_shard(sid, x_lo, cut, left, charge_maintenance=True),
+            self._new_shard(sid + 1, cut, x_hi, right, charge_maintenance=True),
+        ]
+        for position in range(sid + 2, len(self.shards)):
+            self.shards[position].sid = position
+        self._refresh_members()
+        self.topology.record(
+            "split", sid, cut, touched, self.maintenance.total - charged_before
+        )
+        return cut
+
+    def merge_shards(self, sid: int) -> float:
+        """Merge the adjacent cold shards ``sid`` and ``sid + 1`` into one.
+
+        The merged shard is rebuilt from both inputs' residents minus
+        their owned tombstones (consumed -- a merge, like a split, is a
+        local reclamation), charged to the maintenance ledger; on a
+        durable service an ``OP_MERGE`` record replays the change at the
+        same boundary.  Returns the removed cut.  Shards to the right
+        shift one position left with uids untouched.
+        """
+        if not 0 <= sid < len(self.shards) - 1:
+            raise ValueError(
+                f"no adjacent pair at {sid}: {len(self.shards)} shards"
+            )
+        if self.wal is not None and not self._replaying:
+            self.wal.log_merge(sid)
+        charged_before = self.maintenance.total
+        pair = self.shards[sid : sid + 2]
+        touched = sum(len(s.points) for s in pair)
+        union: List[Point] = []
+        for shard in pair:
+            owned = self.delta.owned_tombstones(shard.owner)
+            union.extend(
+                p
+                for p in shard.points
+                if point_key(p) not in owned and not self.delta.is_deleted(p)
+            )
+            for key in owned:
+                if key in self.delta.tombstones:
+                    self.delta.drop_tombstone(key)
+            if shard.points:
+                self.maintenance.record_read(
+                    math.ceil(len(shard.points) / self.config.block_size)
+                )
+            self._retired.absorb(shard.stats)
+        x_lo, _ = self.router.shard_range(sid)
+        _, x_hi = self.router.shard_range(sid + 1)
+        cut = self.router.merge_cut(sid)
+        self.shards[sid : sid + 2] = [
+            self._new_shard(sid, x_lo, x_hi, union, charge_maintenance=True)
+        ]
+        for position in range(sid + 1, len(self.shards)):
+            self.shards[position].sid = position
+        self._refresh_members()
+        self.topology.record(
+            "merge", sid, cut, touched, self.maintenance.total - charged_before
+        )
+        return cut
+
+    def fold_shard(self, sid: int) -> int:
+        """Rebuild shard ``sid`` in place from its range's live records --
+        no cut moves, no neighbours touched.
+
+        The topology manager's pressure-relief action: the shard's slice
+        of the level tower and the memtable is handed down into the
+        rebuilt shard (exactly as at a split) and the range's tombstones
+        are consumed, so queries over the range stop paying the level
+        fan-out -- a *local* compaction of one x-range, charged to the
+        maintenance ledger and bounded by the range's resident and
+        overlay data.  Logged as an ``OP_FOLD`` record on a durable
+        service.  Returns the number of records the fold touched.
+        """
+        if not 0 <= sid < len(self.shards):
+            raise ValueError(f"no shard {sid}: {len(self.shards)} shards")
+        if self.wal is not None and not self._replaying:
+            self.wal.log_fold(sid)
+        charged_before = self.maintenance.total
+        shard = self.shards[sid]
+        x_lo, x_hi = self.router.shard_range(sid)
+        touched = len(shard.points)
+        handed: List[Point] = []
+        if self.lsm is not None:
+            slice_points, slice_touched = self.lsm.handover_slice(x_lo, x_hi)
+            handed.extend(slice_points)
+            touched += slice_touched
+        memtable_slice = self.delta.take_inserts_in_range(x_lo, x_hi)
+        handed.extend(memtable_slice)
+        touched += len(memtable_slice)
+        owned = self.delta.owned_tombstones(shard.owner)
+        union = [
+            p
+            for p in shard.points
+            if point_key(p) not in owned and not self.delta.is_deleted(p)
+        ]
+        union.extend(handed)
+        for key in owned:
+            if key in self.delta.tombstones:
+                self.delta.drop_tombstone(key)
+        if shard.points:
+            self.maintenance.record_read(
+                math.ceil(len(shard.points) / self.config.block_size)
+            )
+        self._retired.absorb(shard.stats)
+        self.router.version += 1
+        self.shards[sid] = self._new_shard(
+            sid, x_lo, x_hi, union, charge_maintenance=True
+        )
+        self._refresh_members()
+        self.topology.record(
+            "fold", sid, None, touched, self.maintenance.total - charged_before
+        )
+        return touched
+
+    def _maybe_rebalance(self) -> None:
+        """Adaptive-topology hook, called once per applied update."""
+        if self._replaying or not self.config.adaptive_topology:
+            return
+        self.topology.on_update()
 
     @property
     def _checkpoints(self) -> int:
@@ -655,7 +952,7 @@ class SkylineService:
             key = make_key(
                 query,
                 [
-                    (sid, self.shards[sid].epoch, self._region_versions[sid])
+                    (self.shards[sid].uid, self.shards[sid].write_version)
                     for sid in shard_ids
                 ],
             )
@@ -733,7 +1030,7 @@ class SkylineService:
         :class:`QueryExecutionTrace`).
         """
         shard = self.shards[sid]
-        if self.delta.tombstone_hits(query, shard.x_lo, shard.x_hi, sid):
+        if self.delta.tombstone_hits(query, shard.x_lo, shard.x_hi, shard.owner):
             scanned = len(shard.points)
             shard.stats.record_read(
                 max(1, math.ceil(scanned / self.config.block_size))
@@ -753,17 +1050,18 @@ class SkylineService:
         in which case the local skyline is recomputed from the level's
         resident live points -- charged as ``ceil(resident / B)`` block
         reads on the component's own ledger, the same fallback discipline
-        as the base shards.  A component whose x-span misses the
-        rectangle is pruned for free (its points are x-sorted; none can
-        lie in, or dominate anything in, the answer -- the same argument
-        as router shard pruning), so narrow queries do not pay one
-        charged search per level.
+        as the base shards.  A component with *no point* in the
+        rectangle's x-window is pruned for free: its points are x-sorted,
+        so one bisect of directory metadata decides it, and a point
+        outside the window can neither lie in nor dominate anything in
+        the answer -- the same argument as router shard pruning.  The
+        content check subsumes the old endpoint-span check: a component
+        whose cold points straddle a hot region it holds nothing of (the
+        shape slice handovers leave behind) is pruned too, not just one
+        whose whole span misses the window.
         """
-        if (
-            not comp.points
-            or comp.points[-1].x < query.x_lo
-            or comp.points[0].x > query.x_hi
-        ):
+        lo = bisect.bisect_left(comp.points, query.x_lo, key=lambda p: p.x)
+        if lo >= len(comp.points) or comp.points[lo].x > query.x_hi:
             return [], False
         if comp.index is None:
             return (
@@ -821,6 +1119,7 @@ class SkylineService:
             self._maybe_seal()
         else:
             self._maybe_compact()
+        self._maybe_rebalance()
 
     def delete(self, point: Point) -> bool:
         """Delete one live point matching ``point``; returns success.
@@ -843,6 +1142,7 @@ class SkylineService:
             self._bump_region(removed.x)
             if self.lsm is not None:
                 self.lsm.tick()
+            self._maybe_rebalance()
             return True
         victim = None
         owner: object = None
@@ -876,7 +1176,7 @@ class SkylineService:
             if victim_index is None:
                 return False
             victim = candidates[victim_index]
-            owner = sid
+            owner = shard.owner
         if self.wal is not None and not self._replaying:
             self.wal.log_delete(victim)
         self.delta.add_tombstone(victim, owner)
@@ -888,6 +1188,7 @@ class SkylineService:
             self._maybe_reclaim_tombstones()
         else:
             self._maybe_compact()
+        self._maybe_rebalance()
         return True
 
     # ------------------------------------------------------------------
@@ -1020,10 +1321,17 @@ class SkylineService:
             ]
             scheduler = None
         status: Dict[str, object] = {
+            # The *router's* shard count -- authoritative everywhere: it
+            # can differ from ServiceConfig.shard_count both downward
+            # (size_balanced_cuts legitimately returns fewer cuts on tiny
+            # or boundary-degenerate inputs) and in either direction once
+            # online splits/merges move the topology.
             "shard_count": len(self.shards),
             "shard_sizes": [len(shard) for shard in self.shards],
             "shard_epochs": [shard.epoch for shard in self.shards],
+            "shard_uids": [shard.uid for shard in self.shards],
             "cuts": list(self.router.cuts),
+            "topology": self.topology.describe(),
             "live_points": len(self),
             "update_path": self.config.update_path,
             "delta_inserts": len(self.delta.inserts),

@@ -9,11 +9,22 @@ never touch the same counter, so ``parallelism > 1`` cannot drop
 increments.  The service-wide I/O total is the sum over the per-shard
 ledgers (see :class:`repro.em.counters.IOStatsGroup`) -- the same quantity
 the monolithic index reports, which keeps the benchmark comparison honest.
+
+Identity vs position
+--------------------
+A shard's *position* (its index in the service's shard list, which routing
+returns) shifts whenever an online split or merge inserts or removes a cut
+to its left.  Its :attr:`Shard.uid` never does: the service assigns every
+shard instance a fresh unique id at creation, and everything that must
+survive a topology change keys on it -- result-cache entries embed
+``(uid, write_version)`` scopes, so a split two shards over leaves them
+reachable, and tombstones are bucketed under :attr:`Shard.owner`, so a
+re-numbered shard keeps finding exactly its own tombstones.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api import RangeSkylineIndex
 from repro.core.point import Point
@@ -21,6 +32,10 @@ from repro.core.queries import RangeQuery
 from repro.em.config import EMConfig
 from repro.em.counters import IOStats
 from repro.em.storage import StorageManager
+
+#: Owner key of a base shard in the tombstone table -- same shape as a
+#: level component's ``("c", comp_id)`` key, distinguishable from it.
+ShardOwnerKey = Tuple[str, int]
 
 
 class Shard:
@@ -35,6 +50,7 @@ class Shard:
         em_config: EMConfig,
         epsilon: float = 0.5,
         epoch: int = 0,
+        uid: int = 0,
     ) -> None:
         self.sid = sid
         self.x_lo = x_lo
@@ -46,14 +62,25 @@ class Shard:
         # ledgers through IOStatsGroup.
         self.stats = IOStats()
         self.epsilon = epsilon
-        # Epoch increments on every rebuild; the service seeds it with the
-        # compaction generation, and the result cache keys on it so entries
-        # computed against an old generation can never be returned.
+        # Epoch increments on every rebuild (the service seeds it with the
+        # compaction generation) -- a human-readable "which generation is
+        # this" counter for dashboards.
         self.epoch = epoch
+        # Stable identity across topology changes; cache keys and
+        # tombstone buckets use it, never the positional sid.
+        self.uid = uid
+        # Bumped by the service on every update routed into this shard's
+        # x-range; cache keys embed it so invalidation stays shard-scoped.
+        self.write_version = 0
         self.points: List[Point] = []
         self.storage: Optional[StorageManager] = None
         self.index: Optional[RangeSkylineIndex] = None
         self.rebuild(points)
+
+    @property
+    def owner(self) -> ShardOwnerKey:
+        """This shard's owner key in the tombstone table."""
+        return ("s", self.uid)
 
     # ------------------------------------------------------------------
     # Queries and maintenance
@@ -84,5 +111,5 @@ class Shard:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Shard({self.sid}, [{self.x_lo}, {self.x_hi}), "
-            f"{len(self.points)} pts, epoch {self.epoch})"
+            f"{len(self.points)} pts, uid {self.uid}, epoch {self.epoch})"
         )

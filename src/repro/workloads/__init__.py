@@ -6,6 +6,7 @@ from repro.workloads.points import (
     correlated_points,
     grid_permutation_points,
     uniform_points,
+    zipf_x_points,
 )
 from repro.workloads.queries import (
     anti_dominance_queries,
@@ -19,6 +20,7 @@ __all__ = [
     "anticorrelated_points",
     "clustered_points",
     "grid_permutation_points",
+    "zipf_x_points",
     "top_open_queries",
     "four_sided_queries",
     "anti_dominance_queries",

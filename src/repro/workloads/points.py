@@ -90,6 +90,42 @@ def clustered_points(
     return _general_position(n, universe, rng, y_of_x)
 
 
+def zipf_x_points(
+    n: int,
+    universe: int = 1_000_000,
+    alpha: float = 4.0,
+    hot_center: float = 0.5,
+    ident_base: int = 0,
+    seed: Optional[int] = None,
+) -> List[Point]:
+    """Zipf-skewed x-coordinates: most points land in a narrow hot band.
+
+    The x offset from ``hot_center * universe`` is ``u^alpha``-distributed
+    (``u`` uniform), so with ``alpha = 4`` about 84% of the mass lies
+    within 1/2% of the universe around the centre -- the skewed insert
+    stream that makes a *static* shard topology collapse onto one machine
+    and that ``benchmarks/bench_resharding.py`` stresses.  y is uniform.
+    Coordinates are jittered per index so the output is in general
+    position (distinct x and y) and disjoint from the integer-coordinate
+    sets the other generators produce; ``ident_base`` offsets the idents
+    so a stream can be appended to an existing base set.
+    """
+    rng = random.Random(seed)
+    center = hot_center * universe
+    points = []
+    for i in range(n):
+        offset = (rng.random() ** alpha) * (universe / 2.0)
+        if rng.random() < 0.5:
+            offset = -offset
+        x = min(max(center + offset, 0.0), float(universe))
+        # The fractional part is unique per index: general position by
+        # construction, whatever the integer parts collide on.
+        x = x + (i + 1) / (2.0 * (n + 1))
+        y = rng.uniform(0, universe) + (i + 1) / (2.0 * (n + 1))
+        points.append(Point(x, y, ident=ident_base + i))
+    return points
+
+
 def grid_permutation_points(n: int, seed: Optional[int] = None) -> List[Point]:
     """A random permutation matrix: the canonical rank-space input of Theorem 2."""
     rng = random.Random(seed)

@@ -154,6 +154,78 @@ def test_crash_recovery_every_prefix(
         )
 
 
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_crash_during_topology_changes_restores_exact_topology(seed):
+    """Crash-at-every-prefix through a stream of interleaved updates,
+    splits, merges and folds: recovery restores not just the live set but
+    the *exact* post-change topology (the manifest's recorded cuts plus
+    the replayed OP_SPLIT/OP_MERGE/OP_FOLD suffix) at every WAL record
+    boundary."""
+    rng = random.Random(seed)
+    points = seed_points(40, seed=seed)
+    service = SkylineService(
+        points,
+        ServiceConfig(
+            shard_count=2,
+            block_size=8,
+            memory_blocks=8,
+            delta_threshold=5,
+            level_growth=2,
+            merge_step_blocks=2,
+            durability=True,
+            wal_group_commit=1,
+        ),
+    )
+    live = list(points)
+    expected = {
+        service.wal.durable_count: (canon(live), tuple(service.router.cuts))
+    }
+    for i in range(22):
+        roll = rng.random()
+        if roll < 0.45:
+            point = Point(300_000.0 + i * 1.25, 300_000.0 + i * 1.5, 5_000 + i)
+            service.insert(point)
+            live.append(point)
+        elif roll < 0.6 and live:
+            victim = live.pop(rng.randrange(len(live)))
+            assert service.delete(victim)
+        elif roll < 0.75:
+            service.split_shard(rng.randrange(len(service.shards)))
+        elif roll < 0.85 and len(service.shards) > 1:
+            service.merge_shards(rng.randrange(len(service.shards) - 1))
+        elif roll < 0.95:
+            service.fold_shard(rng.randrange(len(service.shards)))
+        else:
+            service.drain()
+        expected[service.wal.durable_count + service.wal.pending] = (
+            canon(live),
+            tuple(service.router.cuts),
+        )
+    total = service.wal.durable_count + service.wal.pending
+    known = sorted(expected)
+    for k in range(total + 1):
+        if k not in expected:
+            expected[k] = expected[min(j for j in known if j > k)]
+    for prefix, crashed in CrashSimulator(service.store):
+        recovered = SkylineService.open(crashed)
+        want_live, want_cuts = expected[prefix]
+        assert canon(recovered.live_points()) == want_live, (
+            f"live set diverges after crash at prefix {prefix}"
+        )
+        assert tuple(recovered.router.cuts) == want_cuts, (
+            f"topology diverges after crash at prefix {prefix}: "
+            f"{recovered.router.cuts} != {list(want_cuts)}"
+        )
+        probe = TopOpenQuery(0.0, 500_000.0, 0.0)
+        assert canon_xy(recovered.query(probe)) == canon_xy(
+            NaiveScanSkyline(
+                StorageManager(EMConfig(block_size=16, memory_blocks=16)),
+                recovered.live_points(),
+            ).query(probe)
+        )
+
+
 def test_clean_shutdown_recovers_exact_state():
     """Opening the untouched store (no crash) restores the full state."""
     points = seed_points(60, seed=5)

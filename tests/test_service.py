@@ -259,6 +259,45 @@ def test_result_cache_invalidation_scoped_per_shard():
     )
 
 
+def test_disabled_cache_counts_misses_and_reports_disabled_state():
+    """Satellite regression: a disabled cache (capacity <= 0) used to
+    count neither hits nor misses, so `describe()["cache_hit_rate"]`
+    reported 0.0 as if it were measuring real traffic.  Disabled lookups
+    now count as misses and the state is surfaced explicitly."""
+    cache = ResultCache(capacity=0)
+    assert not cache.enabled
+    assert cache.get(("k",)) is None
+    cache.put(("k",), [Point(1, 1)])
+    assert cache.get(("k",)) is None
+    assert cache.misses == 2 and cache.hits == 0
+    assert cache.describe()["state"] == "disabled"
+    assert cache.hit_rate() == 0.0
+    # Through the service: queries on a cache-disabled service count as
+    # real misses, so the reported rate measures actual traffic.
+    points = uniform_points(100, seed=23)
+    service = SkylineService(points, shard_count=2, cache_capacity=0)
+    service.query(TopOpenQuery(0.0, 500_000.0, 0.0))
+    service.query(TopOpenQuery(0.0, 500_000.0, 0.0))
+    status = service.describe()
+    assert status["result_cache"]["state"] == "disabled"
+    assert status["result_cache"]["misses"] == 2
+    assert status["cache_hit_rate"] == 0.0
+    # An enabled cache reports its state too.
+    assert ResultCache(capacity=4).describe()["state"] == "enabled"
+
+
+def test_cache_hit_rate_before_any_lookup_is_pinned_zero():
+    """Satellite: 0/0 is pinned to exactly 0.0, not incidental."""
+    cache = ResultCache(capacity=8)
+    assert cache.hit_rate() == 0.0
+    assert cache.describe()["hit_rate"] == 0.0
+    points = uniform_points(50, seed=24)
+    service = SkylineService(points, shard_count=2)
+    assert service.describe()["cache_hit_rate"] == 0.0
+    disabled = ResultCache(capacity=0)
+    assert disabled.hit_rate() == 0.0
+
+
 def test_batch_coalesces_duplicates_and_parallel_matches():
     points = uniform_points(400, seed=5)
     queries = random_queries(points, 3, random.Random(1)) * 2  # duplicates
@@ -401,9 +440,9 @@ def test_service_buckets_tombstones_under_owning_shard():
     for victim in victims:
         assert service.delete(victim)
     for victim in victims:
-        sid = service.router.route_point(victim.x)
+        owner = service.shards[service.router.route_point(victim.x)].owner
         assert (victim.x, victim.y) in {
-            (t.x, t.y) for t in service.delta.shard_tombstones(sid)
+            (t.x, t.y) for t in service.delta.shard_tombstones(owner)
         }
     assert service.delta.shard_tombstones(None) == []
     # Queries still see exactly the naive answers through the buckets.
@@ -546,7 +585,11 @@ def test_service_reexports():
     import repro.api
 
     assert repro.SkylineService is SkylineService
-    assert repro.api.SkylineService is SkylineService
+    # The repro.api import path is a deprecation shim: the warning is
+    # asserted here (and the suite runs with filterwarnings=error, so an
+    # unexpected warning anywhere else fails loudly).
+    with pytest.warns(DeprecationWarning, match="repro.api is deprecated"):
+        assert repro.api.SkylineService is SkylineService
     assert repro.ServiceConfig is ServiceConfig
     with pytest.raises(AttributeError):
         repro.does_not_exist
