@@ -62,10 +62,21 @@ _ENGINE_EXPORTS = (
     "ShardedServiceBackend",
 )
 
+_SERVE_EXPORTS = (
+    "SkylineServer",
+    "ServerConfig",
+    "ServingReport",
+    "ServedQuery",
+    "ServedUpdate",
+    "Overloaded",
+    "DeadlineExceeded",
+)
+
 
 def __getattr__(name: str):
-    # The service and engine tiers import RangeSkylineIndex from this
-    # package, so their names are resolved lazily to avoid import cycles.
+    # The service, engine and serving tiers import RangeSkylineIndex from
+    # this package, so their names are resolved lazily to avoid import
+    # cycles.
     if name in ("SkylineService", "ServiceConfig"):
         from repro import service
 
@@ -74,6 +85,10 @@ def __getattr__(name: str):
         from repro import engine
 
         return getattr(engine, name)
+    if name in _SERVE_EXPORTS:
+        from repro import serve
+
+        return getattr(serve, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -89,6 +104,13 @@ __all__ = [
     "ShardedServiceBackend",
     "SkylineService",
     "ServiceConfig",
+    "SkylineServer",
+    "ServerConfig",
+    "ServingReport",
+    "ServedQuery",
+    "ServedUpdate",
+    "Overloaded",
+    "DeadlineExceeded",
     "Point",
     "RangeQuery",
     "TopOpenQuery",

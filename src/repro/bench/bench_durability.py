@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from typing import Dict, List, Sequence, Tuple
 
 from repro.bench.reporting import BenchmarkTable
@@ -88,8 +89,10 @@ def run_wal_overhead_sweep(
             ),
         )
         before = service.store.stats.snapshot()
+        started = time.perf_counter()
         for point in payloads:
             service.insert(point)
+        elapsed = time.perf_counter() - started
         charged = service.store.stats.snapshot() - before
         flushes = updates // group
         predicted = flushes * math.ceil(group / block_size)
@@ -101,6 +104,7 @@ def run_wal_overhead_sweep(
         table.add(
             measured_io=charged.writes,
             predicted=float(predicted),
+            seconds=elapsed,
             group_commit=group,
             updates=updates,
             wal_blocks=service.store.wal_block_count(),
@@ -167,7 +171,9 @@ def run_recovery_sweep(
         expected_live = _canon(service.live_points())
         expected_probe = _canon(service.query(probe))
 
+        started = time.perf_counter()
         recovered = SkylineService.open(service.store)
+        recovery_seconds = time.perf_counter() - started
         recovery = recovered.recovery or {}
         if _canon(recovered.live_points()) != expected_live:
             raise AssertionError(f"recovery diverges at cadence {cadence}")
@@ -184,6 +190,7 @@ def run_recovery_sweep(
         }
         table.add(
             measured_io=recovery.get("recovery_io", 0),
+            seconds=recovery_seconds,
             snapshot_every=cadence,
             compactions=service.compactions,
             snapshots=len(service.store.manifests),

@@ -40,6 +40,7 @@ Claims (ISSUE 5 acceptance), asserted by :func:`check`:
 from __future__ import annotations
 
 import random
+import time
 from typing import Dict, List, Sequence, Tuple
 
 from repro.bench.reporting import BenchmarkTable
@@ -230,6 +231,7 @@ def run_resharding_sweep(
     final_live: List[Point] = []
     for mode in ("static", "adaptive"):
         engine = SkylineEngine.sharded(base, _service_config(mode, **common))
+        started = time.perf_counter()
         during_costs, counters = _drive(
             engine, stream, probes, query_every, delete_every
         )
@@ -251,7 +253,9 @@ def run_resharding_sweep(
         # not-yet-degraded early states and would flatter the static
         # topology).
         query_costs = _probe_pass(engine, probes)
+        elapsed = time.perf_counter() - started
         cell = {
+            "seconds": round(elapsed, 6),
             "mean_query_io": round(sum(query_costs) / len(query_costs), 3),
             "p99_query_io": _percentile(query_costs, 0.99),
             "max_query_io": float(max(query_costs)),
@@ -268,11 +272,13 @@ def run_resharding_sweep(
         summary[mode] = cell
     # The ideal a stop-the-world global rebuild would buy: size-balanced
     # cuts over the final live set, same config, probed identically.
+    started = time.perf_counter()
     baseline = SkylineEngine.sharded(
         final_live, _service_config("static", **common)
     )
     baseline_costs = _probe_pass(baseline, probes)
     summary["uniform-baseline"] = {
+        "seconds": round(time.perf_counter() - started, 6),
         "mean_query_io": round(sum(baseline_costs) / len(baseline_costs), 3),
         "p99_query_io": _percentile(baseline_costs, 0.99),
         "max_query_io": float(max(baseline_costs)),
@@ -286,6 +292,7 @@ def run_resharding_sweep(
         cell = summary[mode]
         table.add(
             measured_io=cell["mean_query_io"],
+            seconds=cell.get("seconds"),
             topology=mode,
             p99=cell["p99_query_io"],
             shards=cell["shards"],

@@ -138,9 +138,9 @@ def run_prunable_sweep(
         cell["monolithic"] = mono_io
         table.add(
             measured_io=mono_io,
+            seconds=mono_ms / 1000.0,
             workload=workload,
             engine="monolithic",
-            wall_ms=round(mono_ms, 2),
             avg_k=round(sum(r.total_results for r in expected) / len(expected), 1),
         )
 
@@ -156,9 +156,9 @@ def run_prunable_sweep(
             cell[f"shards={shard_count}"] = sharded_io
             table.add(
                 measured_io=sharded_io,
+                seconds=sharded_ms / 1000.0,
                 workload=workload,
                 engine=f"shards={shard_count}",
-                wall_ms=round(sharded_ms, 2),
                 avg_k=round(sum(r.total_results for r in got) / len(got), 1),
             )
     return table, summary
@@ -215,9 +215,9 @@ def run_traffic_sweep(
         cell["monolithic"] = mono_io
         table.add(
             measured_io=mono_io,
+            seconds=mono_ms / 1000.0,
             workload=workload,
             engine="monolithic",
-            wall_ms=round(mono_ms, 2),
             cache_hit_rate="-",
         )
 
@@ -240,9 +240,9 @@ def run_traffic_sweep(
             cell[f"shards={shard_count}"] = sharded_io
             table.add(
                 measured_io=sharded_io,
+                seconds=sharded_ms / 1000.0,
                 workload=workload,
                 engine=f"shards={shard_count}",
-                wall_ms=round(sharded_ms, 2),
                 cache_hit_rate=round(hits / max(1, len(got)), 2),
             )
     return table, summary

@@ -27,6 +27,7 @@ CLI) and persists the table to ``BENCH_updates.json`` via
 from __future__ import annotations
 
 import random
+import time
 from typing import Dict, List, Sequence, Tuple
 
 from repro.bench.reporting import BenchmarkTable
@@ -116,6 +117,7 @@ def run_update_path_sweep(
             update_costs: List[int] = []
             query_costs: List[int] = []
             probe_iter = iter(probes)
+            started = time.perf_counter()
             for i, point in enumerate(payloads):
                 if i % 8 == 7 and live:
                     victim = live.pop(rng.randrange(len(live)))
@@ -137,6 +139,7 @@ def run_update_path_sweep(
                         QueryRequest(probe, consistency="fresh")
                     )
                     query_costs.append(query.report.blocks)
+            elapsed = time.perf_counter() - started
             # The partition invariant must hold on every cell.
             assert (
                 engine.attributed_io() + engine.maintenance_io()
@@ -170,6 +173,7 @@ def run_update_path_sweep(
             summary[f"n={n}/{update_path}"] = cell
             table.add(
                 measured_io=max_spike,
+                seconds=elapsed,
                 n=n,
                 update_path=update_path,
                 mean_update_io=cell["mean_update_io"],

@@ -11,11 +11,19 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class BenchmarkRow:
-    """One row of a benchmark table: parameters plus measured/predicted cost."""
+    """One row of a benchmark table: parameters plus measured/predicted cost.
+
+    ``seconds`` is the cell's wall-clock time.  Block transfers stay the
+    currency every assertion runs on (they are deterministic; wall time is
+    not), but the seconds column keeps the simulated cost honest: a cell
+    whose block count shrinks while its wall time balloons is optimising
+    the model, not the machine.
+    """
 
     params: Dict[str, object]
     measured_io: float
     predicted: Optional[float] = None
+    seconds: Optional[float] = None
 
     @property
     def ratio(self) -> Optional[float]:
@@ -35,9 +43,15 @@ class BenchmarkTable:
         self,
         measured_io: float,
         predicted: Optional[float] = None,
+        seconds: Optional[float] = None,
         **params: object,
     ) -> BenchmarkRow:
-        row = BenchmarkRow(params=dict(params), measured_io=measured_io, predicted=predicted)
+        row = BenchmarkRow(
+            params=dict(params),
+            measured_io=measured_io,
+            predicted=predicted,
+            seconds=seconds,
+        )
         self.rows.append(row)
         return row
 
@@ -50,14 +64,25 @@ class BenchmarkTable:
         return names
 
     def render(self) -> str:
-        """Aligned plain-text rendering of the table."""
+        """Aligned plain-text rendering of the table.
+
+        The wall-clock ``seconds`` column appears only when at least one
+        row carries a measurement, so pure counter tables stay unchanged.
+        """
+        with_seconds = any(row.seconds is not None for row in self.rows)
         columns = self.column_names() + ["measured I/O", "predicted", "ratio"]
+        if with_seconds:
+            columns.append("seconds")
         body: List[List[str]] = []
         for row in self.rows:
             cells = [self._fmt(row.params.get(name, "")) for name in self.column_names()]
             cells.append(self._fmt(row.measured_io))
             cells.append(self._fmt(row.predicted) if row.predicted is not None else "-")
             cells.append(self._fmt(row.ratio) if row.ratio is not None else "-")
+            if with_seconds:
+                cells.append(
+                    f"{row.seconds:.4f}" if row.seconds is not None else "-"
+                )
             body.append(cells)
         widths = [
             max(len(columns[i]), *(len(line[i]) for line in body)) if body else len(columns[i])
@@ -95,6 +120,7 @@ class BenchmarkTable:
                     "measured_io": row.measured_io,
                     "predicted": row.predicted,
                     "ratio": row.ratio,
+                    "seconds": row.seconds,
                 }
                 for row in self.rows
             ],

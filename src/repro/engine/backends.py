@@ -49,7 +49,13 @@ class QueryTrace:
     """Backend-side facts about one executed query (no block counts --
     those come from the ledger snapshots the engine takes)."""
 
-    __slots__ = ("cache_hit", "shards_visited", "shards_pruned", "tombstone_fallback")
+    __slots__ = (
+        "cache_hit",
+        "shards_visited",
+        "shards_pruned",
+        "tombstone_fallback",
+        "coalesced",
+    )
 
     def __init__(
         self,
@@ -57,11 +63,13 @@ class QueryTrace:
         shards_visited: int = 1,
         shards_pruned: int = 0,
         tombstone_fallback: bool = False,
+        coalesced: bool = False,
     ) -> None:
         self.cache_hit = cache_hit
         self.shards_visited = shards_visited
         self.shards_pruned = shards_pruned
         self.tombstone_fallback = tombstone_fallback
+        self.coalesced = coalesced
 
 
 class Backend(Protocol):
@@ -342,6 +350,7 @@ class ShardedServiceBackend:
             shards_visited=visited,
             shards_pruned=len(self.service.shards) - visited,
             tombstone_fallback=trace.tombstone_fallback,
+            coalesced=trace.coalesced,
         )
 
     def execute(

@@ -165,6 +165,7 @@ class SkylineEngine:
             shards_visited=trace.shards_visited,
             shards_pruned=trace.shards_pruned,
             tombstone_fallback=trace.tombstone_fallback,
+            coalesced=trace.coalesced,
             result_size=k,
             predicted_io=plan.predicted_io(k),
         )
@@ -245,6 +246,7 @@ class SkylineEngine:
                         shards_visited=trace.shards_visited,
                         shards_pruned=trace.shards_pruned,
                         tombstone_fallback=trace.tombstone_fallback,
+                        coalesced=trace.coalesced,
                         result_size=k,
                         predicted_io=plan.predicted_io(k),
                     ),

@@ -60,6 +60,11 @@ class ExecutionReport:
         Whether a tombstone inside the rectangle forced at least one
         visited shard to rescan its resident points instead of using its
         static structure.
+    coalesced:
+        Whether this request was a duplicate answered from another
+        request's computation within the same batch (the service's
+        in-batch coalescing; then ``blocks`` is typically 0).  Always
+        ``False`` for a request executed on its own.
     result_size:
         ``k`` -- the full result size before pagination.
     predicted_io:
@@ -77,6 +82,7 @@ class ExecutionReport:
     shards_visited: int = 0
     shards_pruned: int = 0
     tombstone_fallback: bool = False
+    coalesced: bool = False
     result_size: int = 0
     predicted_io: Optional[float] = None
     maintenance_blocks: int = 0

@@ -1,0 +1,96 @@
+"""Tunables of the async serving runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: ``block`` makes an over-capacity submission wait for queue space (up to
+#: ``submit_timeout``); ``shed`` rejects it immediately with a typed
+#: :class:`~repro.serve.errors.Overloaded` failure on the returned future.
+BACKPRESSURE_POLICIES = ("block", "shed")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Parameters of a :class:`repro.serve.SkylineServer`.
+
+    Attributes
+    ----------
+    gather_window:
+        Cross-caller coalescing window, in seconds.  After the dispatcher
+        pulls the first pending read it keeps gathering submissions for at
+        most this long (or until ``max_batch``), so concurrent callers
+        hitting the service within one window are served as *one* batch
+        and duplicate rectangles among them execute once.  ``0`` still
+        drains whatever is already queued (burst coalescing) but never
+        waits for stragglers.
+    max_batch:
+        Upper bound on the submissions gathered into one read batch.
+    coalesce:
+        Whether identical requests within a gathered batch are collapsed
+        onto one execution (the leader computes, every follower shares the
+        answer; fan-in is reported per response).  Off, every gathered
+        submission executes individually -- the uncoalesced baseline
+        ``benchmarks/bench_serving.py`` measures against.
+    max_read_queue / max_write_queue:
+        Admission-control bounds on the two intake queues.  A full queue
+        triggers the ``backpressure`` policy, so queue wait -- and
+        therefore tail latency -- is bounded by construction.
+    backpressure:
+        ``"block"`` or ``"shed"`` -- see :data:`BACKPRESSURE_POLICIES`.
+    submit_timeout:
+        Under the ``block`` policy, how long a submission may wait for
+        queue space before it is shed anyway (``None`` = wait forever).
+    default_deadline:
+        Default per-request deadline in seconds from submission (``None``
+        = no deadline).  A submission still queued past its deadline is
+        failed with :class:`~repro.serve.errors.DeadlineExceeded` instead
+        of executing; a per-call ``deadline=`` overrides this default.
+    latency_samples:
+        Size of the reservoir of recent end-to-end latencies the server's
+        metrics keep for percentile reporting.
+    """
+
+    gather_window: float = 0.002
+    max_batch: int = 64
+    coalesce: bool = True
+    max_read_queue: int = 1024
+    max_write_queue: int = 1024
+    backpressure: str = "block"
+    submit_timeout: Optional[float] = None
+    default_deadline: Optional[float] = None
+    latency_samples: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.gather_window < 0:
+            raise ValueError(
+                f"gather_window must be >= 0, got {self.gather_window}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_read_queue < 1:
+            raise ValueError(
+                f"max_read_queue must be >= 1, got {self.max_read_queue}"
+            )
+        if self.max_write_queue < 1:
+            raise ValueError(
+                f"max_write_queue must be >= 1, got {self.max_write_queue}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if self.submit_timeout is not None and self.submit_timeout <= 0:
+            raise ValueError(
+                f"submit_timeout must be > 0 or None, got {self.submit_timeout}"
+            )
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ValueError(
+                f"default_deadline must be > 0 or None, got {self.default_deadline}"
+            )
+        if self.latency_samples < 1:
+            raise ValueError(
+                f"latency_samples must be >= 1, got {self.latency_samples}"
+            )

@@ -1,0 +1,36 @@
+"""Typed serving failures, each carrying its ServingReport.
+
+Both exceptions are *admission* outcomes, not execution errors: the
+request never reached the engine.  They surface on the submission's
+future (and therefore from the blocking helpers and the ``await``-side of
+the async API), so a caller distinguishes "the service is saturated,
+back off" (:class:`Overloaded`) from "my deadline passed while I queued"
+(:class:`DeadlineExceeded`) without string matching.
+"""
+
+from __future__ import annotations
+
+from repro.serve.report import ServingReport
+
+
+class ServingError(RuntimeError):
+    """Base class of serving-tier failures; carries the serving report."""
+
+    def __init__(self, message: str, serving: ServingReport) -> None:
+        super().__init__(message)
+        self.serving = serving
+
+
+class Overloaded(ServingError):
+    """Admission control shed the submission (queue full under the
+    ``shed`` policy, or the ``block`` policy's ``submit_timeout``
+    expired before space freed up).  ``serving.shed`` is True."""
+
+
+class DeadlineExceeded(ServingError):
+    """The submission's deadline expired while it was still queued.
+    ``serving.timed_out`` is True."""
+
+
+class ServerClosed(RuntimeError):
+    """The server is not accepting submissions (stopped or never started)."""

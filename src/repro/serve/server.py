@@ -1,0 +1,434 @@
+"""``SkylineServer``: the concurrent request runtime in front of the engine.
+
+The engine serves one caller at a time; this server turns it into a
+front end for many.  Submissions (sync callers and asyncio coroutines
+alike) land on bounded intake queues; a single **dispatcher** thread
+gathers reads within a small window and executes each gathered batch --
+duplicate requests across callers coalesced onto one computation --
+through the engine's native batch executor, whose per-shard worklists run
+on the persistent uid-keyed :class:`~repro.serve.workers.ShardWorkerPool`;
+a single **writer lane** thread serializes updates, so writes interleave
+safely with read batches (the two lanes exclude each other on one engine
+lock, and nothing else ever touches the engine).  Admission control is a
+property of the queues: they are bounded, and a full queue either blocks
+the submitter or sheds the request with a typed
+:class:`~repro.serve.errors.Overloaded` failure, while per-request
+deadlines fail still-queued work with
+:class:`~repro.serve.errors.DeadlineExceeded` -- so queue wait, and with
+it tail latency, cannot grow without bound no matter the offered load.
+
+Every response pairs the engine's per-request
+:class:`~repro.engine.report.ExecutionReport` with a
+:class:`~repro.serve.report.ServingReport` (queue wait, service time,
+coalesce fan-in, shed/timeout flags), and :meth:`SkylineServer.describe`
+exposes the server-level picture: throughput, p50/p95/p99 latency, queue
+depths, inflight, shed rate, worker-pool state, and the engine's ledger
+partition underneath.
+
+Consistency model: a read batch executes against the state left by every
+write that completed before the batch started; a caller that awaits its
+update future before submitting a read therefore reads its own write.
+Ordering *between* concurrent callers is whatever the queues produce,
+exactly as in any networked service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from concurrent.futures import Future
+
+from repro.core.point import Point
+from repro.engine.engine import QueryLike, SkylineEngine
+from repro.engine.requests import QueryRequest, UpdateRequest
+from repro.serve.config import ServerConfig
+from repro.serve.errors import DeadlineExceeded, Overloaded, ServerClosed
+from repro.serve.metrics import ServerMetrics
+from repro.serve.report import (
+    LANE_READ,
+    LANE_WRITE,
+    ServedQuery,
+    ServedUpdate,
+    ServingReport,
+)
+from repro.serve.workers import ShardWorkerPool
+
+Request = Union[QueryRequest, UpdateRequest]
+
+#: How long the lane threads sleep on an empty queue before re-checking
+#: the stop flag.  Purely an implementation detail of shutdown latency.
+_IDLE_POLL_S = 0.02
+
+
+@dataclass
+class _Submission:
+    """One enqueued request: the payload, its future, and its clock."""
+
+    request: Request
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+    deadline_at: Optional[float] = None
+
+
+class SkylineServer:
+    """A bounded-queue, batch-coalescing front end over a
+    :class:`~repro.engine.SkylineEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve.  On a sharded backend the server installs a
+        persistent uid-keyed worker pool as the service's batch executor
+        (see :mod:`repro.serve.workers`); a local backend is served
+        through the same lanes without a pool.
+    config:
+        Serving tunables; defaults to :class:`ServerConfig()`.
+    start:
+        Start the lane threads immediately (default).  Pass ``False`` to
+        pre-load the queues first -- e.g. a benchmark staging a
+        deterministic burst -- then call :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        engine: SkylineEngine,
+        config: Optional[ServerConfig] = None,
+        *,
+        start: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics(self.config.latency_samples)
+        self.pool: Optional[ShardWorkerPool] = None
+        service = getattr(engine.backend, "service", None)
+        if service is not None:
+            self.pool = ShardWorkerPool(service)
+            service.batch_executor = self.pool
+        self._read_queue: "queue.Queue[_Submission]" = queue.Queue(
+            self.config.max_read_queue
+        )
+        self._write_queue: "queue.Queue[_Submission]" = queue.Queue(
+            self.config.max_write_queue
+        )
+        # Read batches and writer-lane updates exclude each other here;
+        # nothing else may touch the engine while the server owns it.
+        self._engine_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started = False
+        self._closed = False
+        self._dispatcher: Optional[threading.Thread] = None
+        self._writer: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SkylineServer":
+        """Start the dispatcher and writer-lane threads (idempotent)."""
+        if self._closed:
+            raise ServerClosed("server already stopped")
+        if self._started:
+            return self
+        self._started = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="skyserve-dispatch", daemon=True
+        )
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="skyserve-writer", daemon=True
+        )
+        self._dispatcher.start()
+        self._writer.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the lanes; with ``drain`` (default) serve everything
+        already queued first.  Idempotent.  Submissions after ``stop``
+        fail with :class:`ServerClosed`."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started and drain:
+            while not (
+                self._read_queue.empty() and self._write_queue.empty()
+            ):
+                time.sleep(_IDLE_POLL_S)
+        self._stop.set()
+        for thread in (self._dispatcher, self._writer):
+            if thread is not None:
+                thread.join()
+        for lane in (self._read_queue, self._write_queue):
+            while True:
+                try:
+                    submission = lane.get_nowait()
+                except queue.Empty:
+                    break
+                submission.future.set_exception(
+                    ServerClosed("server stopped before this request ran")
+                )
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "SkylineServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission (sync callers; returns concurrent futures)
+    # ------------------------------------------------------------------
+    def _deadline_at(
+        self, enqueued_at: float, deadline: Optional[float]
+    ) -> Optional[float]:
+        effective = deadline if deadline is not None else self.config.default_deadline
+        return None if effective is None else enqueued_at + effective
+
+    def _admit(
+        self, lane: "queue.Queue[_Submission]", submission: _Submission, write: bool
+    ) -> Future:
+        """Admission control: bounded enqueue under the configured policy."""
+        if self._closed:
+            raise ServerClosed("server is stopped")
+        lane_name = LANE_WRITE if write else LANE_READ
+        try:
+            if self.config.backpressure == "shed":
+                lane.put_nowait(submission)
+            else:
+                lane.put(submission, timeout=self.config.submit_timeout)
+        except queue.Full:
+            self.metrics.note_shed()
+            submission.future.set_exception(
+                Overloaded(
+                    f"{lane_name} queue full "
+                    f"({lane.maxsize} pending, policy={self.config.backpressure})",
+                    ServingReport(lane=lane_name, shed=True),
+                )
+            )
+            return submission.future
+        self.metrics.note_submit(write, lane.qsize())
+        return submission.future
+
+    def submit_query(
+        self, request: QueryLike, *, deadline: Optional[float] = None
+    ) -> "Future[ServedQuery]":
+        """Enqueue one read; the future resolves to a :class:`ServedQuery`
+        (or fails with :class:`Overloaded` / :class:`DeadlineExceeded`)."""
+        req = request if isinstance(request, QueryRequest) else QueryRequest(rect=request)
+        submission = _Submission(req)
+        submission.deadline_at = self._deadline_at(submission.enqueued_at, deadline)
+        return self._admit(self._read_queue, submission, write=False)
+
+    def submit_update(
+        self, request: UpdateRequest, *, deadline: Optional[float] = None
+    ) -> "Future[ServedUpdate]":
+        """Enqueue one write on the serialized writer lane."""
+        submission = _Submission(request)
+        submission.deadline_at = self._deadline_at(submission.enqueued_at, deadline)
+        return self._admit(self._write_queue, submission, write=True)
+
+    # Blocking convenience wrappers -----------------------------------
+    def query(
+        self,
+        request: QueryLike,
+        *,
+        deadline: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> ServedQuery:
+        return self.submit_query(request, deadline=deadline).result(timeout)
+
+    def update(
+        self,
+        request: UpdateRequest,
+        *,
+        deadline: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> ServedUpdate:
+        return self.submit_update(request, deadline=deadline).result(timeout)
+
+    def insert(self, point: Point, **kwargs: object) -> ServedUpdate:
+        return self.update(UpdateRequest.insert(point), **kwargs)  # type: ignore[arg-type]
+
+    def delete(self, point: Point, **kwargs: object) -> ServedUpdate:
+        return self.update(UpdateRequest.delete(point), **kwargs)  # type: ignore[arg-type]
+
+    # Async counterparts ----------------------------------------------
+    async def aquery(
+        self, request: QueryLike, *, deadline: Optional[float] = None
+    ) -> ServedQuery:
+        """``await``-able read: wraps the submission future for asyncio."""
+        return await asyncio.wrap_future(
+            self.submit_query(request, deadline=deadline)
+        )
+
+    async def aupdate(
+        self, request: UpdateRequest, *, deadline: Optional[float] = None
+    ) -> ServedUpdate:
+        """``await``-able write on the serialized writer lane."""
+        return await asyncio.wrap_future(
+            self.submit_update(request, deadline=deadline)
+        )
+
+    async def ainsert(self, point: Point, **kwargs: object) -> ServedUpdate:
+        return await self.aupdate(UpdateRequest.insert(point), **kwargs)  # type: ignore[arg-type]
+
+    async def adelete(self, point: Point, **kwargs: object) -> ServedUpdate:
+        return await self.aupdate(UpdateRequest.delete(point), **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Read lane: gather -> coalesce -> batch-execute -> fan out
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._read_queue.get(timeout=_IDLE_POLL_S)
+            except queue.Empty:
+                continue
+            batch = [first]
+            horizon = time.perf_counter() + self.config.gather_window
+            while len(batch) < self.config.max_batch:
+                remaining = horizon - time.perf_counter()
+                try:
+                    if remaining <= 0:
+                        batch.append(self._read_queue.get_nowait())
+                    else:
+                        batch.append(self._read_queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+            self._serve_read_batch(batch)
+
+    def _expire(self, submission: _Submission, now: float, lane: str) -> bool:
+        """Fail a still-queued submission whose deadline has passed."""
+        if submission.deadline_at is None or now <= submission.deadline_at:
+            return False
+        wait = now - submission.enqueued_at
+        self.metrics.note_timeout(wait)
+        submission.future.set_exception(
+            DeadlineExceeded(
+                f"deadline expired after {wait * 1000:.1f} ms in the "
+                f"{lane} queue",
+                ServingReport(lane=lane, queue_wait_s=wait, timed_out=True),
+            )
+        )
+        return True
+
+    def _serve_read_batch(self, batch: List[_Submission]) -> None:
+        now = time.perf_counter()
+        live = [s for s in batch if not self._expire(s, now, LANE_READ)]
+        if not live:
+            return
+        # Cross-caller coalescing: identical requests (frozen dataclasses,
+        # hashable) collapse onto one leader execution per gather window.
+        groups: Dict[Request, List[_Submission]] = {}
+        order: List[Request] = []
+        if self.config.coalesce:
+            for submission in live:
+                bucket = groups.setdefault(submission.request, [])
+                if not bucket:
+                    order.append(submission.request)
+                bucket.append(submission)
+        started = time.perf_counter()
+        try:
+            with self._engine_lock:
+                if self.config.coalesce:
+                    results, batch_report = self.engine.query_batch(order)
+                    blocks = batch_report.blocks
+                else:
+                    singles = [self.engine.query(s.request) for s in live]
+        except BaseException as exc:
+            for submission in live:
+                submission.future.set_exception(exc)
+            return
+        service_s = time.perf_counter() - started
+        if self.config.coalesce:
+            executed = len(order)
+            self.metrics.note_read_batch(len(live), executed, len(live))
+            for request, result in zip(order, results):
+                members = groups[request]
+                fanin = len(members)
+                for submission in members:
+                    serving = ServingReport(
+                        lane=LANE_READ,
+                        queue_wait_s=started - submission.enqueued_at,
+                        service_s=service_s,
+                        coalesce_fanin=fanin,
+                        batch_size=len(live),
+                        batch_blocks=blocks,
+                    )
+                    self.metrics.note_served(
+                        False, serving.queue_wait_s, serving.latency_s
+                    )
+                    submission.future.set_result(ServedQuery(result, serving))
+        else:
+            self.metrics.note_read_batch(len(live), len(live), len(live))
+            for submission, result in zip(live, singles):
+                serving = ServingReport(
+                    lane=LANE_READ,
+                    queue_wait_s=started - submission.enqueued_at,
+                    service_s=service_s,
+                    coalesce_fanin=1,
+                    batch_size=len(live),
+                    batch_blocks=result.report.blocks,
+                )
+                self.metrics.note_served(
+                    False, serving.queue_wait_s, serving.latency_s
+                )
+                submission.future.set_result(ServedQuery(result, serving))
+
+    # ------------------------------------------------------------------
+    # Write lane: one thread, strictly serialized
+    # ------------------------------------------------------------------
+    def _writer_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                submission = self._write_queue.get(timeout=_IDLE_POLL_S)
+            except queue.Empty:
+                continue
+            if self._expire(submission, time.perf_counter(), LANE_WRITE):
+                continue
+            started = time.perf_counter()
+            try:
+                with self._engine_lock:
+                    result = self.engine.update(submission.request)
+            except BaseException as exc:
+                submission.future.set_exception(exc)
+                continue
+            serving = ServingReport(
+                lane=LANE_WRITE,
+                queue_wait_s=started - submission.enqueued_at,
+                service_s=time.perf_counter() - started,
+                batch_blocks=result.report.blocks,
+            )
+            self.metrics.note_served(True, serving.queue_wait_s, serving.latency_s)
+            submission.future.set_result(ServedUpdate(result, serving))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Server metrics plus the engine's own description underneath."""
+        with self._engine_lock:
+            engine_status = self.engine.describe()
+        status: Dict[str, object] = {
+            "server": {
+                "running": self._started and not self._closed,
+                "gather_window_s": self.config.gather_window,
+                "max_batch": self.config.max_batch,
+                "coalesce": self.config.coalesce,
+                "backpressure": self.config.backpressure,
+                "max_read_queue": self.config.max_read_queue,
+                "max_write_queue": self.config.max_write_queue,
+                "read_queue_depth": self._read_queue.qsize(),
+                "write_queue_depth": self._write_queue.qsize(),
+                **self.metrics.describe(),
+            },
+        }
+        if self.pool is not None:
+            status["server"]["worker_pool"] = self.pool.describe()  # type: ignore[index]
+        status.update(engine_status)
+        return status

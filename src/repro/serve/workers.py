@@ -1,0 +1,172 @@
+"""Persistent per-shard workers keyed by shard *uid*.
+
+The service's native batch executor (:func:`repro.service.batch
+.execute_worklists`) spins up a transient thread pool per call and keys
+worklists by shard *position*.  A serving runtime executes batches
+continuously, so this pool keeps one long-lived worker thread per shard
+**uid** -- the stable identity that survives topology changes -- and
+installs itself as the service's pluggable ``batch_executor``.  Between
+batches the workers stay warm (thread, per-worker counters, and the
+shard machine's buffer pool they repeatedly drive); across an online
+split or merge only the rewritten shards' workers are retired and the
+children's created, exactly mirroring how the result cache scopes
+invalidation to rewritten uids.  This is the ROADMAP's topology-aware
+batch executor: worklists keyed by uid, so splits/merges between batches
+never cold-start the untouched shards.
+
+Accounting stays exact for the same reason the transient pool's did:
+each worklist runs on exactly one worker, each shard machine charges a
+private ledger, and nothing is shared between workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.service.batch import ShardAnswer, ShardQueryFn, WorkItem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import SkylineService
+
+# One dispatched unit: (sid under the current topology, the worklist, the
+# shard-query callable, the future the results land on).
+_Task = Tuple[int, List[WorkItem], ShardQueryFn, "Future"]
+
+
+class _ShardWorker:
+    """One daemon thread bound to one shard uid for the shard's lifetime."""
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+        self.batches = 0
+        self.items = 0
+        self._tasks: "list" = []
+        self._available = threading.Condition()
+        self._stopped = False
+        self.thread = threading.Thread(
+            target=self._loop, name=f"skyserve-shard-{uid}", daemon=True
+        )
+        self.thread.start()
+
+    def submit(self, task: _Task) -> None:
+        with self._available:
+            self._tasks.append(task)
+            self._available.notify()
+
+    def stop(self) -> None:
+        with self._available:
+            self._stopped = True
+            self._available.notify()
+
+    def _loop(self) -> None:
+        while True:
+            with self._available:
+                while not self._tasks and not self._stopped:
+                    self._available.wait()
+                if self._stopped and not self._tasks:
+                    return
+                sid, items, shard_query, future = self._tasks.pop(0)
+            try:
+                answers = [
+                    ((position, sid), shard_query(sid, query))
+                    for position, query in items
+                ]
+            except BaseException as exc:  # surfaced on the batch future
+                future.set_exception(exc)
+                continue
+            self.batches += 1
+            self.items += len(answers)
+            future.set_result(answers)
+
+
+class ShardWorkerPool:
+    """A uid-keyed pool of persistent shard workers.
+
+    Instances are callables with the executor signature
+    ``(worklists, shard_query, parallelism) -> {(position, sid): answer}``
+    expected by :attr:`repro.service.SkylineService.batch_executor`.  The
+    configured ``parallelism`` is ignored: the pool *is* the fan-out, one
+    dedicated worker per live shard.
+    """
+
+    def __init__(self, service: "SkylineService") -> None:
+        self.service = service
+        self.workers: Dict[int, _ShardWorker] = {}
+        self.created = 0
+        self.retired = 0
+
+    # ------------------------------------------------------------------
+    # Topology tracking
+    # ------------------------------------------------------------------
+    def sync(self) -> Dict[int, int]:
+        """Reconcile workers with the live topology; returns sid -> uid.
+
+        Called at the start of every batch (topology only moves between
+        batches: the server's writer lane and read batches are mutually
+        exclusive).  Workers for vanished uids are retired; new uids get
+        fresh workers; everyone else stays warm.
+        """
+        live = {shard.sid: shard.uid for shard in self.service.shards}
+        alive = set(live.values())
+        for uid in list(self.workers):
+            if uid not in alive:
+                self.workers.pop(uid).stop()
+                self.retired += 1
+        for uid in alive:
+            if uid not in self.workers:
+                self.workers[uid] = _ShardWorker(uid)
+                self.created += 1
+        return live
+
+    # ------------------------------------------------------------------
+    # Batch execution (the service's batch_executor hook)
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        worklists: Dict[int, List[WorkItem]],
+        shard_query: ShardQueryFn,
+        parallelism: int = 1,
+    ) -> Dict[Tuple[int, int], ShardAnswer]:
+        uid_of_sid = self.sync()
+        futures: List[Future] = []
+        for sid in sorted(worklists):
+            future: Future = Future()
+            self.workers[uid_of_sid[sid]].submit(
+                (sid, worklists[sid], shard_query, future)
+            )
+            futures.append(future)
+        results: Dict[Tuple[int, int], ShardAnswer] = {}
+        for future in futures:
+            results.update(future.result())
+        return results
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for worker in self.workers.values():
+            worker.stop()
+        self.workers.clear()
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "workers": len(self.workers),
+            "created": self.created,
+            "retired": self.retired,
+            "per_worker": {
+                uid: {"batches": w.batches, "items": w.items}
+                for uid, w in sorted(self.workers.items())
+            },
+        }
+
+
+def install_worker_pool(service: "SkylineService") -> Optional[ShardWorkerPool]:
+    """Attach a pool as ``service.batch_executor``; returns it (or None if
+    one of this type is already installed)."""
+    if isinstance(service.batch_executor, ShardWorkerPool):
+        return None
+    pool = ShardWorkerPool(service)
+    service.batch_executor = pool
+    return pool

@@ -31,6 +31,13 @@ WorkItem = Tuple[int, RangeQuery]
 # through the service's per-query traces).
 ShardAnswer = Tuple[List[Point], bool]
 ShardQueryFn = Callable[[int, RangeQuery], ShardAnswer]
+# The pluggable batch-executor protocol (``SkylineService.batch_executor``):
+# anything with execute_worklists' signature can run the per-shard fan-out,
+# e.g. the serving tier's persistent uid-keyed worker pool.
+BatchExecutor = Callable[
+    [Dict[int, List[WorkItem]], ShardQueryFn, int],
+    Dict[Tuple[int, int], ShardAnswer],
+]
 
 
 def build_worklists(

@@ -126,6 +126,16 @@ class ServiceConfig:
         serialises the freshly rebuilt shards to the durable store, which
         bounds WAL replay at recovery to the records logged since.  1
         snapshots at every compaction.
+    reclaim_every_topology_ops:
+        Auto-interleave durable-store garbage collection with topology
+        maintenance: after every Nth online split / merge / fold the
+        service calls :meth:`SkylineService.reclaim`, dropping
+        superseded snapshot generations and the WAL prefix they make
+        redundant.  A long-running serving deployment with adaptive
+        topology otherwise needs an external scheduler to keep the store
+        from growing without bound.  0 (default) disables
+        auto-reclaim; replayed operations during recovery never count.
+        No effect on a non-durable service.
     """
 
     shard_count: int = 4
@@ -147,6 +157,7 @@ class ServiceConfig:
     durability: bool = False
     wal_group_commit: int = 8
     snapshot_every_compactions: int = 1
+    reclaim_every_topology_ops: int = 0
 
     def __post_init__(self) -> None:
         if self.shard_count < 1:
@@ -200,6 +211,11 @@ class ServiceConfig:
             raise ValueError(
                 "snapshot_every_compactions must be >= 1, got "
                 f"{self.snapshot_every_compactions}"
+            )
+        if self.reclaim_every_topology_ops < 0:
+            raise ValueError(
+                "reclaim_every_topology_ops must be >= 0, got "
+                f"{self.reclaim_every_topology_ops}"
             )
 
     def shard_em_config(self) -> EMConfig:

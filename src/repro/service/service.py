@@ -96,7 +96,7 @@ from repro.core.point import Point, resolve_victim_index
 from repro.core.queries import RangeQuery
 from repro.core.skyline import range_skyline
 from repro.em.counters import IOMeter, IOSnapshot, IOStats, IOStatsGroup
-from repro.service.batch import build_worklists, execute_worklists
+from repro.service.batch import BatchExecutor, build_worklists, execute_worklists
 from repro.service.cache import ResultCache, make_key
 from repro.service.config import ServiceConfig
 from repro.service.delta import DeltaBuffer, point_key
@@ -196,6 +196,10 @@ class SkylineService:
         self.cache = ResultCache(self.config.cache_capacity)
         self.compactions = 0
         self.drains = 0
+        # Auto-reclaim cadence (reclaim_every_topology_ops): topology
+        # operations since the last store reclaim, and reclaims triggered.
+        self._topology_ops_since_reclaim = 0
+        self.auto_reclaims = 0
         # Duplicate queries coalesced within batches (computed once each).
         self.coalesced = 0
         # Build generation: seeds every shard's epoch so cache keys can
@@ -209,6 +213,11 @@ class SkylineService:
         self.recovery: Optional[Dict[str, int]] = None
         # Per-query traces of the most recent query_many call.
         self.last_traces: List[QueryExecutionTrace] = []
+        # Pluggable batch executor with the execute_worklists signature
+        # ``(worklists, shard_query, parallelism) -> {(position, sid): answer}``.
+        # None = the default transient thread pool.  The serving tier
+        # installs a persistent uid-keyed worker pool here.
+        self.batch_executor: Optional[BatchExecutor] = None
         self.router: ShardRouter
         self.shards: List[Shard] = []
         # Monotone shard-uid allocator: every shard instance (built at
@@ -685,6 +694,7 @@ class SkylineService:
         self.topology.record(
             "split", sid, cut, touched, self.maintenance.total - charged_before
         )
+        self._maybe_auto_reclaim()
         return cut
 
     def merge_shards(self, sid: int) -> float:
@@ -734,6 +744,7 @@ class SkylineService:
         self.topology.record(
             "merge", sid, cut, touched, self.maintenance.total - charged_before
         )
+        self._maybe_auto_reclaim()
         return cut
 
     def fold_shard(self, sid: int) -> int:
@@ -788,7 +799,26 @@ class SkylineService:
         self.topology.record(
             "fold", sid, None, touched, self.maintenance.total - charged_before
         )
+        self._maybe_auto_reclaim()
         return touched
+
+    def _maybe_auto_reclaim(self) -> None:
+        """Auto-reclaim hook, called after every topology operation.
+
+        With ``reclaim_every_topology_ops=N`` on a durable service, every
+        Nth online split/merge/fold triggers :meth:`reclaim`, so the store
+        sheds superseded snapshots and folded WAL blocks at the same
+        cadence the topology churns them out.  Never fires during WAL
+        replay: recovery must see the store exactly as it was persisted.
+        """
+        every = self.config.reclaim_every_topology_ops
+        if every < 1 or self.store is None or self._replaying:
+            return
+        self._topology_ops_since_reclaim += 1
+        if self._topology_ops_since_reclaim >= every:
+            self._topology_ops_since_reclaim = 0
+            self.auto_reclaims += 1
+            self.reclaim()
 
     def _maybe_rebalance(self) -> None:
         """Adaptive-topology hook, called once per applied update."""
@@ -973,7 +1003,8 @@ class SkylineService:
             worklists = build_worklists(
                 misses, {position: plan[position][1] for position, _ in misses}
             )
-            local = execute_worklists(
+            executor = self.batch_executor or execute_worklists
+            local = executor(
                 worklists, self._shard_query, self.config.parallelism
             )
             for position, query in misses:
@@ -1354,6 +1385,7 @@ class SkylineService:
             durability = dict(self.store.describe())
             durability["wal_pending"] = self.wal.pending
             durability["group_commit"] = self.wal.group_commit_size
+            durability["auto_reclaims"] = self.auto_reclaims
             if self.recovery is not None:
                 durability["recovery"] = dict(self.recovery)
             status["durability_detail"] = durability

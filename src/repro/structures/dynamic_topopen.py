@@ -204,7 +204,15 @@ class DynamicTopOpenStructure:
         child_id, child = path[-1]
         for node_id, node in reversed(path[:-1]):
             index = node.children.index(child_id)
-            node.separators[index] = child.x_max()
+            # A separator only needs to upper-bound its subtree's x values.
+            # When a delete empties the child, its x_max() degenerates to
+            # -inf; keeping the old separator preserves the non-decreasing
+            # separator order, otherwise an ancestor would report -inf as
+            # the subtree maximum and range queries would skip siblings
+            # that still hold points.
+            new_max = child.x_max()
+            if new_max != -math.inf:
+                node.separators[index] = new_max
             node.child_queues[index] = child.queue
             node.queue = self._catenate(node.child_queues)
             self.storage.write(node_id, node)

@@ -1,0 +1,385 @@
+"""Tests for the async serving runtime (repro.serve).
+
+The acceptance properties:
+
+* **Concurrency equivalence** -- N concurrent clients driving phased
+  update/query rounds through a :class:`SkylineServer` get per-query
+  answers identical to a serial engine replaying the same operations,
+  and the served engine's ledger partition
+  ``attributed + maintenance == total - build`` stays exact.
+* **Coalescing** -- identical requests submitted by many callers inside
+  one gather window execute once (fan-in = submitters) and each caller
+  still gets the full answer; coalescing off serves the same answers.
+* **Admission control** -- the ``shed`` policy fails exactly the
+  overflow with a typed :class:`Overloaded` carrying its
+  :class:`ServingReport`; the ``block`` policy's ``submit_timeout``
+  sheds too; expired deadlines fail queued work with
+  :class:`DeadlineExceeded`; a stopped server raises
+  :class:`ServerClosed`.
+* **Worker pool** -- the uid-keyed pool tracks topology changes
+  (retire/create only the rewritten shards) and executes batches
+  block-identically to the default transient executor.
+* **Auto-reclaim** -- ``ServiceConfig(reclaim_every_topology_ops=N)``
+  interleaves durable-store reclamation with every Nth topology
+  operation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.engine import SkylineEngine, UpdateRequest
+from repro.serve import (
+    DeadlineExceeded,
+    Overloaded,
+    ServerClosed,
+    ServerConfig,
+    ShardWorkerPool,
+    SkylineServer,
+    install_worker_pool,
+)
+from repro.serve.metrics import percentile
+from repro.service import ServiceConfig, SkylineService
+from repro.workloads import uniform_points
+
+CFG = dict(shard_count=4, block_size=16, memory_blocks=8)
+
+
+def _canon(points):
+    return sorted((p.x, p.y, p.ident) for p in points)
+
+
+def _queries(count: int, universe: int, seed: int):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        width = universe * rng.uniform(0.1, 0.4)
+        x_lo = rng.uniform(0, universe - width)
+        out.append(RangeQuery(x_lo=x_lo, x_hi=x_lo + width))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Concurrency equivalence
+# ----------------------------------------------------------------------
+def test_concurrent_clients_match_serial_engine_exactly():
+    clients, rounds, n = 4, 6, 512
+    universe = 1_000_000
+    all_points = uniform_points(n + clients * rounds, universe=universe, seed=11)
+    base, payload = all_points[:n], all_points[n:]
+    inserts = [
+        [payload[cid * rounds + r] for r in range(rounds)]
+        for cid in range(clients)
+    ]
+    probes = [
+        _queries(rounds, universe, seed=50 + cid) for cid in range(clients)
+    ]
+
+    engine = SkylineEngine.sharded(base, **CFG)
+    server = SkylineServer(engine, ServerConfig(gather_window=0.001))
+    barrier = threading.Barrier(clients)
+    answers = [[] for _ in range(clients)]
+    errors = []
+
+    def client(cid: int) -> None:
+        try:
+            for r in range(rounds):
+                served = server.update(UpdateRequest.insert(inserts[cid][r]))
+                assert served.applied
+                assert served.serving.lane == "write"
+                barrier.wait(timeout=30)  # all round-r writes are durable
+                result = server.query(probes[cid][r])
+                answers[cid].append(_canon(result.points))
+                barrier.wait(timeout=30)  # all round-r reads done
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            raise
+
+    threads = [
+        threading.Thread(target=client, args=(cid,)) for cid in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    server.stop()
+    assert not errors
+
+    # Serial replay: same rounds, updates before queries, one caller.
+    serial = SkylineEngine.sharded(base, **CFG)
+    for r in range(rounds):
+        for cid in range(clients):
+            assert serial.insert(inserts[cid][r]).applied
+        for cid in range(clients):
+            expected = _canon(serial.query(probes[cid][r]).points)
+            assert answers[cid][r] == expected, (cid, r)
+
+    # The ledger partition survives arbitrary concurrency.
+    assert (
+        engine.attributed_io() + engine.maintenance_io()
+        == engine.io_total() - engine.build_io
+    )
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+def test_identical_requests_coalesce_onto_one_execution():
+    base = uniform_points(256, universe=100_000, seed=3)
+    engine = SkylineEngine.sharded(base, cache_capacity=0, **CFG)
+    expected = _canon(engine.query(RangeQuery(x_hi=40_000.0)).points)
+    server = SkylineServer(engine, start=False)
+    futures = [
+        server.submit_query(RangeQuery(x_hi=40_000.0)) for _ in range(12)
+    ]
+    server.start()
+    served = [f.result(timeout=30) for f in futures]
+    server.stop()
+    assert all(s.serving.coalesce_fanin == 12 for s in served)
+    assert all(_canon(s.points) == expected for s in served)
+    assert server.metrics.executed_reads == 1
+    assert server.metrics.coalesced_followers == 11
+
+
+def test_uncoalesced_mode_serves_same_answers():
+    base = uniform_points(256, universe=100_000, seed=3)
+    engine = SkylineEngine.sharded(base, cache_capacity=0, **CFG)
+    server = SkylineServer(engine, ServerConfig(coalesce=False), start=False)
+    q = RangeQuery(x_hi=40_000.0)
+    futures = [server.submit_query(q) for _ in range(5)]
+    server.start()
+    served = [f.result(timeout=30) for f in futures]
+    server.stop()
+    assert all(s.serving.coalesce_fanin == 1 for s in served)
+    assert len({tuple(_canon(s.points)) for s in served}) == 1
+    assert server.metrics.executed_reads == 5
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def test_shed_policy_fails_exactly_the_overflow():
+    base = uniform_points(128, universe=100_000, seed=5)
+    engine = SkylineEngine.sharded(base, **CFG)
+    server = SkylineServer(
+        engine,
+        ServerConfig(backpressure="shed", max_read_queue=4),
+        start=False,
+    )
+    futures = [
+        server.submit_query(RangeQuery(x_hi=float(1000 * (i + 1))))
+        for i in range(10)
+    ]
+    # Shed futures resolve synchronously at submit; queued ones are
+    # still pending until the server starts.
+    shed = [
+        f
+        for f in futures
+        if f.done() and isinstance(f.exception(), Overloaded)
+    ]
+    assert len(shed) == 6  # everything past the queue bound, synchronously
+    err = shed[0].exception()
+    assert err.serving.shed and err.serving.lane == "read"
+    server.start()
+    for f in futures:
+        if f not in shed:
+            assert f.result(timeout=30).serving.shed is False
+    server.stop()
+    assert server.metrics.shed == 6
+
+
+def test_block_policy_submit_timeout_sheds():
+    base = uniform_points(128, universe=100_000, seed=5)
+    engine = SkylineEngine.sharded(base, **CFG)
+    server = SkylineServer(
+        engine,
+        ServerConfig(
+            backpressure="block", max_read_queue=2, submit_timeout=0.01
+        ),
+        start=False,
+    )
+    futures = [
+        server.submit_query(RangeQuery(x_hi=float(1000 * (i + 1))))
+        for i in range(3)
+    ]
+    assert isinstance(futures[2].exception(), Overloaded)
+    server.start()
+    assert futures[0].result(timeout=30)
+    server.stop()
+
+
+def test_expired_deadline_fails_queued_request():
+    base = uniform_points(128, universe=100_000, seed=5)
+    engine = SkylineEngine.sharded(base, **CFG)
+    with SkylineServer(engine) as server:
+        future = server.submit_query(RangeQuery(), deadline=-1.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            future.result(timeout=30)
+        assert excinfo.value.serving.timed_out
+        assert server.metrics.timed_out == 1
+        # A sane deadline still serves.
+        assert server.query(RangeQuery(), deadline=30.0).points is not None
+
+
+def test_stopped_server_raises_server_closed():
+    base = uniform_points(64, universe=100_000, seed=5)
+    engine = SkylineEngine.sharded(base, **CFG)
+    server = SkylineServer(engine)
+    assert len(server.query(RangeQuery())) > 0
+    server.stop()
+    with pytest.raises(ServerClosed):
+        server.submit_query(RangeQuery())
+    server.stop()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Async API
+# ----------------------------------------------------------------------
+def test_async_clients_share_the_server():
+    base = uniform_points(256, universe=100_000, seed=9)
+    engine = SkylineEngine.sharded(base, **CFG)
+    fresh = Point(2_000_000.0, 2_000_000.5, ident=777_777)
+
+    async def drive(server: SkylineServer):
+        reads = [server.aquery(RangeQuery(x_hi=30_000.0)) for _ in range(6)]
+        write = server.ainsert(fresh)
+        results = await asyncio.gather(*reads, write)
+        return results
+
+    with SkylineServer(engine) as server:
+        *reads, write = asyncio.run(drive(server))
+        assert write.applied
+        assert len({tuple(_canon(r.points)) for r in reads}) == 1
+        assert all(r.serving.lane == "read" for r in reads)
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+def test_worker_pool_tracks_topology_by_uid():
+    base = uniform_points(512, universe=1_000_000, seed=21)
+    service = SkylineService(base, ServiceConfig(**CFG))
+    pool = install_worker_pool(service)
+    assert isinstance(pool, ShardWorkerPool)
+    assert install_worker_pool(service) is None  # already installed
+    pool.sync()
+    before = {shard.uid for shard in service.shards}
+    assert set(pool.workers) == before
+
+    assert service.split_shard(1) is not None
+    pool.sync()
+    after = {shard.uid for shard in service.shards}
+    assert set(pool.workers) == after
+    # Only the split shard's worker retired; two children created.
+    assert pool.retired == 1
+    assert pool.created == len(before) + 2
+    # Batches through the pool still answer correctly.
+    probe = RangeQuery(x_hi=500_000.0)
+    assert service.query_many([probe])[0] == service.query(probe)
+    pool.close()
+    assert not pool.workers
+
+
+def test_worker_pool_charges_identical_blocks_to_default_executor():
+    base = uniform_points(512, universe=1_000_000, seed=22)
+    probes = _queries(12, 1_000_000, seed=23)
+    plain = SkylineService(base, ServiceConfig(cache_capacity=0, **CFG))
+    pooled = SkylineService(base, ServiceConfig(cache_capacity=0, **CFG))
+    install_worker_pool(pooled)
+    for batch_start in range(0, len(probes), 4):
+        batch = probes[batch_start : batch_start + 4]
+        expected = [_canon(r) for r in plain.query_many(batch)]
+        got = [_canon(r) for r in pooled.query_many(batch)]
+        assert got == expected
+    assert pooled.stats.total == plain.stats.total
+
+
+# ----------------------------------------------------------------------
+# Reports and metrics
+# ----------------------------------------------------------------------
+def test_describe_reports_server_and_engine_state():
+    base = uniform_points(256, universe=100_000, seed=13)
+    engine = SkylineEngine.sharded(base, **CFG)
+    with SkylineServer(engine) as server:
+        server.query(RangeQuery(x_hi=50_000.0))
+        server.insert(Point(3_000_000.0, 3_000_000.5, ident=888_888))
+        status = server.describe()
+    tier = status["server"]
+    assert tier["served_reads"] == 1 and tier["served_writes"] == 1
+    assert tier["latency_p99_s"] >= tier["latency_p50_s"] >= 0.0
+    backend = status["backend"]
+    assert tier["worker_pool"]["workers"] == len(backend["shard_uids"])
+    assert backend["backend"] == "sharded-service"
+
+
+def test_serving_report_composes_with_execution_report():
+    base = uniform_points(256, universe=100_000, seed=13)
+    engine = SkylineEngine.sharded(base, cache_capacity=0, **CFG)
+    with SkylineServer(engine) as server:
+        served = server.query(RangeQuery(x_hi=50_000.0))
+    assert served.serving.latency_s == pytest.approx(
+        served.serving.queue_wait_s + served.serving.service_s
+    )
+    assert served.serving.batch_blocks >= 1  # cold engine paid real I/O
+    assert served.report.backend == "sharded-service"  # engine-side report
+
+
+def test_percentile_is_nearest_rank():
+    assert percentile([], 0.99) == 0.0
+    assert percentile([5.0], 0.99) == 5.0
+    values = list(range(100))
+    assert percentile(values, 0.50) == 50
+    assert percentile(values, 0.99) == 99
+
+
+# ----------------------------------------------------------------------
+# Auto-reclaim (ServiceConfig.reclaim_every_topology_ops)
+# ----------------------------------------------------------------------
+def test_auto_reclaim_interleaves_with_topology_ops():
+    pool = uniform_points(512 + 96, universe=1_000_000, seed=31)
+    service = SkylineService(
+        pool[:512],
+        ServiceConfig(durability=True, reclaim_every_topology_ops=2, **CFG),
+    )
+    for point in pool[512:]:
+        service.insert(point)
+    assert service.split_shard(0) is not None
+    assert service.auto_reclaims == 0  # first op: cadence not reached
+    assert service.split_shard(0) is not None
+    assert service.auto_reclaims == 1  # second op reclaimed
+    service.merge_shards(0)
+    service.merge_shards(0)
+    assert service.auto_reclaims == 2
+    assert service.describe()["durability_detail"]["auto_reclaims"] == 2
+    # Reclaim kept only the newest manifest.
+    assert len(service.store.manifests) <= 1
+
+
+def test_auto_reclaim_disabled_and_non_durable_are_inert():
+    base = uniform_points(256, universe=1_000_000, seed=33)
+    plain = SkylineService(base, ServiceConfig(**CFG))
+    plain.split_shard(0)
+    plain.split_shard(0)
+    assert plain.auto_reclaims == 0
+    durable_off = SkylineService(
+        base,
+        ServiceConfig(durability=True, reclaim_every_topology_ops=0, **CFG),
+    )
+    durable_off.split_shard(0)
+    durable_off.split_shard(0)
+    assert durable_off.auto_reclaims == 0
+
+
+def test_config_rejects_negative_reclaim_cadence():
+    with pytest.raises(ValueError):
+        ServiceConfig(reclaim_every_topology_ops=-1)
+    with pytest.raises(ValueError):
+        ServerConfig(gather_window=-0.1)
+    with pytest.raises(ValueError):
+        ServerConfig(backpressure="drop")

@@ -187,3 +187,26 @@ def test_foursided_insert_past_rightmost_separator_stays_bounded():
     want = sorted((p.x, p.y) for p in range_skyline(live, query))
     assert got == want
     assert all(x <= 5605.0 for x, _ in got)
+
+
+def test_dynamic_delete_emptying_rightmost_leaf_keeps_siblings_visible():
+    """Regression: deleting the last point of the rightmost leaf must not
+    collapse the ancestors' separators to -inf.  The emptied leaf's
+    x_max() is -inf; propagating it up made the root record -inf as the
+    whole right subtree's maximum, so a later bounded-x query skipped the
+    subtree's remaining points entirely (the full-range query still
+    worked because -inf < -inf is false)."""
+    xs = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 17, 18, 207, 2251, 13859]
+    ys = [0, 1, 11, 2, 12, 13, 3, 4, 5, 14, 15, 16, 18, 2367, 17, 219, 6, 7, 8, 9, 10]
+    points = [Point(float(x), float(y), i) for i, (x, y) in enumerate(zip(xs, ys))]
+    structure = DynamicTopOpenStructure(
+        StorageManager(EMConfig(block_size=8, memory_blocks=16)), points, epsilon=0.5
+    )
+    # (13859, 10) sits alone in the rightmost leaf; deleting it empties it.
+    assert structure.delete(Point(13859.0, 10.0, 20))
+    live = [p for p in points if p.x != 13859.0]
+    query = TopOpenQuery(0.0, 17.0, 0.0)
+    got = sorted((p.x, p.y) for p in structure.query(query))
+    want = sorted((p.x, p.y) for p in range_skyline(live, query))
+    assert got == want
+    assert (17.0, 6.0) in got
