@@ -1,0 +1,57 @@
+"""Invariant analysis for the reproduction: static lint + runtime sanitizers.
+
+Two static passes (driven by ``tools/reprolint``):
+
+* :mod:`repro.analysis.iolint` -- every block transfer must be charged
+  to an :class:`~repro.em.counters.IOStats` ledger; uncharged escape
+  hatches (``DiskModel.peek``/``poke``, raw disk state) are flagged
+  unless annotated ``# repro: uncharged-io(<reason>)``.
+* :mod:`repro.analysis.locklint` -- extracts the lock acquisition sites
+  of the serving tier, builds the static lock-order graph, and fails on
+  cycles, on untracked raw locks, and on guarded-attribute calls made
+  outside their guarding lock.
+
+Three opt-in runtime sanitizers (``REPRO_SANITIZE=1``, see
+:mod:`repro.analysis.sanitize`):
+
+* **ledger ownership** -- an :class:`~repro.em.counters.IOStats` charged
+  from two threads without an intervening synchronization point raises
+  :class:`~repro.analysis.sanitize.LedgerRaceError`;
+* **lock order** -- :class:`~repro.analysis.locks.LockOrderTracker`
+  raises :class:`~repro.analysis.sanitize.LockOrderError` on dynamic
+  inversions, before the deadlock, and cross-checks observed edges
+  against the static graph;
+* **report partition** -- every
+  :class:`~repro.engine.report.ExecutionReport` must satisfy
+  ``attributed + maintenance == total - build``; a gap raises
+  :class:`~repro.analysis.sanitize.PartitionError`.
+"""
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.locks import (
+    LockOrderTracker,
+    TrackedCondition,
+    TrackedLock,
+    tracked_condition,
+    tracked_lock,
+)
+from repro.analysis.sanitize import (
+    LedgerRaceError,
+    LockOrderError,
+    PartitionError,
+    SanitizerError,
+)
+
+__all__ = [
+    "Finding",
+    "sort_findings",
+    "LockOrderTracker",
+    "TrackedCondition",
+    "TrackedLock",
+    "tracked_condition",
+    "tracked_lock",
+    "LedgerRaceError",
+    "LockOrderError",
+    "PartitionError",
+    "SanitizerError",
+]

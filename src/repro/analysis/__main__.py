@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` -- alias for the ``reprolint`` driver."""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

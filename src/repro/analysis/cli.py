@@ -1,0 +1,125 @@
+"""``reprolint`` -- the repository's invariant lint driver.
+
+Runs both static passes and prints one line per finding::
+
+    src/repro/foo.py:42: [uncharged-io] uncharged DiskModel.peek() call ...
+
+Exit status 0 when clean, 1 when any finding fired, 2 on usage errors.
+
+Usage::
+
+    tools/reprolint [--io | --locks] [--json] [paths...]
+
+With no paths the driver lints ``src/repro`` (uncharged-I/O pass over the
+whole tree, lock pass over the concurrency tier ``serve/``, ``service/``
+and ``engine/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import iolint, locklint
+from repro.analysis.findings import Finding, sort_findings
+
+
+def _default_src_root() -> Path:
+    """Locate ``src/repro`` relative to this installed package."""
+    return Path(__file__).resolve().parent.parent
+
+
+def run(
+    paths: List[Path],
+    *,
+    io_pass: bool = True,
+    lock_pass: bool = True,
+) -> List[Finding]:
+    """Run the selected passes and return all findings, sorted."""
+    findings: List[Finding] = []
+    if io_pass:
+        findings.extend(iolint.lint_paths(paths))
+    if lock_pass:
+        lock_roots: List[Path] = []
+        for path in paths:
+            if path.is_file():
+                lock_roots.append(path)
+            elif (path / "repro").is_dir():
+                lock_roots.extend(locklint.default_scope(path / "repro"))
+            else:
+                lock_roots.extend(locklint.default_scope(path))
+        # Deduplicate while keeping order.
+        unique: List[Path] = []
+        for root in lock_roots:
+            if root not in unique:
+                unique.append(root)
+        findings.extend(locklint.lint_paths(unique))
+    return sort_findings(findings)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Invariant lint for the PODS'13 reproduction: uncharged-I/O "
+            "pass over the tree, lock-discipline pass over the "
+            "concurrency tier."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--io", action="store_true", help="run only the uncharged-I/O pass"
+    )
+    group.add_argument(
+        "--locks",
+        action="store_true",
+        help="run only the lock-discipline pass",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array instead of text lines",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [_default_src_root().parent]
+    for path in paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+
+    findings = run(
+        paths,
+        io_pass=not args.locks,
+        lock_pass=not args.io,
+    )
+
+    try:
+        if args.json:
+            print(json.dumps([finding.as_dict() for finding in findings], indent=2))
+        else:
+            for finding in findings:
+                print(finding.render())
+            if findings:
+                print(
+                    f"reprolint: {len(findings)} finding"
+                    f"{'s' if len(findings) != 1 else ''}",
+                    file=sys.stderr,
+                )
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; the
+        # findings still determine the exit status.
+        sys.stderr.close()
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tools/reprolint
+    raise SystemExit(main())

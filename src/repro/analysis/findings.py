@@ -1,0 +1,54 @@
+"""The shared finding record and file-walking helpers of the lint passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation: where it is, which rule fired, and why."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    """Stable presentation order: by path, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    """Every ``*.py`` file under ``root`` (or ``root`` itself if a file),
+    in sorted order for deterministic reports."""
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def read_sources(roots: List[Path]) -> List[Tuple[Path, str]]:
+    """Load every Python file under the given roots exactly once."""
+    seen: Dict[Path, str] = {}
+    for root in roots:
+        for path in iter_python_files(root):
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen[resolved] = resolved.read_text(encoding="utf-8")
+    return sorted(seen.items(), key=lambda item: str(item[0]))

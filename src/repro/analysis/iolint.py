@@ -1,0 +1,186 @@
+"""Static uncharged-I/O pass: every block touch must hit a ledger.
+
+The whole reproduction's claim to faithfulness rests on the invariant
+that every block transfer is charged to exactly one
+:class:`~repro.em.counters.IOStats` ledger -- the paper (PODS 2013)
+counts block transfers, not wall-clock.  Two escape hatches exist by
+design (``DiskModel.peek`` / ``DiskModel.poke``, the free inspection and
+simulator-surgery paths), and nothing used to stop production code from
+quietly using them, or from bypassing the charging layer by talking to a
+``DiskModel`` handle directly.
+
+This pass walks the AST of every source file and flags:
+
+``uncharged-io``
+    * any ``*.peek(...)`` or ``*.poke(...)`` call -- these methods exist
+      only on :class:`~repro.em.disk.DiskModel` and are *never* charged;
+    * any ``read_block`` / ``write_block`` / ``write_new`` call whose
+      receiver is a ``disk`` handle (``self.disk.read_block``,
+      ``storage.disk.write_new``, ...) outside the charging layer --
+      production code must go through :class:`~repro.em.storage
+      .StorageManager` / :class:`~repro.em.cache.BufferPool` so the
+      buffer pool's hit accounting stays honest (``EMFile.read_block``
+      and friends are fine: they charge internally);
+    * any access to the raw block-state attributes of a disk handle
+      (``disk._blocks``, ``disk._next_id``) -- state surgery that
+      bypasses both the ledger and the space accounting.
+
+``unused-pragma``
+    an ``uncharged-io`` pragma on a line where nothing is flagged (a
+    stale escape is as misleading as a missing one).
+
+The charging layer itself -- ``repro/em/disk.py``, ``repro/em/cache.py``,
+``repro/em/storage.py`` -- is exempt: those files *are* where charging
+happens.  Deliberate exceptions elsewhere carry a
+``# repro: uncharged-io(<reason>)`` pragma with a non-empty reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.analysis.findings import Finding, read_sources, sort_findings
+from repro.analysis.pragmas import PragmaMap, scan_pragmas
+
+#: Methods that are never charged, on any receiver.
+UNCHARGED_METHODS = frozenset({"peek", "poke"})
+#: Charging transfers when called on the disk handle itself; flagged when
+#: the receiver chain terminates in a name/attribute called ``disk``.
+DISK_TRANSFER_METHODS = frozenset({"read_block", "write_block", "write_new"})
+#: Raw block-state attributes of :class:`~repro.em.disk.DiskModel`.
+RAW_STATE_ATTRS = frozenset({"_blocks", "_next_id"})
+#: Path suffixes of the allowlisted charging layer.
+CHARGING_LAYER: Tuple[str, ...] = (
+    "repro/em/disk.py",
+    "repro/em/cache.py",
+    "repro/em/storage.py",
+)
+
+RULE_UNCHARGED = "uncharged-io"
+RULE_UNUSED_PRAGMA = "unused-pragma"
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The last identifier of a receiver chain (``a.b.disk`` -> ``disk``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_charging_layer(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(normalized.endswith(suffix) for suffix in CHARGING_LAYER)
+
+
+def lint_source(path: str, source: str) -> List[Finding]:
+    """Run the uncharged-I/O pass over one in-memory source file."""
+    findings: List[Finding] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=path,
+                line=exc.lineno or 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    if _is_charging_layer(path):
+        return []
+    pragmas = scan_pragmas(source)
+    for node in ast.walk(tree):
+        finding = _check_node(path, node, pragmas)
+        if finding is not None:
+            findings.append(finding)
+    for stale in pragmas.unused(kinds=(RULE_UNCHARGED,)):
+        findings.append(
+            Finding(
+                rule=RULE_UNUSED_PRAGMA,
+                path=path,
+                line=stale.line,
+                message=(
+                    f"uncharged-io({stale.argument}) pragma suppresses "
+                    "nothing on this line -- remove it or move it to the "
+                    "uncharged access it excuses"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_node(
+    path: str, node: ast.AST, pragmas: PragmaMap
+) -> Optional[Finding]:
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        method = node.func.attr
+        if method in UNCHARGED_METHODS:
+            return _flag(
+                path,
+                node,
+                pragmas,
+                f"uncharged DiskModel.{method}() call -- production paths "
+                "must pay for every transfer via read_block/write_block; "
+                "annotate deliberate inspection/surgery with "
+                "'# repro: uncharged-io(<reason>)'",
+            )
+        if (
+            method in DISK_TRANSFER_METHODS
+            and _terminal_name(node.func.value) == "disk"
+        ):
+            return _flag(
+                path,
+                node,
+                pragmas,
+                f"direct disk.{method}() outside the charging layer -- go "
+                "through StorageManager/BufferPool so cache accounting "
+                "stays honest, or annotate with "
+                "'# repro: uncharged-io(<reason>)'",
+            )
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr in RAW_STATE_ATTRS
+        and _terminal_name(node.value) == "disk"
+    ):
+        return _flag(
+            path,
+            node,
+            pragmas,
+            f"raw disk block-state access (.{node.attr}) bypasses the "
+            "ledger and the space accounting; annotate deliberate "
+            "surgery with '# repro: uncharged-io(<reason>)'",
+        )
+    return None
+
+
+def _flag(
+    path: str, node: ast.AST, pragmas: PragmaMap, message: str
+) -> Optional[Finding]:
+    line = getattr(node, "lineno", 1)
+    end_line = getattr(node, "end_lineno", None) or line
+    pragma = pragmas.find(RULE_UNCHARGED, line, end_line)
+    if pragma is not None:
+        if pragma.argument:
+            return None
+        return Finding(
+            rule=RULE_UNCHARGED,
+            path=path,
+            line=line,
+            message=(
+                "uncharged-io pragma needs a non-empty reason: "
+                "'# repro: uncharged-io(<why this access is free>)'"
+            ),
+        )
+    return Finding(rule=RULE_UNCHARGED, path=path, line=line, message=message)
+
+
+def lint_paths(roots: List[Path]) -> List[Finding]:
+    """Run the pass over every Python file under the given roots."""
+    findings: List[Finding] = []
+    for path, source in read_sources(roots):
+        findings.extend(lint_source(str(path), source))
+    return sort_findings(findings)

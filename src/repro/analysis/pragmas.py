@@ -1,0 +1,149 @@
+"""``# repro: <kind>(<argument>)`` pragma comments.
+
+The lint passes read three pragma kinds:
+
+``uncharged-io(<reason>)``
+    Marks a deliberate use of an uncharged disk access (``peek`` /
+    ``poke`` / raw block-state access) so :mod:`repro.analysis.iolint`
+    accepts it.  The reason is mandatory and should say *why* the access
+    is legitimately free in the cost model.
+
+``untracked-lock(<reason>)``
+    Marks a raw ``threading.Lock/RLock/Condition`` construction the
+    lock-discipline pass would otherwise reject inside the concurrency
+    tier (locks there must be created via
+    :func:`repro.analysis.locks.tracked_lock` so the runtime tracker can
+    see them).
+
+``unguarded-call(<reason>)``
+    Marks a call through a guarded attribute (see the ``guards(...)``
+    directive) that is deliberately made outside the guarding lock.
+
+plus one *directive* kind that adds information instead of suppressing:
+
+``calls(<Class.method>)``
+    Declares that the call on this line dynamically dispatches to
+    ``Class.method`` (e.g. a pluggable callable attribute, or a call
+    that crosses a module boundary the name-resolution of the static
+    pass does not follow).  The lock pass uses it to extend the static
+    lock-order graph across those hops.
+
+``guards(<attr>)``
+    Placed on a ``tracked_lock(...)`` construction line: every call
+    through ``self.<attr>`` in the same class must then be dominated by
+    a ``with`` on that lock.
+
+A pragma applies to the source line it sits on; for a statement spanning
+several lines, any line of the span (or the line directly above the
+statement) works.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+PRAGMA_RE = re.compile(r"repro:\s*([a-z-]+)\(([^()]*)\)")
+
+SUPPRESSING_KINDS: Tuple[str, ...] = (
+    "uncharged-io",
+    "untracked-lock",
+    "unguarded-call",
+)
+DIRECTIVE_KINDS: Tuple[str, ...] = ("calls", "guards")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed pragma comment."""
+
+    kind: str
+    argument: str
+    line: int
+
+
+@dataclass
+class PragmaMap:
+    """Pragmas of one file, indexed by line, with use tracking."""
+
+    by_line: Dict[int, List[Pragma]] = field(default_factory=dict)
+    _used: Set[Pragma] = field(default_factory=set)
+
+    def _covering_lines(self, first_line: int, span_end: int) -> List[int]:
+        """The lines whose pragmas apply to a statement spanning
+        ``first_line``..``span_end``: the span itself plus the contiguous
+        run of pragma-bearing lines directly above it (several stacked
+        pragma comments all apply to the statement below them)."""
+        lines: List[int] = []
+        above = first_line - 1
+        while above in self.by_line:
+            lines.append(above)
+            above -= 1
+        lines.reverse()
+        lines.extend(range(first_line, span_end + 1))
+        return lines
+
+    def find(
+        self, kind: str, first_line: int, last_line: Optional[int] = None
+    ) -> Optional[Pragma]:
+        """A ``kind`` pragma covering the statement spanning
+        ``first_line``..``last_line`` (or sitting directly above it).
+        Marks the pragma used."""
+        span_end = last_line if last_line is not None else first_line
+        for line in self._covering_lines(first_line, span_end):
+            for pragma in self.by_line.get(line, ()):
+                if pragma.kind == kind:
+                    self._used.add(pragma)
+                    return pragma
+        return None
+
+    def find_all(
+        self, kind: str, first_line: int, last_line: Optional[int] = None
+    ) -> List[Pragma]:
+        """Every ``kind`` pragma covering the given statement span (used
+        for ``calls(...)`` directives, which may repeat)."""
+        span_end = last_line if last_line is not None else first_line
+        matches: List[Pragma] = []
+        for line in self._covering_lines(first_line, span_end):
+            for pragma in self.by_line.get(line, ()):
+                if pragma.kind == kind:
+                    self._used.add(pragma)
+                    matches.append(pragma)
+        return matches
+
+    def unused(self, kinds: Tuple[str, ...] = SUPPRESSING_KINDS) -> List[Pragma]:
+        """Suppressing pragmas that matched no finding (stale escapes)."""
+        stale: List[Pragma] = []
+        for pragmas in self.by_line.values():
+            for pragma in pragmas:
+                if pragma.kind in kinds and pragma not in self._used:
+                    stale.append(pragma)
+        return sorted(stale, key=lambda p: p.line)
+
+
+def scan_pragmas(source: str) -> PragmaMap:
+    """Extract every ``# repro: ...`` pragma comment of ``source``.
+
+    Uses the tokenizer, so pragma-looking text inside string literals is
+    ignored.  A file that fails to tokenize yields an empty map (the AST
+    passes will report the syntax error on their own).
+    """
+    result = PragmaMap()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            for match in PRAGMA_RE.finditer(token.string):
+                pragma = Pragma(
+                    kind=match.group(1),
+                    argument=match.group(2).strip(),
+                    line=token.start[0],
+                )
+                result.by_line.setdefault(pragma.line, []).append(pragma)
+    except tokenize.TokenizeError:
+        return PragmaMap()
+    return result

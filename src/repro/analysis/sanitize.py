@@ -1,0 +1,188 @@
+"""Opt-in runtime sanitizers for the I/O ledger and the serving tier.
+
+The static passes in :mod:`repro.analysis.iolint` and
+:mod:`repro.analysis.locklint` catch what is visible in the source; the
+sanitizers here catch what only shows up at runtime.  They are **off by
+default** -- production and benchmark runs pay nothing beyond one
+module-attribute check per ledger charge -- and are switched on either
+explicitly via :func:`enable` or for a whole test run via the
+``REPRO_SANITIZE=1`` environment variable (see ``tests/conftest.py``).
+
+Three sanitizers live behind the switch:
+
+*Ledger ownership* -- every :class:`~repro.em.counters.IOStats` records
+the thread that last charged it and the value of a global *sync epoch*
+at that charge.  The epoch is bumped at every synchronization point the
+code declares (tracked-lock acquisitions, batch-executor handoffs, see
+:func:`sync_point`).  A charge from a different thread is legal only if
+at least one sync point happened since the previous owner's last charge
+-- an approximation of happens-before that deterministically catches the
+PR 2 class of bug (two threads hammering one shared counter with no
+synchronization at all) while admitting the legitimate handoffs the
+service tier performs (per-shard worklists, the serving tier's
+engine-lock lanes).
+
+*Lock order* -- see :class:`repro.analysis.locks.LockOrderTracker`: the
+dynamic acquisition order is checked for inversions and, when the static
+graph from :func:`repro.analysis.locklint.static_lock_graph` is
+supplied, every observed edge must appear in it.
+
+*Report partition* -- the engine validates
+``attributed + maintenance == total - build`` after **every**
+:class:`~repro.engine.report.ExecutionReport` it emits (plus
+non-negativity of each report's components), instead of only at the
+bench/test assertion sites.  Ledger traffic that bypasses the engine
+(tests driving the raw service next to an attached engine) is tracked as
+*external* and excluded from blame, so the check stays exact over
+engine-served traffic without false-positives on mixed-layer tests.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+the hot path in :mod:`repro.em.counters` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Optional
+
+__all__ = [
+    "SanitizerError",
+    "LedgerRaceError",
+    "LockOrderError",
+    "PartitionError",
+    "enable",
+    "disable",
+    "is_enabled",
+    "enabled_from_env",
+    "sync_point",
+    "current_epoch",
+    "check_charge",
+    "forget_owner",
+    "ledger_checks",
+    "partition_checks",
+]
+
+
+class SanitizerError(RuntimeError):
+    """Base class for every runtime-sanitizer violation."""
+
+
+class LedgerRaceError(SanitizerError):
+    """An unsynchronized cross-thread charge to one ``IOStats`` ledger."""
+
+
+class LockOrderError(SanitizerError):
+    """A lock acquisition violating the (static or dynamic) lock order."""
+
+
+class PartitionError(SanitizerError):
+    """An ``ExecutionReport`` breaking ``attributed + maintenance ==
+    total - build`` (or carrying a negative component)."""
+
+
+#: Ledger-ownership checking is on (read by ``IOStats.record_*``).
+ledger_checks: bool = False
+#: Report-partition checking is on (read by ``SkylineEngine``).
+partition_checks: bool = False
+
+# The global sync epoch.  Monotone; bumped under ``_epoch_lock`` at every
+# declared synchronization point.  Reads are unlocked (a stale read can
+# only make the ledger check *stricter*, never let a race through that a
+# fresh read would have caught).
+_epoch: int = 0
+_epoch_lock = threading.Lock()
+
+
+def enabled_from_env() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for sanitizers (``1``/truthy)."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def is_enabled() -> bool:
+    """Whether any runtime sanitizer is currently active."""
+    from repro.analysis import locks as _locks
+
+    return ledger_checks or partition_checks or _locks.tracker() is not None
+
+
+def enable(
+    *,
+    ledger: bool = True,
+    partition: bool = True,
+    lock_order: bool = True,
+    static_edges: Optional[Any] = None,
+) -> None:
+    """Switch the runtime sanitizers on.
+
+    ``static_edges`` (an iterable of ``(outer, inner)`` lock-name pairs,
+    typically :func:`repro.analysis.locklint.static_lock_graph`) makes
+    the lock-order tracker additionally reject any dynamically observed
+    edge missing from the static graph.
+    """
+    global ledger_checks, partition_checks
+    ledger_checks = ledger
+    partition_checks = partition
+    from repro.analysis import locks as _locks
+
+    if lock_order:
+        _locks.install_tracker(_locks.LockOrderTracker(static_edges))
+    else:
+        _locks.install_tracker(None)
+
+
+def disable() -> None:
+    """Switch every runtime sanitizer off (the default state)."""
+    global ledger_checks, partition_checks
+    ledger_checks = False
+    partition_checks = False
+    from repro.analysis import locks as _locks
+
+    _locks.install_tracker(None)
+
+
+def sync_point() -> None:
+    """Declare a synchronization point (bumps the global sync epoch).
+
+    Called by tracked-lock acquisitions and by the batch executors at
+    their dispatch/join boundaries; after a sync point, ownership of any
+    ledger may legally move to another thread.  A no-op cheap enough to
+    call unconditionally from non-hot paths.
+    """
+    global _epoch
+    with _epoch_lock:
+        _epoch += 1
+
+
+def current_epoch() -> int:
+    """The current value of the global sync epoch."""
+    return _epoch
+
+
+def check_charge(stats: Any) -> None:
+    """Ledger-ownership check, called by ``IOStats`` on every charge.
+
+    Only invoked when :data:`ledger_checks` is true.  ``stats`` is an
+    :class:`~repro.em.counters.IOStats` (typed ``Any`` to keep this
+    module import-free); ownership state lives in the ``_san_owner`` /
+    ``_san_epoch`` attributes attached here.
+    """
+    me = threading.get_ident()
+    owner = getattr(stats, "_san_owner", None)
+    if owner is not None and owner != me and getattr(stats, "_san_epoch", 0) >= _epoch:
+        raise LedgerRaceError(
+            f"unsynchronized cross-thread charge to {stats!r}: thread {me} "
+            f"charged while thread {owner} owned the ledger and no sync "
+            f"point (epoch {_epoch}) happened since its last charge -- "
+            "every IOStats must be private to one worker or handed off "
+            "through a synchronization point (lock acquisition, batch "
+            "dispatch/join)"
+        )
+    stats._san_owner = me
+    stats._san_epoch = _epoch
+
+
+def forget_owner(stats: Any) -> None:
+    """Clear a ledger's recorded owner (called by ``IOStats.reset``)."""
+    if hasattr(stats, "_san_owner"):
+        stats._san_owner = None

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List
 
+from repro.analysis import sanitize as _sanitize
+
 
 @dataclass
 class IOStats:
@@ -14,6 +16,12 @@ class IOStats:
     external-memory model charges for.  ``allocations`` and ``frees`` are
     bookkeeping counters (free in the cost model) that the space accounting
     of the benchmarks uses.
+
+    Under ``REPRO_SANITIZE=1`` every charge additionally runs the
+    ledger-ownership check of :mod:`repro.analysis.sanitize`: a ledger
+    charged from two threads with no synchronization point in between
+    raises :class:`~repro.analysis.sanitize.LedgerRaceError` at the
+    racing charge instead of silently losing increments.
     """
 
     reads: int = 0
@@ -28,10 +36,14 @@ class IOStats:
 
     def record_read(self, count: int = 1) -> None:
         """Charge ``count`` block reads."""
+        if _sanitize.ledger_checks:
+            _sanitize.check_charge(self)
         self.reads += count
 
     def record_write(self, count: int = 1) -> None:
         """Charge ``count`` block writes."""
+        if _sanitize.ledger_checks:
+            _sanitize.check_charge(self)
         self.writes += count
 
     def record_allocation(self, count: int = 1) -> None:
@@ -49,6 +61,8 @@ class IOStats:
         accumulator when the shard is rebuilt, so aggregate totals stay
         monotone across compactions.
         """
+        if _sanitize.ledger_checks:
+            _sanitize.check_charge(self)
         self.reads += other.reads
         self.writes += other.writes
         self.allocations += other.allocations
@@ -65,6 +79,7 @@ class IOStats:
 
     def reset(self) -> None:
         """Zero all counters."""
+        _sanitize.forget_owner(self)
         self.reads = 0
         self.writes = 0
         self.allocations = 0

@@ -357,6 +357,7 @@ class ShardedServiceBackend:
         self, rect: RangeQuery, consistency: str
     ) -> Tuple[List[Point], QueryTrace]:
         service = self.service
+        # repro: calls(SkylineService.query_many)
         points = service.query_many([rect], use_cache=consistency != "fresh")[0]
         return points, self._trace_from(service.last_traces[0])
 
@@ -366,6 +367,7 @@ class ShardedServiceBackend:
         """One native ``query_many`` call: worklist batching, duplicate
         coalescing and ``parallelism`` thread fan-out all apply."""
         service = self.service
+        # repro: calls(SkylineService.query_many)
         results = service.query_many(rects, use_cache=consistency != "fresh")
         return [
             (points, self._trace_from(trace))

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis import sanitize as _sanitize
 from repro.core.point import Point
 from repro.core.queries import RangeQuery
 from repro.em.config import EMConfig
@@ -81,6 +82,11 @@ class SkylineEngine:
         # Ledger charges from engine-level maintenance (cache drops flush
         # dirty blocks) -- real transfers, but not any one request's.
         self._maintenance = 0
+        # Ledger traffic that bypassed the engine (callers driving the
+        # raw service/index next to an attached engine).  Tracked by the
+        # report-partition sanitizer so the identity stays exact over
+        # engine-served traffic; see :meth:`_san_pre`.
+        self._external_io = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -132,6 +138,71 @@ class SkylineEngine:
         return cls(ShardedServiceBackend.open(store, config, **overrides))
 
     # ------------------------------------------------------------------
+    # Report-partition sanitizer (active under ``REPRO_SANITIZE=1``)
+    # ------------------------------------------------------------------
+    def _san_pre(self) -> None:
+        """Settle the ledger before serving: any positive gap between the
+        backend ledger and the engine's books is traffic that bypassed
+        the engine -- recorded as external, excluded from blame.  A
+        *negative* gap means the engine attributed transfers the ledger
+        never saw: corrupted bookkeeping, reported immediately."""
+        if not _sanitize.partition_checks:
+            return
+        gap = (
+            self.backend.io_total()
+            - self.build_io
+            - self._attributed
+            - self._maintenance
+            - self._external_io
+        )
+        if gap > 0:
+            self._external_io += gap
+        elif gap < 0:
+            raise _sanitize.PartitionError(
+                f"engine books exceed the backend ledger by {-gap} blocks "
+                f"(attributed={self._attributed}, "
+                f"maintenance={self._maintenance}, "
+                f"external={self._external_io}, build={self.build_io}, "
+                f"ledger={self.backend.io_total()}) -- a report charged "
+                "transfers the ledger never recorded"
+            )
+
+    def _san_settle(self) -> None:
+        """After serving: ``attributed + maintenance (+ external) ==
+        total - build`` must hold *exactly* -- the reports partition the
+        ledger."""
+        if not _sanitize.partition_checks:
+            return
+        gap = (
+            self.backend.io_total()
+            - self.build_io
+            - self._attributed
+            - self._maintenance
+            - self._external_io
+        )
+        if gap != 0:
+            raise _sanitize.PartitionError(
+                f"report partition violated by {gap} blocks after serving: "
+                f"attributed={self._attributed} + "
+                f"maintenance={self._maintenance} + "
+                f"external={self._external_io} != "
+                f"ledger={self.backend.io_total()} - build={self.build_io}"
+            )
+
+    def _san_post(self, report: ExecutionReport) -> None:
+        """Component sanity of one report, then the partition identity."""
+        if not _sanitize.partition_checks:
+            return
+        if report.reads < 0 or report.writes < 0 or report.maintenance_blocks < 0:
+            raise _sanitize.PartitionError(
+                f"report carries a negative component: reads={report.reads}, "
+                f"writes={report.writes}, "
+                f"maintenance_blocks={report.maintenance_blocks} "
+                f"({report.kind}/{report.variant} on {report.backend})"
+            )
+        self._san_settle()
+
+    # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
     @staticmethod
@@ -149,7 +220,9 @@ class SkylineEngine:
         """Execute one read; returns the page plus plan and report."""
         req = self._coerce(request)
         plan = self.backend.plan(req)
+        self._san_pre()
         before = self.backend.snapshot()
+        # repro: calls(ShardedServiceBackend.execute)
         points, trace = self.backend.execute(req.rect, req.consistency)
         delta = self.backend.snapshot() - before
         k = len(points)
@@ -171,6 +244,7 @@ class SkylineEngine:
         )
         self.requests_served += 1
         self._attributed += report.blocks
+        self._san_post(report)
         return QueryResult(
             points=page,
             total_results=k,
@@ -218,7 +292,9 @@ class SkylineEngine:
             "fresh" if any(r.consistency == "fresh" for r in reqs) else "cached"
         )
         plans = [self.backend.plan(r) for r in reqs]
+        self._san_pre()
         before = self.backend.snapshot()
+        # repro: calls(ShardedServiceBackend.execute_many)
         executed = self.backend.execute_many([r.rect for r in reqs], consistency)
         delta = self.backend.snapshot() - before
         results: List[QueryResult] = []
@@ -264,6 +340,7 @@ class SkylineEngine:
         )
         self.requests_served += len(reqs)
         self._attributed += batch_report.blocks
+        self._san_post(batch_report)
         return results, batch_report
 
     # ------------------------------------------------------------------
@@ -281,6 +358,7 @@ class SkylineEngine:
         update's own bounded work while the partition
         ``attributed + maintenance == total - build`` stays exact.
         """
+        self._san_pre()
         before = self.backend.snapshot()
         maintenance_before = self.backend.maintenance_snapshot()
         applied = self.backend.apply(request)
@@ -298,6 +376,7 @@ class SkylineEngine:
         self.requests_served += 1
         self._attributed += report.blocks
         self._maintenance += maintenance.total
+        self._san_post(report)
         return UpdateResult(applied=applied, report=report)
 
     def insert(self, point: Point) -> UpdateResult:
@@ -355,9 +434,11 @@ class SkylineEngine:
         Evicting dirty frames flushes them -- those writes are charged to
         :meth:`maintenance_io`, keeping the accounting identity exact.
         """
+        self._san_pre()
         before = self.backend.snapshot()
         self.backend.drop_caches()
         self._maintenance += (self.backend.snapshot() - before).total
+        self._san_settle()
 
     def compact(self) -> None:
         """Fold pending writes into the static structures now (a no-op on
@@ -368,9 +449,11 @@ class SkylineEngine:
         the rebuild cost lands in :meth:`maintenance_io`, so the
         accounting identity keeps holding.
         """
+        self._san_pre()
         before = self.backend.snapshot()
         self.backend.compact()
         self._maintenance += (self.backend.snapshot() - before).total
+        self._san_settle()
 
     def drain(self) -> Dict[str, int]:
         """Pay all outstanding incremental merge debt now (a no-op on
@@ -382,9 +465,11 @@ class SkylineEngine:
         identity keeps holding, and subsequent queries run against fully
         merged levels.
         """
+        self._san_pre()
         before = self.backend.snapshot()
         counters = self.backend.drain()
         self._maintenance += (self.backend.snapshot() - before).total
+        self._san_settle()
         return counters
 
     def split_shard(self, sid: int, cut: Optional[float] = None) -> Optional[float]:
@@ -398,9 +483,11 @@ class SkylineEngine:
         *adaptive* split inside :meth:`update` need no special handling
         -- their reports already split out the maintenance delta.
         """
+        self._san_pre()
         before = self.backend.snapshot()
         cut = self.backend.split_shard(sid, cut)
         self._maintenance += (self.backend.snapshot() - before).total
+        self._san_settle()
         return cut
 
     def merge_shards(self, sid: int) -> Optional[float]:
@@ -408,9 +495,11 @@ class SkylineEngine:
         :meth:`repro.service.SkylineService.merge_shards`); a no-op
         returning ``None`` on the monolithic backend.  Charged like
         :meth:`split_shard`."""
+        self._san_pre()
         before = self.backend.snapshot()
         cut = self.backend.merge_shards(sid)
         self._maintenance += (self.backend.snapshot() - before).total
+        self._san_settle()
         return cut
 
     def fold_shard(self, sid: int) -> int:
@@ -418,9 +507,11 @@ class SkylineEngine:
         :meth:`repro.service.SkylineService.fold_shard`); a no-op
         returning 0 on the monolithic backend.  Charged like
         :meth:`split_shard`."""
+        self._san_pre()
         before = self.backend.snapshot()
         touched = self.backend.fold_shard(sid)
         self._maintenance += (self.backend.snapshot() - before).total
+        self._san_settle()
         return touched
 
     def close(self) -> int:
@@ -429,7 +520,9 @@ class SkylineEngine:
         The flush's ledger charge lands in :meth:`maintenance_io`, so the
         accounting identity still holds after shutdown.
         """
+        self._san_pre()
         before = self.backend.snapshot()
         flushed = self.backend.close()
         self._maintenance += (self.backend.snapshot() - before).total
+        self._san_settle()
         return flushed

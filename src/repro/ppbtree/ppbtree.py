@@ -182,6 +182,7 @@ class MultiversionBTree:
             if node_id in seen:
                 continue
             seen.add(node_id)
+            # repro: uncharged-io(space accounting walks every reachable block to count them; the paper's space bound is measured out-of-band, not charged as transfers)
             node: MVNode = self.storage.disk.peek(node_id)
             if not node.is_leaf:
                 stack.extend(entry.value for entry in node.entries)

@@ -72,6 +72,7 @@ def _check_node(queue: IOCPQA, node: Any) -> Tuple[Any, Any]:
             raise InvariantViolation("empty in-memory leaf descriptor")
         return node.items[0]
     if isinstance(node, _RecordLeaf):
+        # repro: uncharged-io(invariant checker inspects record blocks out-of-band; charging it would distort the measured cost of the structure under test)
         records = queue.storage.disk.peek(node.block_id)
         if len(records) > queue.record_capacity:
             raise InvariantViolation("record block exceeds the record capacity")
@@ -94,6 +95,7 @@ def _collect_free(queue: IOCPQA, node: Any, out: List[Tuple[Any, Any]]) -> None:
     if isinstance(node, _MemLeaf):
         out.extend(node.items)
         return
+    # repro: uncharged-io(same out-of-band inspection as _check_node: the checker reads the queue's blocks without perturbing its ledger)
     records = queue.storage.disk.peek(node.block_id)
     for item in records[node.offset :]:
         if item[0] >= node.cap:

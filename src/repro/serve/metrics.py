@@ -10,10 +10,11 @@ any caller thread.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from typing import Deque, Dict, List, Sequence
+
+from repro.analysis.locks import tracked_lock
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -34,7 +35,7 @@ class ServerMetrics:
     """Thread-safe counters and latency reservoirs of one server."""
 
     def __init__(self, latency_samples: int = 8192) -> None:
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("serve.metrics")
         self.started_at = time.perf_counter()
         self.submitted_reads = 0
         self.submitted_writes = 0

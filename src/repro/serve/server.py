@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Union
 
 from concurrent.futures import Future
 
+from repro.analysis.locks import tracked_lock
 from repro.core.point import Point
 from repro.engine.engine import QueryLike, SkylineEngine
 from repro.engine.requests import QueryRequest, UpdateRequest
@@ -116,8 +117,9 @@ class SkylineServer:
             self.config.max_write_queue
         )
         # Read batches and writer-lane updates exclude each other here;
-        # nothing else may touch the engine while the server owns it.
-        self._engine_lock = threading.Lock()
+        # nothing else may touch the engine while the server owns it
+        # (reprolint enforces it: every self.engine call must hold this).
+        self._engine_lock = tracked_lock("serve.server.engine")  # repro: guards(engine)
         self._stop = threading.Event()
         self._started = False
         self._closed = False
@@ -336,9 +338,11 @@ class SkylineServer:
         try:
             with self._engine_lock:
                 if self.config.coalesce:
+                    # repro: calls(SkylineEngine.query_batch)
                     results, batch_report = self.engine.query_batch(order)
                     blocks = batch_report.blocks
                 else:
+                    # repro: calls(SkylineEngine.query)
                     singles = [self.engine.query(s.request) for s in live]
         except BaseException as exc:
             for submission in live:
@@ -394,6 +398,7 @@ class SkylineServer:
             started = time.perf_counter()
             try:
                 with self._engine_lock:
+                    # repro: calls(SkylineEngine.update)
                     result = self.engine.update(submission.request)
             except BaseException as exc:
                 submission.future.set_exception(exc)
@@ -413,6 +418,7 @@ class SkylineServer:
     def describe(self) -> Dict[str, object]:
         """Server metrics plus the engine's own description underneath."""
         with self._engine_lock:
+            # repro: calls(SkylineEngine.describe)
             engine_status = self.engine.describe()
         status: Dict[str, object] = {
             "server": {

@@ -25,6 +25,8 @@ import threading
 from concurrent.futures import Future
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.analysis import sanitize as _sanitize
+from repro.analysis.locks import tracked_condition
 from repro.service.batch import ShardAnswer, ShardQueryFn, WorkItem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,7 +45,7 @@ class _ShardWorker:
         self.batches = 0
         self.items = 0
         self._tasks: "list" = []
-        self._available = threading.Condition()
+        self._available = tracked_condition("serve.workers.available")
         self._stopped = False
         self.thread = threading.Thread(
             target=self._loop, name=f"skyserve-shard-{uid}", daemon=True
@@ -112,6 +114,7 @@ class ShardWorkerPool:
         alive = set(live.values())
         for uid in list(self.workers):
             if uid not in alive:
+                # repro: calls(_ShardWorker.stop)
                 self.workers.pop(uid).stop()
                 self.retired += 1
         for uid in alive:
@@ -129,10 +132,15 @@ class ShardWorkerPool:
         shard_query: ShardQueryFn,
         parallelism: int = 1,
     ) -> Dict[Tuple[int, int], ShardAnswer]:
+        # Batch entry is a declared handoff point: shard ledgers last
+        # charged by the caller (build, compaction) may now be charged by
+        # the uid-bound workers.
+        _sanitize.sync_point()
         uid_of_sid = self.sync()
         futures: List[Future] = []
         for sid in sorted(worklists):
             future: Future = Future()
+            # repro: calls(_ShardWorker.submit)
             self.workers[uid_of_sid[sid]].submit(
                 (sid, worklists[sid], shard_query, future)
             )
@@ -140,6 +148,8 @@ class ShardWorkerPool:
         results: Dict[Tuple[int, int], ShardAnswer] = {}
         for future in futures:
             results.update(future.result())
+        # And batch exit hands the ledgers back to the caller.
+        _sanitize.sync_point()
         return results
 
     # ------------------------------------------------------------------

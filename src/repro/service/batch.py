@@ -20,6 +20,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.core.point import Point
 from repro.core.queries import RangeQuery, classify
 
@@ -83,7 +84,12 @@ def execute_worklists(
         for sid in shard_ids:
             results.update(run_shard(sid))
         return results
+    # Dispatch and join are declared handoff points: each shard's private
+    # ledger moves to exactly one pool worker for the duration of the
+    # fan-out and back to the caller afterwards.
+    _sanitize.sync_point()
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for shard_results in pool.map(run_shard, shard_ids):
             results.update(shard_results)
+    _sanitize.sync_point()
     return results

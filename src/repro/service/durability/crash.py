@@ -53,7 +53,9 @@ def crashed_copy(store: DurableStore, prefix: int) -> DurableStore:
             # The kill happened mid-group: only the durable head of this
             # block image survived.  Surgery, not a modelled transfer.
             take = prefix - first_lsn
+            # repro: uncharged-io(crash injection truncates the torn WAL block in place -- simulator surgery modelling data loss, not a transfer the recovering node performs)
             survivors = list(clone.storage.disk.peek(block_id))[:take]
+            # repro: uncharged-io(writing back the truncated image is the same injected surgery; recovery pays its own charged reads when it replays)
             clone.storage.disk.poke(block_id, survivors)
             kept.append((block_id, take))
         else:

@@ -1004,6 +1004,8 @@ class SkylineService:
                 misses, {position: plan[position][1] for position, _ in misses}
             )
             executor = self.batch_executor or execute_worklists
+            # repro: calls(ShardWorkerPool.__call__)
+            # repro: calls(execute_worklists)
             local = executor(
                 worklists, self._shard_query, self.config.parallelism
             )

@@ -1,14 +1,40 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+With ``REPRO_SANITIZE=1`` in the environment the whole suite runs under
+the runtime sanitizers of :mod:`repro.analysis.sanitize`: ledger
+ownership, lock-order tracking (cross-checked against the static graph
+``tools/reprolint`` builds), and the engine's report-partition identity.
+CI runs the suite once in each mode.
+"""
 
 from __future__ import annotations
 
 import random
+from pathlib import Path
 
 import pytest
 
+from repro.analysis import locklint, sanitize
 from repro.core.point import Point
 from repro.em.config import EMConfig
 from repro.em.storage import StorageManager
+
+_SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _repro_sanitizers() -> object:
+    """Enable the runtime sanitizers for the whole run when asked to."""
+    if not sanitize.enabled_from_env():
+        yield None
+        return
+    sanitize.enable(
+        static_edges=locklint.static_lock_graph(
+            locklint.default_scope(_SRC_REPRO)
+        )
+    )
+    yield None
+    sanitize.disable()
 
 
 @pytest.fixture

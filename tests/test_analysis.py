@@ -1,0 +1,246 @@
+"""The static passes of ``repro.analysis`` (and the repo's own cleanliness)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import cli, iolint, locklint
+from repro.analysis.pragmas import scan_pragmas
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+# ----------------------------------------------------------------------
+# Uncharged-I/O pass
+# ----------------------------------------------------------------------
+def test_iolint_flags_every_uncharged_access() -> None:
+    source = (
+        "def f(disk, storage):\n"
+        "    data = disk.read_block(3)\n"
+        "    raw = disk._blocks\n"
+        "    storage.disk.poke(1, [])\n"
+        "    free = storage.disk.peek(2)\n"
+        "    return data, raw, free\n"
+    )
+    findings = iolint.lint_source("src/repro/toy.py", source)
+    assert [f.line for f in findings] == [2, 3, 4, 5]
+    assert all(f.rule == "uncharged-io" for f in findings)
+
+
+def test_iolint_charged_receivers_not_flagged() -> None:
+    # EMFile/StorageManager methods charge internally; only a receiver
+    # chain ending in a literal ``disk`` handle is a bypass.
+    source = (
+        "def f(ordered, storage):\n"
+        "    a = ordered.read_block(0)\n"
+        "    b = storage.read(1)\n"
+        "    return a, b\n"
+    )
+    assert iolint.lint_source("src/repro/toy.py", source) == []
+
+
+def test_iolint_pragma_with_reason_suppresses() -> None:
+    source = (
+        "def f(disk):\n"
+        "    # repro: uncharged-io(checker inspection, out-of-band)\n"
+        "    return disk.peek(1)\n"
+    )
+    assert iolint.lint_source("src/repro/toy.py", source) == []
+
+
+def test_iolint_pragma_requires_nonempty_reason() -> None:
+    source = (
+        "def f(disk):\n"
+        "    return disk.peek(1)  # repro: uncharged-io()\n"
+    )
+    findings = iolint.lint_source("src/repro/toy.py", source)
+    assert len(findings) == 1
+    assert "non-empty reason" in findings[0].message
+
+
+def test_iolint_reports_stale_pragma() -> None:
+    source = (
+        "def f(x):\n"
+        "    # repro: uncharged-io(nothing here needs it)\n"
+        "    return x + 1\n"
+    )
+    findings = iolint.lint_source("src/repro/toy.py", source)
+    assert [f.rule for f in findings] == ["unused-pragma"]
+
+
+def test_iolint_charging_layer_is_exempt() -> None:
+    source = "def f(disk):\n    return disk.peek(1)\n"
+    assert iolint.lint_source("src/repro/em/disk.py", source) == []
+    assert iolint.lint_source("src/repro/toy.py", source) != []
+
+
+def test_pragma_scanner_ignores_string_literals() -> None:
+    source = 's = "# repro: uncharged-io(not a pragma)"\n'
+    assert scan_pragmas(source).by_line == {}
+
+
+def test_stacked_pragmas_all_apply_to_the_statement_below() -> None:
+    source = (
+        "def f():\n"
+        "    # repro: calls(A.x)\n"
+        "    # repro: calls(B.y)\n"
+        "    g()\n"
+    )
+    pragmas = scan_pragmas(source)
+    found = pragmas.find_all("calls", 4)
+    assert sorted(p.argument for p in found) == ["A.x", "B.y"]
+
+
+# ----------------------------------------------------------------------
+# Lock-discipline pass
+# ----------------------------------------------------------------------
+TOY_PREAMBLE = (
+    "import threading\n"
+    "from repro.analysis.locks import tracked_lock\n"
+)
+
+
+def test_locklint_flags_raw_lock_in_tier() -> None:
+    source = TOY_PREAMBLE + (
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+    )
+    analysis = locklint.analyze_sources([("src/repro/serve/toy.py", source)])
+    assert [f.rule for f in analysis.findings] == ["untracked-lock"]
+
+
+def test_locklint_accepts_annotated_raw_lock() -> None:
+    source = TOY_PREAMBLE + (
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        # repro: untracked-lock(bench-only helper, not served)\n"
+        "        self._lock = threading.Lock()\n"
+    )
+    analysis = locklint.analyze_sources([("src/repro/serve/toy.py", source)])
+    assert analysis.findings == []
+
+
+def test_locklint_builds_edges_from_lexical_nesting() -> None:
+    source = TOY_PREAMBLE + (
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self.a = tracked_lock('toy.a')\n"
+        "        self.b = tracked_lock('toy.b')\n"
+        "    def outer(self):\n"
+        "        with self.a:\n"
+        "            with self.b:\n"
+        "                pass\n"
+    )
+    analysis = locklint.analyze_sources([("src/repro/serve/toy.py", source)])
+    assert ("toy.a", "toy.b") in analysis.edges
+    assert analysis.findings == []
+
+
+def test_locklint_detects_cycle() -> None:
+    source = TOY_PREAMBLE + (
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self.a = tracked_lock('toy.a')\n"
+        "        self.b = tracked_lock('toy.b')\n"
+        "    def one(self):\n"
+        "        with self.a:\n"
+        "            with self.b:\n"
+        "                pass\n"
+        "    def two(self):\n"
+        "        with self.b:\n"
+        "            with self.a:\n"
+        "                pass\n"
+    )
+    analysis = locklint.analyze_sources([("src/repro/serve/toy.py", source)])
+    assert any(f.rule == "lock-cycle" for f in analysis.findings)
+
+
+def test_locklint_follows_calls_directives_across_modules() -> None:
+    caller = TOY_PREAMBLE + (
+        "class Front:\n"
+        "    def __init__(self, engine):\n"
+        "        self.engine = engine\n"
+        "        self.lock = tracked_lock('toy.front')\n"
+        "    def serve(self):\n"
+        "        with self.lock:\n"
+        "            # repro: calls(Engine.run)\n"
+        "            self.engine.run()\n"
+    )
+    callee = TOY_PREAMBLE + (
+        "class Engine:\n"
+        "    def __init__(self):\n"
+        "        self.inner = tracked_lock('toy.inner')\n"
+        "    def run(self):\n"
+        "        with self.inner:\n"
+        "            pass\n"
+    )
+    analysis = locklint.analyze_sources(
+        [
+            ("src/repro/serve/front.py", caller),
+            ("src/repro/engine/eng.py", callee),
+        ]
+    )
+    assert ("toy.front", "toy.inner") in analysis.edges
+    assert analysis.findings == []
+
+
+def test_locklint_rejects_unknown_calls_target() -> None:
+    source = TOY_PREAMBLE + (
+        "def f():\n"
+        "    # repro: calls(Nowhere.missing)\n"
+        "    g()\n"
+    )
+    analysis = locklint.analyze_sources([("src/repro/serve/toy.py", source)])
+    assert [f.rule for f in analysis.findings] == ["unknown-directive-target"]
+
+
+def test_locklint_guard_discipline() -> None:
+    source = TOY_PREAMBLE + (
+        "class Srv:\n"
+        "    def __init__(self, engine):\n"
+        "        self.engine = engine\n"
+        "        self.lock = tracked_lock('toy.engine')  # repro: guards(engine)\n"
+        "    def good(self):\n"
+        "        with self.lock:\n"
+        "            self.engine.run()\n"
+        "    def bad(self):\n"
+        "        self.engine.run()\n"
+    )
+    analysis = locklint.analyze_sources([("src/repro/serve/toy.py", source)])
+    assert [f.rule for f in analysis.findings] == ["unguarded-call"]
+    assert analysis.findings[0].line == 11
+
+
+def test_locklint_guard_allows_annotated_exception() -> None:
+    source = TOY_PREAMBLE + (
+        "class Srv:\n"
+        "    def __init__(self, engine):\n"
+        "        self.engine = engine\n"
+        "        self.lock = tracked_lock('toy.engine')  # repro: guards(engine)\n"
+        "    def startup_probe(self):\n"
+        "        # repro: unguarded-call(runs before the lanes start)\n"
+        "        self.engine.run()\n"
+    )
+    analysis = locklint.analyze_sources([("src/repro/serve/toy.py", source)])
+    assert analysis.findings == []
+
+
+# ----------------------------------------------------------------------
+# The repository itself must be clean
+# ----------------------------------------------------------------------
+def test_repository_passes_reprolint() -> None:
+    findings = cli.run([SRC])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_static_lock_graph_contains_the_serving_chain() -> None:
+    # The dispatcher holds the engine lock across a batch, whose
+    # worklists are submitted to the shard workers' condition -- the one
+    # cross-object edge of the serving tier.  If this edge vanishes, a
+    # missing calls() annotation broke the chain and the runtime
+    # cross-check would start rejecting healthy acquisitions.
+    edges = locklint.static_lock_graph(
+        locklint.default_scope(SRC / "repro")
+    )
+    assert ("serve.server.engine", "serve.workers.available") in edges
