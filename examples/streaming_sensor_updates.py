@@ -1,70 +1,121 @@
-"""Maintaining a range skyline under a stream of insertions and deletions.
+"""Streaming sensor maintenance on the attrition queue tier.
 
-Scenario: a monitoring system tracks sensors by (timestamp, reading).  New
-measurements arrive continuously, old ones expire, and dashboards repeatedly
-ask for the maxima ("most recent AND highest reading") within a sliding
-time window and above a reading threshold -- a top-open range skyline query.
+Scenario: a monitoring system tracks sensors by (timestamp, reading).
+New measurements arrive continuously, old ones expire, and dashboards
+want two live views:
 
-The dynamic structure of Theorem 4 supports exactly this: logarithmic-I/O
-updates and queries whose cost is dominated by the output size.  The example
-replays a stream, issues periodic window queries, and prints the amortized
-I/O cost of both.
+* the **window skyline** -- the maxima ("most recent AND highest
+  reading") of the last 2 000 measurements.  ``repro.stream`` maintains
+  it directly on the I/O-CPQA: appending a reading *attrites* every
+  older dominated one (Theorem 3: O(1/b) amortized block transfers per
+  point), so there is no periodic re-query at all;
+
+* a **threshold subscription** -- readings above 400 inside one watched
+  time era, entering or leaving the skyline of a sharded engine that
+  ingests every 16th measurement.  The subscription is pumped after each
+  ingest, and the per-shard ``(uid, write_version)`` scopes skip the
+  recompute whenever the written shard does not overlap the watched
+  rectangle -- visible below once the stream moves past the era.
+
+Compare the amortized per-update I/O printed at the end with the
+logarithmic dynamic-structure replay this example used before the
+streaming tier existed (that baseline is now measured side by side in
+``benchmarks/bench_streaming.py``).
 """
 
 from __future__ import annotations
 
 import random
 
-from repro import Point, TopOpenQuery
-from repro.em import EMConfig, StorageManager
-from repro.structures import DynamicTopOpenStructure
+from repro import Point, RangeQuery
+from repro.em import EMConfig
+from repro.engine import SkylineEngine, SubscribeRequest, UpdateRequest
+from repro.stream import SubscriptionManager, WindowedSkyline
 
 
 def main() -> None:
     rng = random.Random(3)
-    storage = StorageManager(EMConfig(block_size=64, memory_blocks=64))
-    structure = DynamicTopOpenStructure(storage, epsilon=0.5)
 
     window = 2_000           # keep the last 2 000 measurements
-    horizon = 10_000         # total stream length
-    live: list = []
-    update_io = 0
-    query_io = 0
-    query_count = 0
+    horizon = 6_000          # total stream length
+    ingest_every = 16        # engine ingest cadence for the subscription
+
+    skyline = WindowedSkyline(
+        window, "count", em_config=EMConfig(block_size=64, memory_blocks=64)
+    )
+
+    # The subscription side: a sharded engine seeded with sparse
+    # historical readings (so the shards partition the time axis) and
+    # fed a sample of the live stream.  The dashboard watches one time
+    # era with a reading threshold; once the stream moves past that era,
+    # every ingest lands on a shard outside the watched scope and the
+    # recompute is skipped.
+    history = [
+        Point(i * (horizon / 256.0) + 0.05, rng.uniform(0, 1000), ident=-1 - i)
+        for i in range(256)
+    ]
+    engine = SkylineEngine.sharded(
+        history, shard_count=4, block_size=64, memory_blocks=64, cache_capacity=0
+    )
+    manager = SubscriptionManager(engine)
+    threshold = RangeQuery(x_lo=1_000.0, x_hi=2_500.0, y_lo=400.0)
+    subscription, _initial = manager.register(SubscribeRequest(threshold))
+    notify_io = 0
+    alerts = 0
 
     for step in range(horizon):
-        timestamp = float(step)
+        timestamp = float(step) + rng.uniform(0.1, 0.9)
         reading = rng.uniform(0, 1000) + step * 1e-7
         point = Point(timestamp, reading, ident=step)
+        skyline.append(point)
 
-        before = storage.snapshot()
-        structure.insert(point)
-        live.append(point)
-        if len(live) > window:
-            expired = live.pop(0)
-            structure.delete(expired)
-        update_io += (storage.snapshot() - before).total
+        if step % ingest_every == ingest_every - 1:
+            engine.update(UpdateRequest.insert(point))
+            before = engine.io_total()
+            for delta in manager.pump().values():
+                alerts += 1
+                for entered in delta.entered:
+                    if entered.ident == step:
+                        print(
+                            f"t={step:>5}: reading {entered.y:7.2f} entered "
+                            f"the >=400 skyline "
+                            f"({len(delta.left)} displaced)"
+                        )
+            notify_io += engine.io_total() - before
 
         if step % 1_000 == 999:
-            # Dashboard query: maxima of the last 1 500 ticks with reading >= 400.
-            query = TopOpenQuery(timestamp - 1_500, timestamp, 400.0)
-            before = storage.snapshot()
-            maxima = structure.query(query)
-            query_io += (storage.snapshot() - before).total
-            query_count += 1
+            maxima = skyline.skyline()
             best = max(maxima, key=lambda p: p.y)
             print(
-                f"t={step:>5}: {len(maxima):>3} maxima in window, "
+                f"t={step:>5}: {len(maxima):>3} maxima in the window, "
                 f"best reading {best.y:7.2f} at t={best.x:.0f}"
             )
 
-    updates = horizon + max(0, horizon - window)
+    assert skyline.ledger_ok()
+    described = skyline.describe()
+    pumped = manager.describe()
     print()
     print(f"stream length                 : {horizon}")
-    print(f"amortized I/Os per update     : {update_io / updates:.2f}")
-    print(f"amortized I/Os per query      : {query_io / max(1, query_count):.2f}")
-    print(f"structure height (base tree)  : {structure.height()}")
-    print(f"points currently indexed      : {len(structure)}")
+    print(
+        "amortized I/Os per append     : "
+        f"{(skyline.append_io + skyline.expire_io) / horizon:.4f}"
+    )
+    print(
+        "amortized I/Os per query      : "
+        f"{skyline.query_io / (horizon // 1_000):.2f}"
+    )
+    print(f"window occupancy / components : {len(skyline)} / {described['components']}")
+    print(f"bound                         : {described['bound']}")
+    print(
+        "subscription pumps            : "
+        f"{pumped['pumps']} ({pumped['skipped']} skipped by scope, "
+        f"{alerts} deltas delivered)"
+    )
+    print(
+        "notification I/O per ingest   : "
+        f"{notify_io / (horizon // ingest_every):.2f} blocks"
+    )
+    print(f"threshold view size           : {len(subscription.snapshot())}")
 
 
 if __name__ == "__main__":

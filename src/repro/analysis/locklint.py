@@ -1,8 +1,9 @@
 """Static lock-discipline pass over the concurrency tier.
 
-Scope: ``serve/``, ``service/`` and ``engine/`` -- the packages where
-threads meet shared state (the dispatcher and writer lanes, the shard
-worker pool, the engine the server serializes on).  The pass extracts
+Scope: ``serve/``, ``service/``, ``engine/`` and ``stream/`` -- the
+packages where threads meet shared state (the dispatcher and writer
+lanes, the shard worker pool, the engine the server serializes on, the
+subscription manager the writer lane pumps).  The pass extracts
 every lock the tier creates, builds the **static lock-order graph**, and
 enforces four rules:
 
@@ -57,7 +58,7 @@ RULE_UNGUARDED = "unguarded-call"
 RULE_BAD_DIRECTIVE = "unknown-directive-target"
 
 #: Sub-packages of ``src/repro`` the pass runs over by default.
-DEFAULT_SCOPE: Tuple[str, ...] = ("serve", "service", "engine")
+DEFAULT_SCOPE: Tuple[str, ...] = ("serve", "service", "engine", "stream")
 
 TRACKED_FACTORIES = frozenset({"tracked_lock", "tracked_condition"})
 RAW_LOCK_TYPES = frozenset({"Lock", "RLock", "Condition"})

@@ -42,12 +42,20 @@ from repro.engine.plan import (
     bound_for,
     structure_for,
 )
-from repro.engine.report import ExecutionReport, QueryResult, UpdateResult
+from repro.engine.report import (
+    ExecutionReport,
+    QueryResult,
+    SkylineDelta,
+    StreamPage,
+    UpdateResult,
+)
 from repro.engine.requests import (
     CONSISTENCY_LEVELS,
     OP_DELETE,
     OP_INSERT,
     QueryRequest,
+    StreamRequest,
+    SubscribeRequest,
     UpdateRequest,
 )
 
@@ -59,8 +67,12 @@ __all__ = [
     "QueryTrace",
     "QueryRequest",
     "UpdateRequest",
+    "StreamRequest",
+    "SubscribeRequest",
     "QueryResult",
     "UpdateResult",
+    "StreamPage",
+    "SkylineDelta",
     "ExecutionReport",
     "QueryPlan",
     "ScopePlan",

@@ -20,6 +20,8 @@ from repro.engine.plan import QueryPlan
 
 KIND_QUERY = "query"
 KIND_BATCH = "batch"
+KIND_STREAM = "stream"
+KIND_DELTA = "delta"
 
 
 @dataclass(frozen=True)
@@ -127,3 +129,56 @@ class UpdateResult:
 
     applied: bool
     report: ExecutionReport
+
+
+@dataclass(frozen=True)
+class StreamPage:
+    """One page of a resumable top-k stream (``kind="stream"``).
+
+    Pages come from an immutable snapshot pinned when the stream opened,
+    so consecutive pages tile the snapshot's answer exactly -- no point
+    is skipped or repeated however many updates land between pages.
+
+    ``next_cursor`` is the last point's x and doubles as a
+    :attr:`~repro.engine.requests.QueryRequest.cursor` resume token: a
+    caller that outlives its snapshot can continue against live data with
+    a fresh paginated query.  ``exhausted`` marks the final page; the
+    ``report``'s blocks are the transfers this page's pops charged (zero
+    for a page served from memory-resident snapshot records).
+    """
+
+    points: List[Point]
+    next_cursor: Optional[float]
+    exhausted: bool
+    report: ExecutionReport
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+
+@dataclass(frozen=True)
+class SkylineDelta:
+    """One subscription notification (``kind="delta"``).
+
+    ``entered``/``left`` are the points that joined and dropped out of
+    the subscribed rectangle's skyline since the previous notification;
+    replaying every delta in ``revision`` order over the initial
+    snapshot reconstructs the naive recomputed answer exactly (asserted
+    by ``tests/test_stream.py``).  The ``report`` carries the ledger
+    delta of the recomputation that derived the notification -- a
+    subscription skipped by write-version scoping emits no delta and
+    charges nothing.
+    """
+
+    entered: List[Point]
+    left: List[Point]
+    revision: int
+    report: ExecutionReport
+
+    @property
+    def empty(self) -> bool:
+        """Whether the notification changes nothing (never delivered)."""
+        return not self.entered and not self.left

@@ -5,8 +5,11 @@ A :class:`QueryRequest` wraps the query rectangle (any shape of Figure 2;
 the variant is auto-classified via :func:`repro.core.queries.classify`)
 plus serving options -- ``limit``/``cursor`` pagination and a consistency
 hint -- and an :class:`UpdateRequest` names an insert or delete victim.
-Requests are frozen dataclasses, so they can be logged, hashed, retried
-and replayed verbatim.
+The streaming tier (:mod:`repro.stream`) adds two more shapes:
+a :class:`StreamRequest` opens a resumable top-k iterator over a pinned
+snapshot, and a :class:`SubscribeRequest` registers a continuous query
+whose answer is pushed as deltas.  Requests are frozen dataclasses, so
+they can be logged, hashed, retried and replayed verbatim.
 """
 
 from __future__ import annotations
@@ -92,3 +95,87 @@ class UpdateRequest:
     @classmethod
     def delete(cls, point: Point) -> "UpdateRequest":
         return cls(OP_DELETE, point)
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One resumable top-k read: open an incremental iterator.
+
+    Where a :class:`QueryRequest` with ``limit``/``cursor`` re-executes
+    the rectangle for every page (and therefore observes updates that
+    land between pages), a stream request pins a *component snapshot* at
+    open time: the persistent I/O-CPQA descriptors (or the one result
+    computed through the engine) are captured once, and every subsequent
+    page pops from that immutable value.  Interleaved updates can neither
+    tear a page nor make the iterator skip or repeat a point.  See
+    :class:`repro.stream.ResumableTopK`.
+
+    Attributes
+    ----------
+    rect:
+        The query rectangle the snapshot answers.
+    page_size:
+        Points per :class:`~repro.engine.report.StreamPage`.
+    consistency:
+        Passed to the one snapshot-pinning query (``"cached"`` /
+        ``"fresh"``, see :data:`CONSISTENCY_LEVELS`).
+    """
+
+    rect: RangeQuery = field(default_factory=RangeQuery)
+    page_size: int = 16
+    consistency: str = "cached"
+
+    def __post_init__(self) -> None:
+        if self.page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {self.page_size}")
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"consistency must be one of {CONSISTENCY_LEVELS}, "
+                f"got {self.consistency!r}"
+            )
+
+    @property
+    def variant(self) -> str:
+        """The Figure-2 label of the rectangle (``classify(rect)``)."""
+        return classify(self.rect)
+
+
+@dataclass(frozen=True)
+class SubscribeRequest:
+    """One continuous query: a standing rectangle answered by deltas.
+
+    A subscription receives :class:`~repro.engine.report.SkylineDelta`
+    notifications -- the points that *entered* and *left* the rectangle's
+    skyline -- instead of full answers.  Recomputation is scoped by the
+    per-shard ``(uid, write_version)`` generations the result cache
+    already tracks: a subscription whose rectangle overlaps no written
+    shard is skipped entirely, costing zero block transfers.  See
+    :class:`repro.stream.SubscriptionManager`.
+
+    Attributes
+    ----------
+    rect:
+        The standing query rectangle.
+    consistency:
+        Consistency of each recomputation (``"cached"`` / ``"fresh"``).
+    initial_snapshot:
+        Whether registration delivers the current skyline as the first
+        delta (every point "entering"); with ``False`` the subscriber
+        starts from an empty replay state and only sees changes.
+    """
+
+    rect: RangeQuery = field(default_factory=RangeQuery)
+    consistency: str = "cached"
+    initial_snapshot: bool = True
+
+    def __post_init__(self) -> None:
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"consistency must be one of {CONSISTENCY_LEVELS}, "
+                f"got {self.consistency!r}"
+            )
+
+    @property
+    def variant(self) -> str:
+        """The Figure-2 label of the rectangle (``classify(rect)``)."""
+        return classify(self.rect)

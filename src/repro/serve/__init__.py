@@ -30,18 +30,20 @@ from repro.serve.errors import (
 )
 from repro.serve.metrics import ServerMetrics, percentile
 from repro.serve.report import (
+    LANE_NOTIFY,
     LANE_READ,
     LANE_WRITE,
     ServedQuery,
     ServedUpdate,
     ServingReport,
 )
-from repro.serve.server import SkylineServer
+from repro.serve.server import ServerSubscription, SkylineServer
 from repro.serve.workers import ShardWorkerPool, install_worker_pool
 
 __all__ = [
     "BACKPRESSURE_POLICIES",
     "DeadlineExceeded",
+    "LANE_NOTIFY",
     "LANE_READ",
     "LANE_WRITE",
     "Overloaded",
@@ -50,6 +52,7 @@ __all__ = [
     "ServerClosed",
     "ServerConfig",
     "ServerMetrics",
+    "ServerSubscription",
     "ServingError",
     "ServingReport",
     "ShardWorkerPool",

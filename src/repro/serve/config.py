@@ -24,7 +24,22 @@ class ServerConfig:
         hitting the service within one window are served as *one* batch
         and duplicate rectangles among them execute once.  ``0`` still
         drains whatever is already queued (burst coalescing) but never
-        waits for stragglers.
+        waits for stragglers.  With ``adaptive_gather`` this value is only
+        the starting point.
+    adaptive_gather:
+        Adapt the gather window to the *observed* read arrival rate: the
+        dispatcher keeps an EWMA of submission inter-arrival gaps and
+        sizes the window to roughly the time ``max_batch`` submissions
+        take to arrive, clamped to ``[0, gather_window_max]``.  Under a
+        fast stream the window shrinks (no pointless waiting); under a
+        trickle it stops stretching past the clamp, so latency stays
+        bounded.  ``describe()`` reports the currently effective window.
+    gather_alpha:
+        EWMA smoothing factor in ``(0, 1]`` for the arrival-gap estimate
+        (higher = reacts faster to rate changes).
+    gather_window_max:
+        Upper clamp of the adaptive window, seconds.  ``None`` defaults
+        to ``4 * gather_window``.
     max_batch:
         Upper bound on the submissions gathered into one read batch.
     coalesce:
@@ -50,9 +65,18 @@ class ServerConfig:
     latency_samples:
         Size of the reservoir of recent end-to-end latencies the server's
         metrics keep for percentile reporting.
+    max_subscription_queue:
+        Bound on each subscription's pending-notification queue.  A
+        subscriber that stops draining is *shed*: its subscription is
+        cancelled with a terminal :class:`~repro.serve.errors.Overloaded`
+        -- the same admission-control stance the intake queues take, so a
+        slow consumer cannot hold delta history without bound.
     """
 
     gather_window: float = 0.002
+    adaptive_gather: bool = False
+    gather_alpha: float = 0.2
+    gather_window_max: Optional[float] = None
     max_batch: int = 64
     coalesce: bool = True
     max_read_queue: int = 1024
@@ -61,11 +85,21 @@ class ServerConfig:
     submit_timeout: Optional[float] = None
     default_deadline: Optional[float] = None
     latency_samples: int = 8192
+    max_subscription_queue: int = 256
 
     def __post_init__(self) -> None:
         if self.gather_window < 0:
             raise ValueError(
                 f"gather_window must be >= 0, got {self.gather_window}"
+            )
+        if not 0 < self.gather_alpha <= 1:
+            raise ValueError(
+                f"gather_alpha must be in (0, 1], got {self.gather_alpha}"
+            )
+        if self.gather_window_max is not None and self.gather_window_max < 0:
+            raise ValueError(
+                f"gather_window_max must be >= 0 or None, "
+                f"got {self.gather_window_max}"
             )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
@@ -93,4 +127,9 @@ class ServerConfig:
         if self.latency_samples < 1:
             raise ValueError(
                 f"latency_samples must be >= 1, got {self.latency_samples}"
+            )
+        if self.max_subscription_queue < 1:
+            raise ValueError(
+                f"max_subscription_queue must be >= 1, "
+                f"got {self.max_subscription_queue}"
             )

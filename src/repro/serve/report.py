@@ -19,6 +19,7 @@ from repro.engine.report import QueryResult, UpdateResult
 
 LANE_READ = "read"
 LANE_WRITE = "write"
+LANE_NOTIFY = "notify"
 
 
 @dataclass(frozen=True)
@@ -28,8 +29,10 @@ class ServingReport:
     Attributes
     ----------
     lane:
-        ``"read"`` (gathered, coalesced, batch-executed) or ``"write"``
-        (the single serialized writer lane).
+        ``"read"`` (gathered, coalesced, batch-executed), ``"write"``
+        (the single serialized writer lane), or ``"notify"`` (the
+        subscription delta lane -- reports attached to terminal
+        subscription failures).
     queue_wait_s:
         Seconds between submission and the start of execution -- the
         admission/backpressure cost the bounded queues keep bounded.

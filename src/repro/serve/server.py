@@ -17,6 +17,19 @@ deadlines fail still-queued work with
 :class:`~repro.serve.errors.DeadlineExceeded` -- so queue wait, and with
 it tail latency, cannot grow without bound no matter the offered load.
 
+Two streaming-tier extensions ride the same lanes.  **Subscriptions**
+(:meth:`SkylineServer.subscribe`) register continuous queries: after the
+writer lane applies each update it pumps a
+:class:`~repro.stream.SubscriptionManager`, which uses the per-shard
+``(uid, write_version)`` scopes to recompute only the subscriptions
+overlapping a written shard, and the resulting deltas fan out to bounded
+per-subscriber queues (thread iterators, ``async for`` via
+:meth:`ServerSubscription.deltas`, or inline callbacks) with the same
+deadline and shed semantics as the intake queues.  **Adaptive gather**
+(``config.adaptive_gather``) replaces the fixed coalescing window with
+one sized from an EWMA of observed read inter-arrival gaps, exposed live
+in :meth:`SkylineServer.describe`.
+
 Every response pairs the engine's per-request
 :class:`~repro.engine.report.ExecutionReport` with a
 :class:`~repro.serve.report.ServingReport` (queue wait, service time,
@@ -39,18 +52,34 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import (
+    AsyncIterator,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
 
 from concurrent.futures import Future
 
 from repro.analysis.locks import tracked_lock
 from repro.core.point import Point
+from repro.core.queries import RangeQuery
 from repro.engine.engine import QueryLike, SkylineEngine
-from repro.engine.requests import QueryRequest, UpdateRequest
+from repro.engine.report import SkylineDelta
+from repro.engine.requests import QueryRequest, SubscribeRequest, UpdateRequest
 from repro.serve.config import ServerConfig
-from repro.serve.errors import DeadlineExceeded, Overloaded, ServerClosed
+from repro.serve.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ServerClosed,
+    ServingError,
+)
 from repro.serve.metrics import ServerMetrics
 from repro.serve.report import (
+    LANE_NOTIFY,
     LANE_READ,
     LANE_WRITE,
     ServedQuery,
@@ -58,6 +87,7 @@ from repro.serve.report import (
     ServingReport,
 )
 from repro.serve.workers import ShardWorkerPool
+from repro.stream.subscriptions import SubscriptionManager
 
 Request = Union[QueryRequest, UpdateRequest]
 
@@ -74,6 +104,141 @@ class _Submission:
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
     deadline_at: Optional[float] = None
+
+
+#: What a subscription queue carries: deltas, a terminal failure, or the
+#: ``None`` close sentinel.
+_Notification = Union[SkylineDelta, ServingError, None]
+
+
+class ServerSubscription:
+    """Client handle for one continuous query registered on the server.
+
+    Deltas arrive on a bounded queue (capacity
+    ``config.max_subscription_queue``); consume them with :meth:`get`,
+    by iterating the handle from a thread, or with ``async for delta in
+    handle.deltas()`` from asyncio.  Passing ``callback=`` to
+    :meth:`SkylineServer.subscribe` instead invokes the callback inline
+    on the notification thread -- keep callbacks fast and never call
+    back into the server's blocking API from one.
+
+    Admission control applies to subscribers too: a consumer that stops
+    draining its queue is cancelled with a terminal
+    :class:`~repro.serve.errors.Overloaded`, and a subscription past its
+    deadline gets :class:`~repro.serve.errors.DeadlineExceeded`;
+    terminal failures are raised by the consuming side when reached.
+    A cleanly closed subscription just ends its iterators.
+    """
+
+    def __init__(
+        self,
+        server: "SkylineServer",
+        sub_id: int,
+        request: SubscribeRequest,
+        capacity: int,
+        callback: Optional[Callable[[SkylineDelta], None]] = None,
+        deadline_at: Optional[float] = None,
+    ) -> None:
+        self._server = server
+        self.sub_id = sub_id
+        self.request = request
+        self.deadline_at = deadline_at
+        self._callback = callback
+        self._queue: "queue.Queue[_Notification]" = queue.Queue(capacity)
+        self._ended = threading.Event()
+        self.delivered = 0
+
+    # -- delivery side (server threads) --------------------------------
+    def _push(self, delta: SkylineDelta) -> bool:
+        """Deliver one delta; ``False`` means overflow (caller sheds)."""
+        if self._ended.is_set():
+            return True
+        if self._callback is not None:
+            self._callback(delta)
+            self.delivered += 1
+            return True
+        try:
+            self._queue.put_nowait(delta)
+        except queue.Full:
+            return False
+        self.delivered += 1
+        return True
+
+    def _terminate(self, exc: Optional[ServingError]) -> None:
+        """End the subscription; consumers see ``exc`` (or a clean end)."""
+        if self._ended.is_set():
+            return
+        self._ended.set()
+        try:
+            self._queue.put_nowait(exc)
+        except queue.Full:
+            # Evict the oldest pending delta so the terminal marker fits.
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                pass
+            try:
+                self._queue.put_nowait(exc)
+            except queue.Full:
+                pass
+
+    # -- consumer side --------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether the subscription has ended (no more deltas coming)."""
+        return self._ended.is_set()
+
+    def close(self) -> None:
+        """Unsubscribe cleanly (idempotent); pending deltas still drain."""
+        self._server.unsubscribe(self.sub_id)
+
+    def _resolve(self, item: _Notification) -> Optional[SkylineDelta]:
+        if item is None:
+            return None
+        if isinstance(item, ServingError):
+            raise item
+        return item
+
+    def get(self, timeout: Optional[float] = None) -> Optional[SkylineDelta]:
+        """The next delta; ``None`` once the subscription ended cleanly.
+
+        Raises the terminal :class:`~repro.serve.errors.ServingError` if
+        the server cancelled the subscription, and ``queue.Empty`` if
+        ``timeout`` elapses with nothing delivered.
+        """
+        if self._ended.is_set() and self._queue.empty():
+            return None
+        return self._resolve(self._queue.get(timeout=timeout))
+
+    def __iter__(self) -> Iterator[SkylineDelta]:
+        """Blocking delta iterator for thread consumers."""
+        while True:
+            if self._ended.is_set() and self._queue.empty():
+                return
+            try:
+                item = self._queue.get(timeout=_IDLE_POLL_S)
+            except queue.Empty:
+                continue
+            delta = self._resolve(item)
+            if delta is None:
+                return
+            yield delta
+
+    async def deltas(self) -> AsyncIterator[SkylineDelta]:
+        """``async for`` delta iterator for asyncio consumers."""
+        while True:
+            if self._ended.is_set() and self._queue.empty():
+                return
+            try:
+                item = await asyncio.to_thread(
+                    self._queue.get, True, _IDLE_POLL_S
+                )
+            except queue.Empty:
+                continue
+            delta = self._resolve(item)
+            if delta is None:
+                return
+            yield delta
 
 
 class SkylineServer:
@@ -120,6 +285,21 @@ class SkylineServer:
         # nothing else may touch the engine while the server owns it
         # (reprolint enforces it: every self.engine call must hold this).
         self._engine_lock = tracked_lock("serve.server.engine")  # repro: guards(engine)
+        # Continuous queries: the manager diffs skylines and scopes the
+        # recomputation; the handle table maps sub ids to client queues.
+        self._subscriptions = SubscriptionManager(engine)
+        self._handles: Dict[int, ServerSubscription] = {}
+        self._handles_lock = tracked_lock(
+            "serve.server.subscribers"
+        )  # repro: guards(subscription handles)
+        self._notified = 0
+        self._notify_blocks = 0
+        self._subs_shed = 0
+        # Adaptive gather state -- touched only by the dispatcher thread
+        # (describe() reads are monotonic snapshots, no lock needed).
+        self._arrival_ewma: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+        self._gather_current: float = self.config.gather_window
         self._stop = threading.Event()
         self._started = False
         self._closed = False
@@ -173,6 +353,11 @@ class SkylineServer:
                 submission.future.set_exception(
                     ServerClosed("server stopped before this request ran")
                 )
+        with self._handles_lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            handle._terminate(None)
         if self.pool is not None:
             self.pool.close()
 
@@ -283,8 +468,164 @@ class SkylineServer:
         return await self.aupdate(UpdateRequest.delete(point), **kwargs)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
+    # Subscription lane: register -> pump on writes -> deliver deltas
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        request: Union[SubscribeRequest, RangeQuery],
+        *,
+        callback: Optional[Callable[[SkylineDelta], None]] = None,
+        deadline: Optional[float] = None,
+    ) -> ServerSubscription:
+        """Register a continuous query; returns the delta handle.
+
+        The handle's initial delta (the current skyline, when the
+        request asks for a snapshot) is already enqueued on return.
+        Subsequent deltas are derived after each applied write by the
+        writer lane, with write-version scoping skipping subscriptions
+        whose shards were untouched -- see
+        :class:`repro.stream.SubscriptionManager`.  ``deadline`` bounds
+        the subscription's *lifetime* in seconds: past it, the next
+        delivery attempt cancels it with
+        :class:`~repro.serve.errors.DeadlineExceeded`.
+        """
+        if self._closed:
+            raise ServerClosed("server is stopped")
+        req = (
+            request
+            if isinstance(request, SubscribeRequest)
+            else SubscribeRequest(rect=request)
+        )
+        now = time.perf_counter()
+        with self._engine_lock:
+            # repro: calls(SubscriptionManager.register)
+            sub, initial = self._subscriptions.register(req)
+        handle = ServerSubscription(
+            self,
+            sub.sub_id,
+            req,
+            self.config.max_subscription_queue,
+            callback=callback,
+            deadline_at=self._deadline_at(now, deadline),
+        )
+        with self._handles_lock:
+            self._handles[handle.sub_id] = handle
+        # Deliver the initial snapshot outside the handle-table lock so a
+        # callback subscriber never runs under it.
+        if not initial.empty and handle._push(initial):
+            with self._handles_lock:
+                self._notified += 1
+                self._notify_blocks += initial.report.blocks
+        return handle
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        """Drop a subscription cleanly; returns whether it was live."""
+        return self._cancel(sub_id, None)
+
+    def _cancel(self, sub_id: int, exc: Optional[ServingError]) -> bool:
+        with self._handles_lock:
+            handle = self._handles.pop(sub_id, None)
+        self._subscriptions.unregister(sub_id)
+        if handle is None:
+            return False
+        handle._terminate(exc)
+        return True
+
+    def _pump_subscriptions(self) -> None:
+        """Derive and deliver deltas after an applied write (writer lane)."""
+        with self._handles_lock:
+            if not self._handles:
+                return
+        with self._engine_lock:
+            # repro: calls(SubscriptionManager.pump)
+            deltas = self._subscriptions.pump()
+        if deltas:
+            self._deliver(deltas)
+
+    def _deliver(self, deltas: Dict[int, SkylineDelta]) -> None:
+        now = time.perf_counter()
+        with self._handles_lock:
+            targets = [
+                (sid, self._handles[sid])
+                for sid in deltas
+                if sid in self._handles
+            ]
+        for sid, handle in targets:
+            if handle.deadline_at is not None and now > handle.deadline_at:
+                self.metrics.note_timeout(now - handle.deadline_at)
+                self._cancel(
+                    sid,
+                    DeadlineExceeded(
+                        "subscription deadline expired",
+                        ServingReport(lane=LANE_NOTIFY, timed_out=True),
+                    ),
+                )
+                continue
+            if handle._push(deltas[sid]):
+                with self._handles_lock:
+                    self._notified += 1
+                    self._notify_blocks += deltas[sid].report.blocks
+            else:
+                # The consumer stopped draining: shed it, like any
+                # over-capacity submission.
+                self.metrics.note_shed()
+                with self._handles_lock:
+                    self._subs_shed += 1
+                self._cancel(
+                    sid,
+                    Overloaded(
+                        f"subscription queue full "
+                        f"({self.config.max_subscription_queue} pending "
+                        f"deltas undrained)",
+                        ServingReport(lane=LANE_NOTIFY, shed=True),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
     # Read lane: gather -> coalesce -> batch-execute -> fan out
     # ------------------------------------------------------------------
+    def current_gather_window(self) -> float:
+        """The gather window now in effect (adapted, or the configured
+        constant)."""
+        if not self.config.adaptive_gather:
+            return self.config.gather_window
+        return self._gather_current
+
+    def _observe_arrivals(self, batch: List[_Submission]) -> None:
+        """Fold a gathered batch's inter-arrival gaps into the EWMA and
+        re-size the gather window (dispatcher thread only).
+
+        The window targets the time ``max_batch`` submissions take to
+        arrive at the observed rate -- waiting longer than that cannot
+        grow the batch, waiting less gives up coalescing for nothing --
+        clamped to ``[0, gather_window_max]`` so a trickle of traffic
+        cannot stretch latency unboundedly.
+        """
+        if not self.config.adaptive_gather:
+            return
+        alpha = self.config.gather_alpha
+        previous = self._last_arrival
+        for arrived_at in sorted(s.enqueued_at for s in batch):
+            if previous is not None:
+                gap = max(0.0, arrived_at - previous)
+                self._arrival_ewma = (
+                    gap
+                    if self._arrival_ewma is None
+                    else alpha * gap + (1 - alpha) * self._arrival_ewma
+                )
+            previous = arrived_at
+        self._last_arrival = previous
+        if self._arrival_ewma is None:
+            return
+        cap = (
+            self.config.gather_window_max
+            if self.config.gather_window_max is not None
+            else 4 * self.config.gather_window
+        )
+        self._gather_current = min(
+            cap, (self.config.max_batch - 1) * self._arrival_ewma
+        )
+
     def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
             try:
@@ -292,7 +633,7 @@ class SkylineServer:
             except queue.Empty:
                 continue
             batch = [first]
-            horizon = time.perf_counter() + self.config.gather_window
+            horizon = time.perf_counter() + self.current_gather_window()
             while len(batch) < self.config.max_batch:
                 remaining = horizon - time.perf_counter()
                 try:
@@ -302,6 +643,7 @@ class SkylineServer:
                         batch.append(self._read_queue.get(timeout=remaining))
                 except queue.Empty:
                     break
+            self._observe_arrivals(batch)
             self._serve_read_batch(batch)
 
     def _expire(self, submission: _Submission, now: float, lane: str) -> bool:
@@ -411,6 +753,10 @@ class SkylineServer:
             )
             self.metrics.note_served(True, serving.queue_wait_s, serving.latency_s)
             submission.future.set_result(ServedUpdate(result, serving))
+            # Notify continuous queries about the applied write.  Scope
+            # checks make this cheap: only subscriptions overlapping a
+            # written shard recompute, the rest are skipped at zero I/O.
+            self._pump_subscriptions()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -420,10 +766,21 @@ class SkylineServer:
         with self._engine_lock:
             # repro: calls(SkylineEngine.describe)
             engine_status = self.engine.describe()
+        with self._handles_lock:
+            subscription_status = {
+                "active": len(self._handles),
+                "notified": self._notified,
+                "notify_blocks": self._notify_blocks,
+                "shed": self._subs_shed,
+            }
+        subscription_status.update(self._subscriptions.describe())
         status: Dict[str, object] = {
             "server": {
                 "running": self._started and not self._closed,
-                "gather_window_s": self.config.gather_window,
+                "gather_window_s": self.current_gather_window(),
+                "configured_gather_window_s": self.config.gather_window,
+                "adaptive_gather": self.config.adaptive_gather,
+                "arrival_ewma_s": self._arrival_ewma,
                 "max_batch": self.config.max_batch,
                 "coalesce": self.config.coalesce,
                 "backpressure": self.config.backpressure,
@@ -431,6 +788,7 @@ class SkylineServer:
                 "max_write_queue": self.config.max_write_queue,
                 "read_queue_depth": self._read_queue.qsize(),
                 "write_queue_depth": self._write_queue.qsize(),
+                "subscriptions": subscription_status,
                 **self.metrics.describe(),
             },
         }

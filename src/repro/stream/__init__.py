@@ -1,0 +1,67 @@
+"""repro.stream -- the streaming skyline tier.
+
+The paper's attrition machinery (I/O-CPQA, Theorem 3) turned into three
+product surfaces over append/update streams::
+
+    from repro.stream import WindowedSkyline, SubscriptionManager, ResumableTopK
+
+* :class:`WindowedSkyline` -- the skyline of the last ``W`` points
+  (count- or x-span windows) of an append stream.  Attrition *is* the
+  skyline maintenance: dominated points are expelled on arrival and never
+  resurface, at Theorem 3's O(1/b) amortized transfers per point; a
+  deque of sealed components makes window expiry free for whole chunks.
+
+* :class:`SubscriptionManager` -- continuous queries.  Standing
+  rectangles receive :class:`~repro.engine.SkylineDelta` notifications
+  (points entering/leaving the skyline) instead of re-asking; the
+  per-shard ``(uid, write_version)`` scopes the result cache already
+  tracks let a pump skip every subscription whose shards were not
+  written, at zero block transfers.
+
+* :class:`ResumableTopK` -- incremental top-k iteration that survives
+  interleaved updates by pinning a persistent I/O-CPQA snapshot; pages
+  tile the pinned answer exactly, and each page's cursor doubles as an
+  engine pagination token.
+
+The serving tier exposes subscriptions over threads and asyncio -- see
+:meth:`repro.serve.SkylineServer.subscribe`.  Every block transfer is
+charged on an explicit meter with an exact partition invariant; the
+streaming benchmark (``benchmarks/bench_streaming.py``) asserts the
+ledger identities and the delta-vs-naive I/O win.
+"""
+
+from repro.stream.subscriptions import (
+    Scope,
+    ScopeVector,
+    Subscription,
+    SubscriptionManager,
+    make_delta_report,
+)
+from repro.stream.topk import (
+    STRUCTURE_ENGINE_SNAPSHOT,
+    STRUCTURE_WINDOW_SNAPSHOT,
+    ResumableTopK,
+)
+from repro.stream.window import (
+    THEOREM_3_BOUND,
+    WINDOW_COUNT,
+    WINDOW_MODES,
+    WINDOW_SPAN,
+    WindowedSkyline,
+)
+
+__all__ = [
+    "WindowedSkyline",
+    "SubscriptionManager",
+    "Subscription",
+    "ResumableTopK",
+    "Scope",
+    "ScopeVector",
+    "make_delta_report",
+    "WINDOW_COUNT",
+    "WINDOW_SPAN",
+    "WINDOW_MODES",
+    "THEOREM_3_BOUND",
+    "STRUCTURE_WINDOW_SNAPSHOT",
+    "STRUCTURE_ENGINE_SNAPSHOT",
+]

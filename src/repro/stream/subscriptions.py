@@ -1,0 +1,256 @@
+"""Continuous queries: standing rectangles answered by skyline deltas.
+
+A subscription is a rectangle that stays registered after its first
+answer.  Instead of re-asking, the subscriber receives
+:class:`~repro.engine.report.SkylineDelta` notifications -- the points
+that *entered* and *left* the rectangle's skyline -- whenever a pump
+finds the underlying data changed.
+
+The cost discipline is the whole point.  Recomputing every subscription
+on every write is the naive tier the streaming benchmark measures
+against; the manager instead reuses the *invalidation scopes* the result
+cache already maintains: every shard of the sharded service carries a
+stable ``uid`` and a ``write_version`` bumped on each write routed to
+it.  At registration the manager records the ``(uid, write_version)``
+vector of the shards the rectangle overlaps; a pump recomputes a
+subscription only when that vector changed.  On a skewed (Zipf) write
+stream most writes land on one hot shard, so subscriptions watching cold
+x-ranges are skipped at zero block transfers -- the ≥3× win
+``BENCH_streaming.json`` asserts.
+
+Lock discipline: the manager's table is guarded by the tracked lock
+``stream.subscriptions``, and the manager **never** holds it while
+calling into the engine -- pumps snapshot the table, release, recompute,
+then re-acquire to publish.  The serving tier calls :meth:`pump` while
+holding its engine lock, giving the one static edge
+``serve.server.engine -> stream.subscriptions`` (verified acyclic by
+``tools/reprolint``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.locks import tracked_lock
+from repro.core.point import Point
+from repro.engine.engine import SkylineEngine
+from repro.engine.report import KIND_DELTA, ExecutionReport, SkylineDelta
+from repro.engine.requests import QueryRequest, SubscribeRequest
+
+#: One shard generation: ``(shard.uid, shard.write_version)``.
+Scope = Tuple[int, int]
+#: The generation vector of every shard a rectangle overlaps (``None``
+#: on a backend without shards -- then every pump recomputes).
+ScopeVector = Optional[Tuple[Scope, ...]]
+
+#: Canonical identity of a point inside a subscription's replay state.
+_Key = Tuple[float, float, object]
+
+
+def _canon(point: Point) -> _Key:
+    return (point.x, point.y, point.ident)
+
+
+class Subscription:
+    """One registered continuous query and its replay state.
+
+    ``state`` is the rectangle's skyline as of the last delivered delta;
+    replaying every delta in ``revision`` order over the initial
+    snapshot keeps it equal to the naive recomputed answer (the
+    hypothesis property in ``tests/test_stream.py``).  Instances are
+    mutated only by their manager, under its lock.
+    """
+
+    __slots__ = ("sub_id", "request", "state", "scopes", "revision", "active")
+
+    def __init__(
+        self, sub_id: int, request: SubscribeRequest, scopes: ScopeVector
+    ) -> None:
+        self.sub_id = sub_id
+        self.request = request
+        self.state: Dict[_Key, Point] = {}
+        self.scopes = scopes
+        self.revision = 0
+        self.active = True
+
+    def snapshot(self) -> List[Point]:
+        """The subscription's current skyline view, in x-order."""
+        return sorted(self.state.values(), key=lambda p: p.x)
+
+
+class SubscriptionManager:
+    """Registers rectangles, derives deltas, skips unwritten scopes.
+
+    The manager drives an :class:`~repro.engine.SkylineEngine` (any
+    backend).  On the sharded backend it reads the router and the shard
+    table to build scope vectors; on the monolithic local backend there
+    are no shards to scope by, so every pump recomputes every
+    subscription (correct, just never skipped).
+    """
+
+    def __init__(self, engine: SkylineEngine) -> None:
+        self.engine = engine
+        self._lock = tracked_lock(
+            "stream.subscriptions"
+        )  # repro: guards(subscription table)
+        self._subs: Dict[int, Subscription] = {}
+        self._next_id = 0
+        self._pumps = 0
+        self._recomputed = 0
+        self._skipped = 0
+        self._delivered = 0
+        self._unchanged = 0
+
+    # ------------------------------------------------------------------
+    # Scope vectors
+    # ------------------------------------------------------------------
+    def _scopes_for(self, request: SubscribeRequest) -> ScopeVector:
+        """The ``(uid, write_version)`` vector of the overlapped shards."""
+        service = getattr(self.engine.backend, "service", None)
+        if service is None:
+            return None
+        shard_ids = service.router.shards_for(request.rect)
+        return tuple(
+            (service.shards[sid].uid, service.shards[sid].write_version)
+            for sid in shard_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self, request: SubscribeRequest
+    ) -> Tuple[Subscription, SkylineDelta]:
+        """Register a standing rectangle; returns the handle plus the
+        initial delta.
+
+        With ``request.initial_snapshot`` the delta carries the current
+        skyline as ``entered`` (revision 0); otherwise it is empty and
+        the subscriber only ever sees changes relative to registration
+        time.  Either way the replay state starts at the current answer.
+        """
+        result = self.engine.query(
+            QueryRequest(rect=request.rect, consistency=request.consistency)
+        )
+        scopes = self._scopes_for(request)
+        with self._lock:
+            sub = Subscription(self._next_id, request, scopes)
+            self._next_id += 1
+            sub.state = {_canon(p): p for p in result.points}
+            self._subs[sub.sub_id] = sub
+        report = replace(result.report, kind=KIND_DELTA)
+        entered = list(result.points) if request.initial_snapshot else []
+        return sub, SkylineDelta(
+            entered=entered, left=[], revision=0, report=report
+        )
+
+    def unregister(self, sub_id: int) -> bool:
+        """Drop a subscription; returns whether it was registered."""
+        with self._lock:
+            sub = self._subs.pop(sub_id, None)
+            if sub is None:
+                return False
+            sub.active = False
+            return True
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+    def pump(self) -> Dict[int, SkylineDelta]:
+        """Re-examine every subscription; deliver the non-empty deltas.
+
+        For each registered rectangle the current scope vector is
+        compared against the stored one: an unchanged vector proves no
+        overlapped shard was written since the last look, so the
+        subscription is skipped without touching a block.  Changed
+        vectors trigger one engine query each; the answer is diffed
+        against the replay state into ``entered``/``left``.
+
+        Returns ``{sub_id: delta}`` for the subscriptions whose skyline
+        actually changed.  Each delta's report is the ledger delta of
+        its own recomputation, so the engine's accounting identity
+        (``attributed + maintenance == total - build``) keeps holding
+        across pumps -- asserted per notification batch by the tests and
+        the benchmark.
+        """
+        with self._lock:
+            self._pumps += 1
+            candidates = list(self._subs.values())
+        deltas: Dict[int, SkylineDelta] = {}
+        for sub in candidates:
+            scopes = self._scopes_for(sub.request)
+            if scopes is not None and scopes == sub.scopes:
+                with self._lock:
+                    self._skipped += 1
+                continue
+            result = self.engine.query(
+                QueryRequest(
+                    rect=sub.request.rect,
+                    consistency=sub.request.consistency,
+                )
+            )
+            fresh = {_canon(p): p for p in result.points}
+            with self._lock:
+                self._recomputed += 1
+                if not sub.active:
+                    continue
+                entered = sorted(
+                    (p for key, p in fresh.items() if key not in sub.state),
+                    key=lambda p: p.x,
+                )
+                left = sorted(
+                    (p for key, p in sub.state.items() if key not in fresh),
+                    key=lambda p: p.x,
+                )
+                sub.scopes = scopes
+                if not entered and not left:
+                    self._unchanged += 1
+                    continue
+                sub.state = fresh
+                sub.revision += 1
+                self._delivered += 1
+                deltas[sub.sub_id] = SkylineDelta(
+                    entered=entered,
+                    left=left,
+                    revision=sub.revision,
+                    report=replace(result.report, kind=KIND_DELTA),
+                )
+        return deltas
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def subscriptions(self) -> List[Subscription]:
+        """The registered handles (a snapshot, in registration order)."""
+        with self._lock:
+            return sorted(self._subs.values(), key=lambda s: s.sub_id)
+
+    def describe(self) -> Dict[str, object]:
+        """Pump counters: the skip ratio is the delta tier's win."""
+        with self._lock:
+            recomputed = self._recomputed
+            skipped = self._skipped
+            return {
+                "subscriptions": len(self._subs),
+                "pumps": self._pumps,
+                "recomputed": recomputed,
+                "skipped": skipped,
+                "delivered": self._delivered,
+                "unchanged": self._unchanged,
+                "skip_ratio": (
+                    skipped / (recomputed + skipped)
+                    if recomputed + skipped
+                    else 0.0
+                ),
+            }
+
+
+def make_delta_report(base: ExecutionReport) -> ExecutionReport:
+    """A ``kind="delta"`` copy of a query report (helper for the serve
+    tier's notification lane)."""
+    return replace(base, kind=KIND_DELTA)

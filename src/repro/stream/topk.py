@@ -1,0 +1,203 @@
+"""Resumable top-k: pagination that survives interleaved updates.
+
+The engine's ``limit``/``cursor`` pagination re-executes the rectangle
+for every page, so updates landing between pages are visible -- a point
+inserted behind the cursor is silently skipped, one deleted ahead of it
+can repeat or vanish mid-iteration.  :class:`ResumableTopK` removes that
+anomaly by *pinning a component snapshot*: because every I/O-CPQA value
+is an immutable descriptor tree (persistent data structure), capturing
+the root once freezes the entire answer -- later appends, expiries and
+deletes build *new* descriptors and can never disturb the pinned one.
+Consecutive pages therefore tile the snapshot's answer exactly: no point
+skipped, none repeated, regardless of how many updates interleave.
+
+Two snapshot sources:
+
+* :meth:`ResumableTopK.over_window` pins the persistent fold a
+  :class:`~repro.stream.WindowedSkyline` already maintains -- zero block
+  transfers to open (``CatenateAndAttrite`` is free, Theorem 3), and
+  page pops read each surviving record block at most once, charged to
+  the window's ``query_io`` meter so its ledger partition stays exact.
+
+* :meth:`ResumableTopK.over_engine` runs the rectangle once through an
+  :class:`~repro.engine.SkylineEngine` (the one charged query) and seals
+  the answer into a memory-resident queue; every page after that is
+  free.
+
+Each page's ``next_cursor`` is the last point's x, which doubles as an
+engine :class:`~repro.engine.QueryRequest` ``cursor``: a client that
+outlives its snapshot resumes against live data with a fresh paginated
+query -- the two surfaces share one token format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, cast
+
+from repro.core.point import Point
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.engine.engine import SkylineEngine
+from repro.engine.report import KIND_STREAM, ExecutionReport, StreamPage
+from repro.engine.requests import QueryRequest, StreamRequest
+from repro.pqa.iocpqa import IOCPQA
+from repro.stream.window import WindowedSkyline, _Entry
+
+#: ``structure`` label reported by window-pinned streams.
+STRUCTURE_WINDOW_SNAPSHOT = "iocpqa-window-snapshot"
+#: ``structure`` label reported by engine-pinned streams.
+STRUCTURE_ENGINE_SNAPSHOT = "iocpqa-engine-snapshot"
+
+
+class ResumableTopK:
+    """An incremental iterator over a pinned skyline snapshot.
+
+    Construct via :meth:`over_window` or :meth:`over_engine`; then call
+    :meth:`next_page` (or iterate :meth:`pages`) for successive
+    :class:`~repro.engine.report.StreamPage` values.  The iterator is
+    single-consumer and not thread-safe -- pin one per client.
+    """
+
+    def __init__(
+        self,
+        queue: IOCPQA,
+        request: StreamRequest,
+        *,
+        backend: str,
+        structure: str,
+        entry_payload: bool,
+        storage: StorageManager,
+        window: Optional[WindowedSkyline] = None,
+    ) -> None:
+        self.request = request
+        self._queue = queue
+        self._backend = backend
+        self._structure = structure
+        self._entry_payload = entry_payload
+        self._storage = storage
+        self._window = window
+        self._cursor: Optional[float] = None
+        self._yielded = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot sources
+    # ------------------------------------------------------------------
+    @classmethod
+    def over_window(
+        cls, window: WindowedSkyline, request: StreamRequest
+    ) -> "ResumableTopK":
+        """Pin the window's current skyline fold (zero transfers).
+
+        Pages report the points of the *window skyline* that fall inside
+        ``request.rect`` -- the windowed analogue of a top-open report.
+        The pinned value is immutable: appends and expiries that land
+        after this call do not change what the pages return.
+        """
+        return cls(
+            window.skyline_queue(),
+            request,
+            backend="windowed-iocpqa",
+            structure=STRUCTURE_WINDOW_SNAPSHOT,
+            entry_payload=True,
+            storage=window.storage,
+            window=window,
+        )
+
+    @classmethod
+    def over_engine(
+        cls, engine: SkylineEngine, request: StreamRequest
+    ) -> "ResumableTopK":
+        """Run the rectangle once, seal the answer into a snapshot.
+
+        The single pinning query is charged on the engine's ledger like
+        any read (its report remains visible via ``engine.reports`` /
+        accounting); the sealed queue is memory-resident, so every page
+        afterwards costs zero transfers.
+        """
+        result = engine.query(
+            QueryRequest(rect=request.rect, consistency=request.consistency)
+        )
+        scratch = StorageManager(EMConfig())
+        queue = IOCPQA.build_in_memory(
+            scratch, [(p.x, p) for p in result.points]
+        )
+        return cls(
+            queue,
+            request,
+            backend=engine.backend.name,
+            structure=STRUCTURE_ENGINE_SNAPSHOT,
+            entry_payload=False,
+            storage=scratch,
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    @property
+    def cursor(self) -> Optional[float]:
+        """Engine-compatible resume token: the last emitted point's x."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the snapshot has been fully consumed."""
+        return self._queue.is_empty()
+
+    def _pop_point(self) -> Point:
+        item, self._queue = self._queue.delete_min()
+        payload = item[1]
+        if self._entry_payload:
+            return cast(_Entry, payload)[1]
+        return cast(Point, payload)
+
+    def next_page(self) -> StreamPage:
+        """The next ``page_size`` snapshot points inside the rectangle.
+
+        The page's report carries the block transfers these pops charged
+        (zero once a record block is resident); on a window snapshot
+        they are also credited to the window's ``query_io`` meter, so
+        ``WindowedSkyline.ledger_ok()`` keeps holding mid-stream.
+        """
+        before = self._storage.snapshot()
+        rect = self.request.rect
+        points: List[Point] = []
+        while len(points) < self.request.page_size and not self._queue.is_empty():
+            point = self._pop_point()
+            if rect.contains(point):
+                points.append(point)
+        delta = self._storage.snapshot() - before
+        if self._window is not None:
+            self._window.charge_query_io(delta.total)
+        if points:
+            self._cursor = points[-1].x
+        self._yielded += len(points)
+        report = ExecutionReport(
+            backend=self._backend,
+            kind=KIND_STREAM,
+            variant=self.request.variant,
+            structure=self._structure,
+            reads=delta.reads,
+            writes=delta.writes,
+            result_size=len(points),
+        )
+        return StreamPage(
+            points=points,
+            next_cursor=self._cursor,
+            exhausted=self._queue.is_empty(),
+            report=report,
+        )
+
+    def pages(self) -> Iterator[StreamPage]:
+        """Iterate pages until the snapshot is exhausted."""
+        while not self.exhausted:
+            yield self.next_page()
+
+    def __iter__(self) -> Iterator[Point]:
+        """Iterate the snapshot's points across page boundaries."""
+        for page in self.pages():
+            for point in page:
+                yield point
+
+    def describe(self) -> Tuple[str, int, Optional[float], bool]:
+        """(structure, points yielded so far, cursor, exhausted)."""
+        return (self._structure, self._yielded, self._cursor, self.exhausted)

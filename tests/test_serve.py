@@ -383,3 +383,200 @@ def test_config_rejects_negative_reclaim_cadence():
         ServerConfig(gather_window=-0.1)
     with pytest.raises(ValueError):
         ServerConfig(backpressure="drop")
+
+
+# ----------------------------------------------------------------------
+# Subscription lane (repro.stream wired through the server)
+# ----------------------------------------------------------------------
+import queue as _queue  # noqa: E402
+import time  # noqa: E402
+
+from repro.engine import QueryRequest, SubscribeRequest  # noqa: E402
+from repro.serve.server import _Submission  # noqa: E402
+
+_DOMINATOR = Point(2_000_000.0, 2_000_000.5, ident=777_777)
+
+
+def _sub_server(seed=17, config=None):
+    base = uniform_points(256, universe=100_000, seed=seed)
+    return SkylineServer(SkylineEngine.sharded(base, **CFG), config)
+
+
+def test_subscription_delivers_initial_snapshot_then_write_deltas():
+    with _sub_server() as server:
+        handle = server.subscribe(RangeQuery())
+        initial = handle.get(timeout=5.0)
+        assert initial.revision == 0
+        view = {(p.x, p.y, p.ident) for p in initial.entered}
+        assert view  # the current skyline arrived as "entered"
+
+        server.insert(_DOMINATOR)
+        delta = handle.get(timeout=5.0)
+        assert delta.revision == 1
+        assert delta.report.kind == "delta"
+        for p in delta.left:
+            view.discard((p.x, p.y, p.ident))
+        for p in delta.entered:
+            view.add((p.x, p.y, p.ident))
+        served = server.query(RangeQuery())
+        assert view == {(p.x, p.y, p.ident) for p in served.points}
+
+        handle.close()
+        assert handle.get(timeout=5.0) is None  # clean end
+        assert handle.closed
+
+
+def test_subscription_without_snapshot_sees_only_changes():
+    with _sub_server() as server:
+        handle = server.subscribe(
+            SubscribeRequest(RangeQuery(), initial_snapshot=False)
+        )
+        server.insert(_DOMINATOR)
+        delta = handle.get(timeout=5.0)
+        assert (_DOMINATOR.x, _DOMINATOR.y, _DOMINATOR.ident) in {
+            (p.x, p.y, p.ident) for p in delta.entered
+        }
+        handle.close()
+
+
+def test_subscription_callback_is_invoked_inline():
+    received = []
+    with _sub_server() as server:
+        handle = server.subscribe(RangeQuery(), callback=received.append)
+        assert received and received[0].revision == 0  # initial, inline
+        server.insert(_DOMINATOR)
+        deadline = time.perf_counter() + 5.0
+        while len(received) < 2 and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        assert len(received) >= 2 and handle.delivered == len(received)
+
+
+def test_subscription_async_iterator_ends_on_close():
+    async def scenario(server):
+        handle = server.subscribe(SubscribeRequest(RangeQuery()))
+        seen = []
+
+        async def consume():
+            async for delta in handle.deltas():
+                seen.append(delta)
+
+        task = asyncio.get_running_loop().create_task(consume())
+        await server.ainsert(_DOMINATOR)
+        deadline = time.perf_counter() + 5.0
+        while len(seen) < 2 and time.perf_counter() < deadline:
+            await asyncio.sleep(0.005)
+        handle.close()
+        await task  # the iterator finishes by itself
+        return seen
+
+    with _sub_server() as server:
+        seen = asyncio.run(scenario(server))
+    assert [d.revision for d in seen[:2]] == [0, 1]
+
+
+def test_undrained_subscription_is_shed_with_overloaded():
+    config = ServerConfig(max_subscription_queue=1)
+    with _sub_server(config=config) as server:
+        handle = server.subscribe(SubscribeRequest(RangeQuery()))
+        # The initial snapshot fills the queue; the next delta cannot
+        # fit, so the server cancels the consumer like any overflow.
+        server.insert(_DOMINATOR)
+        deadline = time.perf_counter() + 5.0
+        while not handle.closed and time.perf_counter() < deadline:
+            time.sleep(0.005)
+        assert handle.closed
+        with pytest.raises(Overloaded) as excinfo:
+            while True:
+                assert handle.get(timeout=5.0) is not None
+        assert excinfo.value.serving.lane == "notify"
+        assert excinfo.value.serving.shed
+        assert server.describe()["server"]["subscriptions"]["shed"] == 1
+
+
+def test_expired_subscription_deadline_cancels_with_deadline_exceeded():
+    with _sub_server() as server:
+        handle = server.subscribe(RangeQuery(), deadline=0.001)
+        assert handle.get(timeout=5.0).revision == 0  # initial still lands
+        time.sleep(0.01)
+        server.insert(_DOMINATOR)  # first delivery past the deadline
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            while True:
+                assert handle.get(timeout=5.0) is not None
+        assert excinfo.value.serving.lane == "notify"
+        assert excinfo.value.serving.timed_out
+        assert handle.closed
+
+
+def test_unsubscribe_is_idempotent_and_scoping_is_reported():
+    with _sub_server() as server:
+        handle = server.subscribe(RangeQuery())
+        status = server.describe()["server"]["subscriptions"]
+        assert status["active"] == 1 and status["notified"] >= 1
+        assert server.unsubscribe(handle.sub_id) is True
+        assert server.unsubscribe(handle.sub_id) is False
+        handle.close()  # idempotent with unsubscribe
+        assert server.describe()["server"]["subscriptions"]["active"] == 0
+        # Ended cleanly: the pending initial delta still drains, then
+        # the iterator finishes instead of raising.
+        assert [d.revision for d in handle] == [0]
+
+
+def test_subscribing_on_a_stopped_server_raises():
+    server = _sub_server()
+    server.start()
+    server.stop()
+    with pytest.raises(ServerClosed):
+        server.subscribe(RangeQuery())
+
+
+# ----------------------------------------------------------------------
+# Adaptive gather window (EWMA of inter-arrival gaps)
+# ----------------------------------------------------------------------
+def _arrivals(start, gaps):
+    at = start
+    out = []
+    for gap in [0.0] + list(gaps):
+        at += gap
+        out.append(_Submission(request=QueryRequest(), enqueued_at=at))
+    return out
+
+
+def test_adaptive_gather_window_tracks_arrival_rate():
+    config = ServerConfig(
+        adaptive_gather=True,
+        gather_window=0.002,
+        gather_window_max=0.05,
+        gather_alpha=1.0,  # no smoothing: the window follows the last gap
+        max_batch=8,
+    )
+    with _sub_server(config=config) as server:
+        assert server.current_gather_window() == 0.002  # pre-traffic
+        server._observe_arrivals(_arrivals(100.0, [0.001] * 4))
+        # Window targets (max_batch - 1) arrivals at the observed rate.
+        assert server.current_gather_window() == pytest.approx(0.007)
+        # A slow trickle is clamped by gather_window_max.
+        server._observe_arrivals(_arrivals(200.0, [0.1] * 4))
+        assert server.current_gather_window() == pytest.approx(0.05)
+        status = server.describe()["server"]
+        assert status["adaptive_gather"] is True
+        assert status["gather_window_s"] == pytest.approx(0.05)
+        assert status["configured_gather_window_s"] == 0.002
+        assert status["arrival_ewma_s"] == pytest.approx(0.1)
+
+
+def test_adaptive_gather_is_inert_when_disabled():
+    with _sub_server() as server:  # default config: adaptive off
+        server._observe_arrivals(_arrivals(100.0, [0.5] * 3))
+        assert server.current_gather_window() == server.config.gather_window
+        assert server.describe()["server"]["adaptive_gather"] is False
+
+
+def test_streaming_config_validation():
+    with pytest.raises(ValueError):
+        ServerConfig(gather_alpha=0.0)
+    with pytest.raises(ValueError):
+        ServerConfig(gather_alpha=1.5)
+    with pytest.raises(ValueError):
+        ServerConfig(gather_window_max=-1.0)
+    with pytest.raises(ValueError):
+        ServerConfig(max_subscription_queue=0)

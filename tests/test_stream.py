@@ -1,0 +1,460 @@
+"""Tests for the streaming tier (repro.stream).
+
+The acceptance properties:
+
+* **Windows are skylines** -- :class:`WindowedSkyline` (count and span
+  modes) reports exactly the maxima of the live window at every step,
+  matching a naive recomputation over the raw window contents, including
+  the edge cases (empty window, all-dominated input, window of one,
+  exact span boundary); regressing or duplicate x-coordinates are
+  rejected.
+* **Ledger partition** -- the window's three meters satisfy
+  ``append_io + expire_io + query_io == io_total`` at all times, and the
+  engine identity ``attributed + maintenance == total - build`` holds
+  after **every** notification batch a pump delivers.
+* **Replay equivalence** (hypothesis) -- replaying a subscription's
+  deltas, in revision order, over its initial snapshot reconstructs the
+  naive recomputed skyline exactly for *arbitrary* interleavings of
+  inserts, deletes and pumps.
+* **Scope skipping** -- a subscription whose shards were not written is
+  skipped at zero block transfers, and skipping never changes answers.
+* **Resumable top-k** -- pages tile the pinned snapshot exactly (no
+  point skipped or repeated) no matter how many updates interleave, the
+  cursor doubles as an engine pagination cursor, and window-pinned
+  streams keep ``WindowedSkyline.ledger_ok()`` true mid-iteration.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.point import Point
+from repro.core.queries import RangeQuery
+from repro.em.config import EMConfig
+from repro.em.storage import StorageManager
+from repro.engine import (
+    QueryRequest,
+    SkylineEngine,
+    StreamRequest,
+    SubscribeRequest,
+    UpdateRequest,
+)
+from repro.engine.report import KIND_DELTA, KIND_STREAM
+from repro.stream import (
+    STRUCTURE_ENGINE_SNAPSHOT,
+    STRUCTURE_WINDOW_SNAPSHOT,
+    THEOREM_3_BOUND,
+    WINDOW_COUNT,
+    WINDOW_SPAN,
+    ResumableTopK,
+    SubscriptionManager,
+    WindowedSkyline,
+)
+
+
+def _canon(points):
+    return sorted((p.x, p.y, p.ident) for p in points)
+
+
+def _engine_ledger_ok(engine) -> bool:
+    return (
+        engine.attributed_io() + engine.maintenance_io()
+        == engine.io_total() - engine.build_io
+    )
+
+
+def _naive_window_skyline(window_points):
+    """Maxima of the window: no *newer* point with y >= theirs.
+
+    ``window_points`` is the raw live window in arrival (x) order.
+    """
+    out = []
+    for i, p in enumerate(window_points):
+        if all(q.y < p.y for q in window_points[i + 1:]):
+            out.append(p)
+    return out
+
+
+def _stream(n, seed, y_max=1000.0):
+    rng = random.Random(seed)
+    return [
+        Point(i + rng.uniform(0.1, 0.9), rng.uniform(0.0, y_max), ident=i)
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# WindowedSkyline: correctness against naive recomputation
+# ----------------------------------------------------------------------
+def test_count_window_matches_naive_at_every_step():
+    points = _stream(300, seed=1)
+    sky = WindowedSkyline(
+        40, WINDOW_COUNT, em_config=EMConfig(block_size=16, memory_blocks=16)
+    )
+    for i, p in enumerate(points):
+        sky.append(p)
+        window = points[max(0, i - 39): i + 1]
+        assert len(sky) == len(window)
+        assert _canon(sky.skyline()) == _canon(_naive_window_skyline(window))
+        assert sky.ledger_ok()
+
+
+def test_span_window_matches_naive_at_every_step():
+    points = _stream(300, seed=2)
+    span = 35.0
+    sky = WindowedSkyline(
+        span, WINDOW_SPAN, em_config=EMConfig(block_size=16, memory_blocks=16)
+    )
+    for i, p in enumerate(points):
+        sky.append(p)
+        window = [q for q in points[: i + 1] if q.x > p.x - span]
+        assert len(sky) == len(window)
+        assert _canon(sky.skyline()) == _canon(_naive_window_skyline(window))
+        assert sky.ledger_ok()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ys=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=1, max_size=120
+    ),
+    window=st.integers(min_value=1, max_value=25),
+)
+def test_count_window_matches_naive_for_arbitrary_streams(ys, window):
+    """Heavily tied y-values (attrition is >=, not >) stay correct."""
+    points = [Point(float(i) + 0.5, float(y), ident=i) for i, y in enumerate(ys)]
+    sky = WindowedSkyline(window, WINDOW_COUNT, chunk=4)
+    for i, p in enumerate(points):
+        sky.append(p)
+        live = points[max(0, i - window + 1): i + 1]
+        assert len(sky) == len(live)
+        assert _canon(sky.skyline()) == _canon(_naive_window_skyline(live))
+    assert sky.ledger_ok()
+
+
+def test_empty_window_reports_empty_skyline():
+    sky = WindowedSkyline(8, WINDOW_COUNT)
+    assert sky.skyline() == []
+    assert len(sky) == 0
+    assert sky.ledger_ok()
+    assert sky.io_total() == 0
+
+
+def test_all_dominated_stream_keeps_one_survivor():
+    """Monotonically rising readings: each append attrites the entire
+    window, so the skyline is always exactly the newest point."""
+    sky = WindowedSkyline(16, WINDOW_COUNT, chunk=4)
+    for i in range(64):
+        p = Point(float(i) + 0.5, float(i), ident=i)
+        sky.append(p)
+        assert _canon(sky.skyline()) == _canon([p])
+    assert sky.ledger_ok()
+
+
+def test_window_of_one_is_the_latest_point():
+    sky = WindowedSkyline(1, WINDOW_COUNT, chunk=3)
+    for p in _stream(40, seed=3):
+        sky.append(p)
+        assert len(sky) == 1
+        assert _canon(sky.skyline()) == _canon([p])
+
+
+def test_span_boundary_is_exclusive():
+    """A point exactly ``span`` behind the newest has expired."""
+    sky = WindowedSkyline(2.0, WINDOW_SPAN, chunk=2)
+    sky.append(Point(0.0, 5.0, ident=0))
+    sky.append(Point(1.0, 4.0, ident=1))
+    sky.append(Point(2.0, 3.0, ident=2))  # x=0 is at the boundary: out
+    assert len(sky) == 2
+    assert _canon(sky.skyline()) == _canon(
+        [Point(1.0, 4.0, ident=1), Point(2.0, 3.0, ident=2)]
+    )
+
+
+def test_duplicate_and_regressing_x_are_rejected():
+    sky = WindowedSkyline(8, WINDOW_COUNT)
+    sky.append(Point(5.0, 1.0, ident=0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        sky.append(Point(5.0, 2.0, ident=1))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        sky.append(Point(4.0, 2.0, ident=2))
+    # The rejected appends changed nothing.
+    assert len(sky) == 1
+    assert _canon(sky.skyline()) == _canon([Point(5.0, 1.0, ident=0)])
+
+
+def test_window_constructor_validation():
+    with pytest.raises(ValueError, match="mode"):
+        WindowedSkyline(8, "sliding")
+    with pytest.raises(ValueError, match="count window"):
+        WindowedSkyline(0, WINDOW_COUNT)
+    with pytest.raises(ValueError, match="count window"):
+        WindowedSkyline(2.5, WINDOW_COUNT)
+    with pytest.raises(ValueError, match="span window"):
+        WindowedSkyline(0.0, WINDOW_SPAN)
+    with pytest.raises(ValueError, match="chunk"):
+        WindowedSkyline(8, WINDOW_COUNT, chunk=0)
+
+
+def test_window_ledger_partitions_and_explain():
+    sky = WindowedSkyline(
+        64, WINDOW_COUNT, em_config=EMConfig(block_size=16, memory_blocks=8)
+    )
+    for p in _stream(400, seed=4):
+        sky.append(p)
+    for _ in range(5):
+        sky.skyline()
+    assert sky.ledger_ok()
+    assert sky.append_io + sky.expire_io + sky.query_io == sky.io_total()
+    assert sky.append_io > 0  # seals wrote record blocks
+    explained = sky.explain()
+    assert explained["bound"] == THEOREM_3_BOUND
+    assert explained["structure"] == "windowed-iocpqa"
+    described = sky.describe()
+    assert described["live"] == len(sky) == 64
+    assert described["ledger_ok"] is True
+
+
+def test_shared_storage_is_supported():
+    storage = StorageManager(EMConfig(block_size=16, memory_blocks=16))
+    sky = WindowedSkyline(16, WINDOW_COUNT, storage=storage, chunk=8)
+    for p in _stream(64, seed=5):
+        sky.append(p)
+    assert sky.storage is storage
+    assert sky.ledger_ok()
+
+
+# ----------------------------------------------------------------------
+# SubscriptionManager: replay equivalence (hypothesis) and scoping
+# ----------------------------------------------------------------------
+# A pool of points in general position: unique x, unique y.
+_POOL = [
+    Point(i * 7.0 + 0.5, ((i * 17) % 48) * 9.0 + 0.25, ident=100 + i)
+    for i in range(48)
+]
+_RECTS = [
+    RangeQuery(),  # everything
+    RangeQuery(x_lo=60.0, x_hi=240.0),  # one x-band
+    RangeQuery(y_lo=200.0),  # top-open threshold
+]
+
+subscription_ops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=47)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=subscription_ops)
+def test_replayed_deltas_reconstruct_naive_recompute(ops):
+    """Replaying deltas over the initial snapshot == naive recompute,
+    for arbitrary insert/delete interleavings; the engine ledger
+    identity holds after every notification batch."""
+    base = _POOL[:12]
+    engine = SkylineEngine.sharded(
+        base, shard_count=2, block_size=16, memory_blocks=8
+    )
+    manager = SubscriptionManager(engine)
+    replayed = {}
+    for rect in _RECTS:
+        sub, initial = manager.register(
+            SubscribeRequest(rect, initial_snapshot=True)
+        )
+        assert initial.revision == 0
+        assert initial.report.kind == KIND_DELTA
+        state = {}
+        for p in initial.entered:
+            state[(p.x, p.y, p.ident)] = p
+        replayed[sub.sub_id] = (sub, state)
+
+    live = set(range(12))
+    for is_insert, idx in ops:
+        if is_insert:
+            if idx in live:
+                continue
+            engine.update(UpdateRequest.insert(_POOL[idx]))
+            live.add(idx)
+        else:
+            if idx not in live:
+                continue
+            engine.update(UpdateRequest.delete(_POOL[idx]))
+            live.discard(idx)
+        for sub_id, delta in manager.pump().items():
+            _sub, state = replayed[sub_id]
+            assert not delta.empty
+            assert delta.report.kind == KIND_DELTA
+            for p in delta.left:
+                del state[(p.x, p.y, p.ident)]
+            for p in delta.entered:
+                state[(p.x, p.y, p.ident)] = p
+        assert _engine_ledger_ok(engine)
+
+    for sub, state in replayed.values():
+        fresh = engine.query(QueryRequest(rect=sub.request.rect)).points
+        assert _canon(state.values()) == _canon(fresh)
+        assert _canon(sub.snapshot()) == _canon(fresh)
+
+
+def test_scope_vectors_skip_unwritten_subscriptions():
+    """A write outside a subscription's shards costs it zero blocks."""
+    # Shards cut the x-axis; base points spread across it.
+    engine = SkylineEngine.sharded(
+        _POOL[:32], shard_count=4, block_size=16, memory_blocks=8
+    )
+    service = engine.backend.service
+    manager = SubscriptionManager(engine)
+    _lo, hi = service.router.shard_range(0)
+    cold_rect = RangeQuery(x_hi=hi / 2.0)  # strictly inside shard 0
+    hot_rect = RangeQuery()
+    cold, _ = manager.register(SubscribeRequest(cold_rect))
+    hot, _ = manager.register(SubscribeRequest(hot_rect))
+
+    # Nothing written: the pump skips both subscriptions outright.
+    before = engine.io_total()
+    assert manager.pump() == {}
+    assert engine.io_total() == before
+    assert manager.describe()["skipped"] == 2
+
+    # Write far outside the cold band: only the full-universe
+    # subscription recomputes.
+    engine.update(UpdateRequest.insert(Point(10_000.0, 10_000.0, ident=999)))
+    deltas = manager.pump()
+    counters = manager.describe()
+    assert counters["skipped"] == 3  # cold skipped again
+    assert counters["recomputed"] == 1
+    assert list(deltas) == [hot.sub_id]
+    assert (10_000.0, 10_000.0, 999) in _canon(deltas[hot.sub_id].entered)
+    assert _engine_ledger_ok(engine)
+
+    # Skipping never changed answers.
+    assert _canon(cold.snapshot()) == _canon(
+        engine.query(QueryRequest(rect=cold_rect)).points
+    )
+
+
+def test_scope_vectors_on_local_backend_always_recompute():
+    engine = SkylineEngine.local(_POOL[:16], dynamic=True)
+    manager = SubscriptionManager(engine)
+    sub, _ = manager.register(SubscribeRequest(RangeQuery()))
+    assert sub.scopes is None
+    manager.pump()
+    counters = manager.describe()
+    assert counters["recomputed"] == 1 and counters["skipped"] == 0
+
+
+def test_unregister_stops_deltas():
+    engine = SkylineEngine.sharded(
+        _POOL[:16], shard_count=2, block_size=16, memory_blocks=8
+    )
+    manager = SubscriptionManager(engine)
+    sub, _ = manager.register(SubscribeRequest(RangeQuery()))
+    assert manager.unregister(sub.sub_id) is True
+    assert manager.unregister(sub.sub_id) is False
+    engine.update(UpdateRequest.insert(Point(9_999.0, 9_999.0, ident=1)))
+    assert manager.pump() == {}
+    assert len(manager) == 0
+
+
+# ----------------------------------------------------------------------
+# ResumableTopK: pages tile a pinned snapshot under interleaved updates
+# ----------------------------------------------------------------------
+def test_window_stream_pages_tile_the_pinned_snapshot():
+    sky = WindowedSkyline(
+        128, WINDOW_COUNT, em_config=EMConfig(block_size=16, memory_blocks=8)
+    )
+    points = _stream(400, seed=6)
+    for p in points[:200]:
+        sky.append(p)
+    pinned = sky.skyline()  # the answer frozen at pin time
+
+    stream = ResumableTopK.over_window(sky, StreamRequest(page_size=5))
+    # Interleave 200 more appends -- expiry churns every component.
+    paged = []
+    for i, p in enumerate(points[200:]):
+        sky.append(p)
+        if i % 10 == 0 and not stream.exhausted:
+            page = stream.next_page()
+            assert len(page) <= 5
+            assert page.report.kind == KIND_STREAM
+            assert page.report.structure == STRUCTURE_WINDOW_SNAPSHOT
+            paged.extend(page.points)
+    for page in stream.pages():
+        paged.extend(page.points)
+
+    # Exactly the pinned answer: nothing skipped, nothing repeated,
+    # emitted in increasing x.
+    assert [(p.x, p.y, p.ident) for p in paged] == [
+        (p.x, p.y, p.ident) for p in pinned
+    ]
+    assert stream.exhausted
+    # Snapshot pops were credited to the window's query meter.
+    assert sky.ledger_ok()
+
+
+def test_window_stream_filters_by_rectangle():
+    sky = WindowedSkyline(64, WINDOW_COUNT, chunk=8)
+    for p in _stream(64, seed=7):
+        sky.append(p)
+    rect = RangeQuery(y_lo=300.0)
+    got = list(ResumableTopK.over_window(sky, StreamRequest(rect=rect)))
+    expected = [p for p in sky.skyline() if rect.contains(p)]
+    assert _canon(got) == _canon(expected)
+
+
+def test_engine_stream_is_immune_to_interleaved_updates():
+    engine = SkylineEngine.sharded(
+        _POOL[:24], shard_count=2, block_size=16, memory_blocks=8
+    )
+    rect = RangeQuery()
+    pinned = engine.query(QueryRequest(rect=rect)).points
+    stream = ResumableTopK.over_engine(engine, StreamRequest(rect=rect, page_size=3))
+    paged = []
+    extra = iter(_POOL[24:])
+    while not stream.exhausted:
+        page = stream.next_page()
+        assert page.report.structure == STRUCTURE_ENGINE_SNAPSHOT
+        paged.extend(page.points)
+        # A dominating insert between every page: the live skyline
+        # changes, the pinned stream must not.
+        nxt = next(extra, None)
+        if nxt is not None:
+            engine.update(UpdateRequest.insert(nxt))
+    assert _canon(paged) == _canon(pinned)
+    assert paged == sorted(paged, key=lambda p: p.x)
+    assert _engine_ledger_ok(engine)
+
+
+def test_stream_cursor_resumes_an_engine_query():
+    """The stream cursor is a valid engine pagination cursor: a client
+    that outlives its snapshot continues against live data."""
+    engine = SkylineEngine.sharded(
+        _POOL[:24], shard_count=2, block_size=16, memory_blocks=8
+    )
+    rect = RangeQuery()
+    stream = ResumableTopK.over_engine(engine, StreamRequest(rect=rect, page_size=4))
+    first = stream.next_page()
+    assert first.next_cursor == stream.cursor == first.points[-1].x
+    resumed = engine.query(QueryRequest(rect=rect, cursor=stream.cursor))
+    remainder = [p for page in stream.pages() for p in page]
+    assert _canon(resumed.points) == _canon(remainder)
+
+
+def test_stream_describe_and_exhaustion():
+    sky = WindowedSkyline(32, WINDOW_COUNT, chunk=8)
+    for p in _stream(32, seed=8):
+        sky.append(p)
+    stream = ResumableTopK.over_window(sky, StreamRequest(page_size=100))
+    structure, yielded, cursor, exhausted = stream.describe()
+    assert structure == STRUCTURE_WINDOW_SNAPSHOT
+    assert yielded == 0 and cursor is None and not exhausted
+    page = stream.next_page()
+    assert page.exhausted and stream.exhausted
+    structure, yielded, cursor, exhausted = stream.describe()
+    assert yielded == len(page) and cursor == page.points[-1].x and exhausted
+    # Draining an exhausted stream yields an empty final page, not an error.
+    assert len(stream.next_page()) == 0
