@@ -57,10 +57,27 @@ RULE_CYCLE = "lock-cycle"
 RULE_UNGUARDED = "unguarded-call"
 RULE_BAD_DIRECTIVE = "unknown-directive-target"
 
-#: Sub-packages of ``src/repro`` the pass runs over by default.
-DEFAULT_SCOPE: Tuple[str, ...] = ("serve", "service", "engine", "stream")
+#: Sub-packages of ``src/repro`` the pass runs over by default.  ``core``
+#: carries no locks of its own; it is in scope so the hot-path kernels
+#: (``core/columns.py``, ``core/pqueue.py``) stay covered by the guard
+#: and directive checks as they grow.
+DEFAULT_SCOPE: Tuple[str, ...] = (
+    "serve",
+    "service",
+    "engine",
+    "stream",
+    "core",
+)
 
-TRACKED_FACTORIES = frozenset({"tracked_lock", "tracked_condition"})
+TRACKED_FACTORIES = frozenset(
+    {"tracked_lock", "tracked_condition", "tracked_rw_gate"}
+)
+
+#: Side selectors of a :class:`repro.analysis.locks.ReadWriteGate`:
+#: ``with self._gate.read():`` / ``with self._gate.write():`` acquire the
+#: gate's single name (both sides share it -- the gate serializes its own
+#: transitions internally).
+GATE_SIDES = frozenset({"read", "write"})
 RAW_LOCK_TYPES = frozenset({"Lock", "RLock", "Condition"})
 
 FuncKey = Tuple[str, Optional[str], str]  # (module, class or None, name)
@@ -336,6 +353,16 @@ class _BodyWalker(ast.NodeVisitor):
 
     # -- lock resolution ----------------------------------------------
     def _resolve_lock(self, expr: ast.expr) -> Optional[str]:
+        # A read/write gate side: `self._gate.read()` / `.write()` in a
+        # with-item acquires the gate's name.
+        if (
+            isinstance(expr, ast.Call)
+            and not expr.args
+            and not expr.keywords
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in GATE_SIDES
+        ):
+            return self._resolve_lock(expr.func.value)
         if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
             if expr.value.id == "self":
                 name = self.lock_attrs.get((self.cls, expr.attr))

@@ -1,0 +1,189 @@
+"""A pooled skip-list priority queue for the merge hot paths.
+
+:class:`SkipListPQ` is a min-ordered priority queue backed by a skip list
+whose nodes live in preallocated blocks of parallel arrays -- keys in one
+list, heights and forward links in typed ``array`` buffers -- and are
+addressed by integer index instead of object reference.  Freed nodes are
+chained through their level-0 link slot into a free list, so allocation
+after warm-up is O(1) with zero per-node object churn: the pop/push cycle
+of a multiway merge reuses the same handful of slots over and over.
+
+Node heights are deterministic: the ``i``-th insertion gets height
+``1 + ctz(i)`` (capped), the classic binary-counter profile -- half the
+nodes at height 1, a quarter at height 2, and so on.  This matches the
+expected geometric distribution of a randomized skip list while keeping
+runs byte-for-byte reproducible, which the bench and the hypothesis
+equivalence tests rely on.
+
+The minimum is the head's level-0 successor, and -- being first at every
+level it occupies -- unlinks by copying its forward links into the head,
+so :meth:`~SkipListPQ.pop` costs O(height of the minimum) with no search.
+
+Keys must be totally ordered: callers enqueue ``(priority, tiebreak, ...)``
+tuples with a unique counter in the second slot, exactly as the ``heapq``
+idiom does, so pop order (tiebreaks included) is identical to a binary
+heap's.  :class:`HeapQueue` wraps ``heapq`` behind the same push/pop API;
+the hot-path benchmark and the equivalence tests swap it in to compare
+the two implementations on identical workloads.
+
+Everything here is in-memory compute; no block transfers are charged on
+any path (see DESIGN.md, "Columnar kernels and the charging boundary").
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Any, List, Optional
+
+_NIL = -1
+
+#: Fixed per-node link stride.  Height 12 tops out around 2**12 nodes of
+#: height one between consecutive top-level towers; beyond that the top
+#: level degrades gracefully into a linked list, which the merge fan-ins
+#: used here (dozens of runs, not millions) never approach.
+MAX_LEVEL = 12
+
+#: Nodes reserved per pool growth step.  One block of 256 nodes is
+#: ``256`` key slots plus ``256 * MAX_LEVEL`` links in a typed array.
+BLOCK_NODES = 256
+
+
+class SkipListPQ:
+    """Min priority queue over totally ordered keys (see module docstring)."""
+
+    __slots__ = ("_keys", "_heights", "_forward", "_free", "_size", "_seq", "_level")
+
+    def __init__(self) -> None:
+        # Node 0 is the head: full height, no key, never compared.
+        self._keys: List[Any] = [None]
+        self._heights = array("b", [MAX_LEVEL])
+        self._forward = array("q", [_NIL] * MAX_LEVEL)
+        self._free = _NIL
+        self._size = 0
+        self._seq = 0
+        self._level = 1
+
+    # ------------------------------------------------------------------
+    # Node pool
+    # ------------------------------------------------------------------
+    def _alloc(self) -> int:
+        """Take a node off the free list, growing the pool by one block."""
+        if self._free == _NIL:
+            base = len(self._keys)
+            self._keys.extend([None] * BLOCK_NODES)
+            self._heights.extend(bytes(BLOCK_NODES))
+            self._forward.extend([_NIL] * (BLOCK_NODES * MAX_LEVEL))
+            forward = self._forward
+            free = self._free
+            for idx in range(base + BLOCK_NODES - 1, base - 1, -1):
+                forward[idx * MAX_LEVEL] = free
+                free = idx
+            self._free = free
+        idx = self._free
+        self._free = self._forward[idx * MAX_LEVEL]
+        return idx
+
+    def _release(self, idx: int) -> None:
+        """Return a node to the free list (its level-0 slot is the chain)."""
+        self._keys[idx] = None
+        self._forward[idx * MAX_LEVEL] = self._free
+        self._free = idx
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def push(self, key: Any) -> None:
+        """Insert ``key``; O(log n) comparisons, no allocation after warm-up."""
+        self._seq += 1
+        seq = self._seq
+        height = 1
+        while not seq & 1 and height < MAX_LEVEL:
+            height += 1
+            seq >>= 1
+        node = self._alloc()
+        keys = self._keys
+        forward = self._forward
+        keys[node] = key
+        self._heights[node] = height
+        node_base = node * MAX_LEVEL
+        pred = 0
+        for level in range(self._level - 1, -1, -1):
+            nxt = forward[pred * MAX_LEVEL + level]
+            while nxt != _NIL and keys[nxt] < key:
+                pred = nxt
+                nxt = forward[pred * MAX_LEVEL + level]
+            if level < height:
+                forward[node_base + level] = nxt
+                forward[pred * MAX_LEVEL + level] = node
+        if height > self._level:
+            for level in range(self._level, height):
+                forward[node_base + level] = _NIL
+                forward[level] = node
+            self._level = height
+        self._size += 1
+
+    def pop(self) -> Any:
+        """Remove and return the minimum key; O(height of the minimum)."""
+        forward = self._forward
+        first = forward[0]
+        if first == _NIL:
+            raise IndexError("pop from an empty SkipListPQ")
+        key = self._keys[first]
+        base = first * MAX_LEVEL
+        # The minimum is the first node at every level it occupies, so its
+        # predecessors are all the head: unlink by copying links across.
+        for level in range(self._heights[first]):
+            forward[level] = forward[base + level]
+        self._release(first)
+        self._size -= 1
+        return key
+
+    def peek(self) -> Optional[Any]:
+        """The minimum key without removing it, or ``None`` when empty."""
+        first = self._forward[0]
+        return None if first == _NIL else self._keys[first]
+
+    def clear(self) -> None:
+        """Empty the queue, returning every live node to the pool."""
+        while self._size:
+            self.pop()
+        self._level = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def capacity(self) -> int:
+        """Pooled node slots (head excluded) -- growth happens in blocks."""
+        return len(self._keys) - 1
+
+
+class HeapQueue:
+    """``heapq`` behind the :class:`SkipListPQ` API, for benches and tests."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Any] = []
+
+    def push(self, key: Any) -> None:
+        heapq.heappush(self._heap, key)
+
+    def pop(self) -> Any:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Any]:
+        return self._heap[0] if self._heap else None
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -22,7 +22,6 @@ ledger -- the invariant the engine's accounting tests pin down.
 
 from __future__ import annotations
 
-import bisect
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.api import RangeSkylineIndex
@@ -357,21 +356,27 @@ class ShardedServiceBackend:
         self, rect: RangeQuery, consistency: str
     ) -> Tuple[List[Point], QueryTrace]:
         service = self.service
-        # repro: calls(SkylineService.query_many)
-        points = service.query_many([rect], use_cache=consistency != "fresh")[0]
-        return points, self._trace_from(service.last_traces[0])
+        # repro: calls(SkylineService.query_many_traced)
+        results, traces = service.query_many_traced(
+            [rect], use_cache=consistency != "fresh"
+        )
+        return results[0], self._trace_from(traces[0])
 
     def execute_many(
         self, rects: List[RangeQuery], consistency: str
     ) -> List[Tuple[List[Point], QueryTrace]]:
-        """One native ``query_many`` call: worklist batching, duplicate
-        coalescing and ``parallelism`` thread fan-out all apply."""
+        """One native ``query_many_traced`` call: worklist batching,
+        duplicate coalescing and ``parallelism`` thread fan-out all
+        apply.  The traced variant keeps concurrent batch executions from
+        racing on ``service.last_traces``."""
         service = self.service
-        # repro: calls(SkylineService.query_many)
-        results = service.query_many(rects, use_cache=consistency != "fresh")
+        # repro: calls(SkylineService.query_many_traced)
+        results, traces = service.query_many_traced(
+            rects, use_cache=consistency != "fresh"
+        )
         return [
             (points, self._trace_from(trace))
-            for points, trace in zip(results, service.last_traces)
+            for points, trace in zip(results, traces)
         ]
 
     def apply(self, request: UpdateRequest) -> bool:
@@ -418,9 +423,7 @@ class ShardedServiceBackend:
                 # Mirror the execution-side prune: a level with no point
                 # in the rectangle's x-window answers for free, so it
                 # adds no search term to the predicted cost.
-                lo = bisect.bisect_left(
-                    comp.points, rect.x_lo, key=lambda p: p.x
-                )
+                lo = comp.columns.bisect_x_left(rect.x_lo)
                 if lo < len(comp.points) and comp.points[lo].x <= rect.x_hi:
                     level_scopes.append((level, len(comp)))
                 level_layout.append((level, len(comp)))

@@ -27,9 +27,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import sanitize as _sanitize
+from repro.analysis.locks import tracked_lock
 from repro.core.point import Point
 from repro.core.queries import RangeQuery
 from repro.em.config import EMConfig
+from repro.em.counters import IOSnapshot
 from repro.engine.backends import (
     Backend,
     LocalIndexBackend,
@@ -87,6 +89,13 @@ class SkylineEngine:
         # report-partition sanitizer so the identity stays exact over
         # engine-served traffic; see :meth:`_san_pre`.
         self._external_io = 0
+        # Group accounting for snapshot-concurrent read batches
+        # (:meth:`query_batch_shared`): the books lock serializes only
+        # the partition bookkeeping at group open/close -- the batches
+        # themselves run concurrently between the two.
+        self._books = tracked_lock("engine.books")
+        self._shared_readers = 0
+        self._group_before: Optional[IOSnapshot] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -297,6 +306,29 @@ class SkylineEngine:
         # repro: calls(ShardedServiceBackend.execute_many)
         executed = self.backend.execute_many([r.rect for r in reqs], consistency)
         delta = self.backend.snapshot() - before
+        results, total_k, predicted = self._batch_results(reqs, plans, executed)
+        batch_report = ExecutionReport(
+            backend=self.backend.name,
+            kind=KIND_BATCH,
+            variant=KIND_BATCH,
+            structure=KIND_BATCH,
+            reads=delta.reads,
+            writes=delta.writes,
+            result_size=total_k,
+            predicted_io=predicted,
+        )
+        self.requests_served += len(reqs)
+        self._attributed += batch_report.blocks
+        self._san_post(batch_report)
+        return results, batch_report
+
+    def _batch_results(
+        self,
+        reqs: List[QueryRequest],
+        plans: List[QueryPlan],
+        executed: List,
+    ) -> Tuple[List[QueryResult], int, float]:
+        """Per-request results of one executed batch (zero-block reports)."""
         results: List[QueryResult] = []
         total_k = 0
         predicted = 0.0
@@ -328,19 +360,76 @@ class SkylineEngine:
                     ),
                 )
             )
-        batch_report = ExecutionReport(
-            backend=self.backend.name,
-            kind=KIND_BATCH,
-            variant=KIND_BATCH,
-            structure=KIND_BATCH,
-            reads=delta.reads,
-            writes=delta.writes,
-            result_size=total_k,
-            predicted_io=predicted,
+        return results, total_k, predicted
+
+    def query_batch_shared(
+        self, requests: Sequence[QueryLike]
+    ) -> Tuple[List[QueryResult], ExecutionReport]:
+        """:meth:`query_batch` for snapshot-concurrent callers.
+
+        Any number of overlapping calls may execute concurrently,
+        provided no write runs beside them -- the serving tier's
+        read/write gate enforces exactly that.  Ledger accounting happens
+        at **group** granularity: the call that opens a group (shared
+        readers 0 -> 1) settles the books and snapshots the ledger; the
+        call that closes it (readers back to 0) attributes the whole
+        group's ledger delta to its own batch report and re-checks the
+        partition identity; calls in between return a zero-block batch
+        report.  That is the per-request discipline :meth:`query_batch`
+        already applies *within* one batch, lifted to overlapping
+        batches: the group delta is race-free because every reader only
+        decrements after its execution returned, so the closer's
+        snapshot has seen all of the group's charges.  With no overlap
+        every call is both opener and closer and the behaviour matches
+        :meth:`query_batch` block for block.
+
+        A failing call just leaves the group; its ledger traffic is
+        absorbed as external by the next :meth:`_san_pre`, the same
+        discipline a failing single query gets.
+        """
+        reqs = [self._coerce(request) for request in requests]
+        consistency = (
+            "fresh" if any(r.consistency == "fresh" for r in reqs) else "cached"
         )
-        self.requests_served += len(reqs)
-        self._attributed += batch_report.blocks
-        self._san_post(batch_report)
+        plans = [self.backend.plan(r) for r in reqs]
+        with self._books:
+            if self._shared_readers == 0:
+                self._san_pre()
+                self._group_before = self.backend.snapshot()
+            self._shared_readers += 1
+        try:
+            # repro: calls(ShardedServiceBackend.execute_many)
+            executed = self.backend.execute_many(
+                [r.rect for r in reqs], consistency
+            )
+        except BaseException:
+            with self._books:
+                self._shared_readers -= 1
+                if self._shared_readers == 0:
+                    self._group_before = None
+            raise
+        results, total_k, predicted = self._batch_results(reqs, plans, executed)
+        with self._books:
+            self._shared_readers -= 1
+            delta: Optional[IOSnapshot] = None
+            if self._shared_readers == 0:
+                assert self._group_before is not None
+                delta = self.backend.snapshot() - self._group_before
+                self._group_before = None
+            batch_report = ExecutionReport(
+                backend=self.backend.name,
+                kind=KIND_BATCH,
+                variant=KIND_BATCH,
+                structure=KIND_BATCH,
+                reads=delta.reads if delta is not None else 0,
+                writes=delta.writes if delta is not None else 0,
+                result_size=total_k,
+                predicted_io=predicted,
+            )
+            self.requests_served += len(reqs)
+            self._attributed += batch_report.blocks
+            if delta is not None:
+                self._san_post(batch_report)
         return results, batch_report
 
     # ------------------------------------------------------------------

@@ -71,6 +71,17 @@ class ServerConfig:
         cancelled with a terminal :class:`~repro.serve.errors.Overloaded`
         -- the same admission-control stance the intake queues take, so a
         slow consumer cannot hold delta history without bound.
+    read_concurrency:
+        Gathered read batches allowed to execute concurrently.  ``1``
+        (the default) reproduces the classic serial discipline: the
+        dispatcher executes each batch inline before gathering the next.
+        Above 1, batches run on a small read-lane executor against a
+        frozen snapshot (writes still serialize on the write side of the
+        server's read/write gate), so gathering the next window overlaps
+        executing the previous one.  The server silently degrades the
+        effective value to 1 when the backend has no uid-keyed shard
+        worker pool or in-batch coalescing is off -- the only
+        configurations whose ledger charges are single-thread per shard.
     """
 
     gather_window: float = 0.002
@@ -86,6 +97,7 @@ class ServerConfig:
     default_deadline: Optional[float] = None
     latency_samples: int = 8192
     max_subscription_queue: int = 256
+    read_concurrency: int = 1
 
     def __post_init__(self) -> None:
         if self.gather_window < 0:
@@ -132,4 +144,8 @@ class ServerConfig:
             raise ValueError(
                 f"max_subscription_queue must be >= 1, "
                 f"got {self.max_subscription_queue}"
+            )
+        if self.read_concurrency < 1:
+            raise ValueError(
+                f"read_concurrency must be >= 1, got {self.read_concurrency}"
             )

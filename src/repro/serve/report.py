@@ -14,6 +14,7 @@ benchmark in the repo reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.engine.report import QueryResult, UpdateResult
 
@@ -56,6 +57,14 @@ class ServingReport:
     timed_out:
         The submission's deadline expired while it was still queued (it
         never executed).
+    pinned_version:
+        The server's writes-applied counter at the moment this request
+        executed -- the write version a read batch was pinned against.
+        Concurrent read batches under ``config.read_concurrency > 1``
+        all pin the same value between two writes (writes serialize on
+        the gate's write side), which is the snapshot-isolation statement
+        a response can carry home.  ``None`` on reports produced before
+        execution (sheds, queue timeouts).
     """
 
     lane: str
@@ -66,6 +75,7 @@ class ServingReport:
     batch_blocks: int = 0
     shed: bool = False
     timed_out: bool = False
+    pinned_version: Optional[int] = None
 
     @property
     def latency_s(self) -> float:

@@ -62,9 +62,9 @@ from typing import (
     Union,
 )
 
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 
-from repro.analysis.locks import tracked_lock
+from repro.analysis.locks import tracked_lock, tracked_rw_gate
 from repro.core.point import Point
 from repro.core.queries import RangeQuery
 from repro.engine.engine import QueryLike, SkylineEngine
@@ -281,10 +281,31 @@ class SkylineServer:
         self._write_queue: "queue.Queue[_Submission]" = queue.Queue(
             self.config.max_write_queue
         )
-        # Read batches and writer-lane updates exclude each other here;
-        # nothing else may touch the engine while the server owns it
-        # (reprolint enforces it: every self.engine call must hold this).
-        self._engine_lock = tracked_lock("serve.server.engine")  # repro: guards(engine)
+        # Read batches run concurrently against a frozen snapshot (the
+        # gate's read side); writer-lane updates and subscription pumps
+        # take the exclusive write side.  Nothing else may touch the
+        # engine while the server owns it (reprolint enforces it: every
+        # self.engine call must hold the gate).
+        self._gate = tracked_rw_gate("serve.server.engine")  # repro: guards(engine)
+        # Effective read concurrency: batches may only overlap when the
+        # uid-keyed worker pool pins every shard ledger to one worker
+        # thread, and the coalesced batch path is in use (the singles
+        # path drives the engine's exclusive per-query accounting).
+        workers = self.config.read_concurrency
+        if self.pool is None or not self.config.coalesce:
+            workers = 1
+        self._read_workers = workers
+        self._read_executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="skyserve-read"
+            )
+            if workers > 1
+            else None
+        )
+        # Writes applied so far; each read batch reports the value it
+        # executed against (its pinned write version).  Bumped only by
+        # the writer lane while it holds the gate's write side.
+        self._writes_applied = 0
         # Continuous queries: the manager diffs skylines and scopes the
         # recomputation; the handle table maps sub ids to client queues.
         self._subscriptions = SubscriptionManager(engine)
@@ -344,6 +365,9 @@ class SkylineServer:
         for thread in (self._dispatcher, self._writer):
             if thread is not None:
                 thread.join()
+        if self._read_executor is not None:
+            # In-flight read batches complete before the pool goes away.
+            self._read_executor.shutdown(wait=True)
         for lane in (self._read_queue, self._write_queue):
             while True:
                 try:
@@ -497,7 +521,7 @@ class SkylineServer:
             else SubscribeRequest(rect=request)
         )
         now = time.perf_counter()
-        with self._engine_lock:
+        with self._gate.write():
             # repro: calls(SubscriptionManager.register)
             sub, initial = self._subscriptions.register(req)
         handle = ServerSubscription(
@@ -536,7 +560,7 @@ class SkylineServer:
         with self._handles_lock:
             if not self._handles:
                 return
-        with self._engine_lock:
+        with self._gate.write():
             # repro: calls(SubscriptionManager.pump)
             deltas = self._subscriptions.pump()
         if deltas:
@@ -627,12 +651,26 @@ class SkylineServer:
         )
 
     def _dispatch_loop(self) -> None:
+        # Read batches handed to the read-lane executor whose results are
+        # still pending.  Dispatcher-thread private, so no lock is needed.
+        inflight: List["Future[None]"] = []
         while not self._stop.is_set():
-            try:
-                first = self._read_queue.get(timeout=_IDLE_POLL_S)
-            except queue.Empty:
-                continue
-            batch = [first]
+            inflight = [f for f in inflight if not f.done()]
+            if inflight:
+                # Pipelined gather: while a batch executes, the next
+                # window is already open -- anchored at the previous
+                # dispatch, not at the next arrival -- so the window's
+                # wait runs down *during* execution.  This is where the
+                # concurrent read lane's throughput gain over the serial
+                # discipline comes from: the serial loop below can only
+                # start its window after the inline execution returns,
+                # paying window + execution per cycle.
+                batch = []
+            else:
+                try:
+                    batch = [self._read_queue.get(timeout=_IDLE_POLL_S)]
+                except queue.Empty:
+                    continue
             horizon = time.perf_counter() + self.current_gather_window()
             while len(batch) < self.config.max_batch:
                 remaining = horizon - time.perf_counter()
@@ -643,8 +681,18 @@ class SkylineServer:
                         batch.append(self._read_queue.get(timeout=remaining))
                 except queue.Empty:
                     break
+            if not batch:
+                continue
             self._observe_arrivals(batch)
-            self._serve_read_batch(batch)
+            if self._read_executor is not None:
+                # The executor caps batches in flight at
+                # read_concurrency; each runs under the gate's read side
+                # against the same pinned write version.
+                inflight.append(
+                    self._read_executor.submit(self._serve_read_batch, batch)
+                )
+            else:
+                self._serve_read_batch(batch)
 
     def _expire(self, submission: _Submission, now: float, lane: str) -> bool:
         """Fail a still-queued submission whose deadline has passed."""
@@ -678,10 +726,13 @@ class SkylineServer:
                 bucket.append(submission)
         started = time.perf_counter()
         try:
-            with self._engine_lock:
+            with self._gate.read():
+                pinned = self._writes_applied
                 if self.config.coalesce:
-                    # repro: calls(SkylineEngine.query_batch)
-                    results, batch_report = self.engine.query_batch(order)
+                    # repro: calls(SkylineEngine.query_batch_shared)
+                    results, batch_report = self.engine.query_batch_shared(
+                        order
+                    )
                     blocks = batch_report.blocks
                 else:
                     # repro: calls(SkylineEngine.query)
@@ -705,6 +756,7 @@ class SkylineServer:
                         coalesce_fanin=fanin,
                         batch_size=len(live),
                         batch_blocks=blocks,
+                        pinned_version=pinned,
                     )
                     self.metrics.note_served(
                         False, serving.queue_wait_s, serving.latency_s
@@ -720,6 +772,7 @@ class SkylineServer:
                     coalesce_fanin=1,
                     batch_size=len(live),
                     batch_blocks=result.report.blocks,
+                    pinned_version=pinned,
                 )
                 self.metrics.note_served(
                     False, serving.queue_wait_s, serving.latency_s
@@ -739,9 +792,12 @@ class SkylineServer:
                 continue
             started = time.perf_counter()
             try:
-                with self._engine_lock:
+                with self._gate.write():
                     # repro: calls(SkylineEngine.update)
                     result = self.engine.update(submission.request)
+                    # Bumped before the write side releases, so every
+                    # read batch admitted afterwards pins the new version.
+                    self._writes_applied += 1
             except BaseException as exc:
                 submission.future.set_exception(exc)
                 continue
@@ -750,6 +806,7 @@ class SkylineServer:
                 queue_wait_s=started - submission.enqueued_at,
                 service_s=time.perf_counter() - started,
                 batch_blocks=result.report.blocks,
+                pinned_version=self._writes_applied,
             )
             self.metrics.note_served(True, serving.queue_wait_s, serving.latency_s)
             submission.future.set_result(ServedUpdate(result, serving))
@@ -763,7 +820,7 @@ class SkylineServer:
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, object]:
         """Server metrics plus the engine's own description underneath."""
-        with self._engine_lock:
+        with self._gate.read():
             # repro: calls(SkylineEngine.describe)
             engine_status = self.engine.describe()
         with self._handles_lock:
@@ -783,6 +840,8 @@ class SkylineServer:
                 "arrival_ewma_s": self._arrival_ewma,
                 "max_batch": self.config.max_batch,
                 "coalesce": self.config.coalesce,
+                "read_concurrency": self._read_workers,
+                "writes_applied": self._writes_applied,
                 "backpressure": self.config.backpressure,
                 "max_read_queue": self.config.max_read_queue,
                 "max_write_queue": self.config.max_write_queue,

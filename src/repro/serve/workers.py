@@ -26,7 +26,7 @@ from concurrent.futures import Future
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.analysis import sanitize as _sanitize
-from repro.analysis.locks import tracked_condition
+from repro.analysis.locks import tracked_condition, tracked_lock
 from repro.service.batch import ShardAnswer, ShardQueryFn, WorkItem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -98,6 +98,9 @@ class ShardWorkerPool:
         self.workers: Dict[int, _ShardWorker] = {}
         self.created = 0
         self.retired = 0
+        # Concurrent read batches call sync() from several dispatcher
+        # threads at once; the worker table reconciliation must not race.
+        self._sync_lock = tracked_lock("serve.workers.sync")
 
     # ------------------------------------------------------------------
     # Topology tracking
@@ -110,18 +113,19 @@ class ShardWorkerPool:
         exclusive).  Workers for vanished uids are retired; new uids get
         fresh workers; everyone else stays warm.
         """
-        live = {shard.sid: shard.uid for shard in self.service.shards}
-        alive = set(live.values())
-        for uid in list(self.workers):
-            if uid not in alive:
-                # repro: calls(_ShardWorker.stop)
-                self.workers.pop(uid).stop()
-                self.retired += 1
-        for uid in alive:
-            if uid not in self.workers:
-                self.workers[uid] = _ShardWorker(uid)
-                self.created += 1
-        return live
+        with self._sync_lock:
+            live = {shard.sid: shard.uid for shard in self.service.shards}
+            alive = set(live.values())
+            for uid in list(self.workers):
+                if uid not in alive:
+                    # repro: calls(_ShardWorker.stop)
+                    self.workers.pop(uid).stop()
+                    self.retired += 1
+            for uid in alive:
+                if uid not in self.workers:
+                    self.workers[uid] = _ShardWorker(uid)
+                    self.created += 1
+            return live
 
     # ------------------------------------------------------------------
     # Batch execution (the service's batch_executor hook)

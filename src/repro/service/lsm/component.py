@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.api import RangeSkylineIndex
+from repro.core.columns import PointColumns
 from repro.core.point import Point
 from repro.em.config import EMConfig
 from repro.em.counters import IOStats
@@ -47,6 +48,10 @@ class Component:
     ) -> None:
         self.comp_id = comp_id
         self.points: List[Point] = sorted(points, key=lambda p: (p.x, p.y))
+        # Columnar twin of ``points`` (parallel x/y/ident arrays): the
+        # query path bisects and filters these instead of touching one
+        # object per point.  Built once -- the component is immutable.
+        self.columns: PointColumns = PointColumns.from_points(self.points)
         self.stats: Optional[IOStats] = None
         self.storage: Optional[StorageManager] = None
         self.index: Optional[RangeSkylineIndex] = None

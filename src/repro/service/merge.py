@@ -10,16 +10,31 @@ when its y is ``>= p.y``.  The highest point of ``Q ∩ shard_j`` is never
 locally dominated, so it appears in shard ``j``'s local result -- meaning
 the running maximum y over the local results of shards ``> i`` equals the
 maximum y over *all* their points inside ``Q``.  A candidate therefore
-survives globally iff its y strictly exceeds that running maximum, which is
-what :func:`merge_shard_skylines` checks in one right-to-left pass.
+survives globally iff its y strictly exceeds that running maximum, which
+is what :func:`merge_shard_skylines` checks in one right-to-left pass.
+
+Execution of both merges is columnar (:mod:`repro.core.columns`): the
+per-object lambda sort became an argsort over parallel coordinate arrays
+plus a vectorized running-max scan, with ``Point`` objects materialised
+only at the response boundary.  The ``*_objects`` reference
+implementations below are the semantics the kernels must reproduce --
+``benchmarks/bench_hotpath.py`` times one against the other and
+``tests/test_hotpath.py`` holds them identical under hypothesis.  All of
+this is in-memory compute over resident candidates: no block transfers
+happen on either path, so charging is untouched (see DESIGN.md,
+"Columnar kernels and the charging boundary").
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from repro.core.columns import (
+    ColumnsLike,
+    merge_skyline_sources,
+    sweep_concatenated,
+)
 from repro.core.point import Point
-from repro.core.skyline import skyline
 
 
 def merge_shard_skylines(per_shard: Sequence[Sequence[Point]]) -> List[Point]:
@@ -29,21 +44,41 @@ def merge_shard_skylines(per_shard: Sequence[Sequence[Point]]) -> List[Point]:
     inside the query, sorted by increasing x.  One right-to-left pass keeps
     a candidate iff its y strictly exceeds the maximum y seen in shards to
     its right; the result is the global skyline, sorted by increasing x.
+    Because the concatenation of the inputs is already increasing-x sorted,
+    the columnar kernel needs no sort at all -- one suffix-max scan.
+    """
+    return sweep_concatenated(per_shard)
+
+
+def merge_shard_skylines_objects(
+    per_shard: Sequence[Sequence[Point]],
+) -> List[Point]:
+    """Reference object-path shard merge (see :func:`merge_shard_skylines`).
+
+    The running maximum is tracked inside the survivor scan itself -- each
+    shard's results are visited exactly once per pass, with no second
+    ``max()`` rescan.
     """
     parts: List[List[Point]] = []
     best_y = float("-inf")
     for results in reversed(per_shard):
         if not results:
             continue
-        surviving = [p for p in results if p.y > best_y]
+        surviving: List[Point] = []
+        top = best_y
+        for p in results:
+            if p.y > best_y:
+                surviving.append(p)
+            if p.y > top:
+                top = p.y
         if surviving:
             parts.append(surviving)
-        best_y = max(best_y, max(p.y for p in results))
+        best_y = top
     parts.reverse()
     return [p for part in parts for p in part]
 
 
-def merge_component_skylines(sources: Sequence[Sequence[Point]]) -> List[Point]:
+def merge_component_skylines(sources: Sequence[ColumnsLike]) -> List[Point]:
     """Merge candidate sets from overlapping components into one skyline.
 
     This is :func:`merge_shard_skylines` generalised from the x-disjoint
@@ -57,9 +92,18 @@ def merge_component_skylines(sources: Sequence[Sequence[Point]]) -> List[Point]:
     candidates of strictly larger x.  Sources need not be skylines
     themselves -- points dominated within their own source are dominated in
     the union too, so the sweep drops them the same way.  Every source
-    must contain only points inside the query rectangle.  Returns the
-    skyline sorted by increasing x.
+    must contain only points inside the query rectangle; a source may be a
+    plain point sequence or a :class:`repro.core.columns.PointColumns`
+    candidate set (components hand their columns over directly, skipping
+    per-point extraction).  Returns the skyline sorted by increasing x.
     """
+    return merge_skyline_sources(sources)
+
+
+def merge_component_skylines_objects(
+    sources: Sequence[Sequence[Point]],
+) -> List[Point]:
+    """Reference object-path component merge (lambda-keyed sort + sweep)."""
     candidates = [p for source in sources for p in source]
     candidates.sort(key=lambda p: (-p.x, -p.y))
     best_y = float("-inf")
@@ -83,8 +127,38 @@ def merge_with_delta(
     full point set inside the query: any static point missing from
     ``static_result`` is dominated by a member of it, and that member is in
     the union.
+
+    ``static_result`` arrives sorted by increasing x (and, being a
+    skyline, by decreasing y), so only the delta candidates are sorted;
+    the two decreasing-x streams are then folded with the same
+    running-max-y sweep the component merge uses -- no re-sort of the
+    already-sorted static result, no full :func:`~repro.core.skyline
+    .skyline` recomputation.
     """
-    candidates = list(delta_candidates)
+    candidates = sorted(delta_candidates, key=lambda p: (-p.x, -p.y))
     if not candidates:
         return list(static_result)
-    return skyline(list(static_result) + candidates)
+    kept_rev: List[Point] = []
+    best_y = float("-inf")
+    ci, cn = 0, len(candidates)
+    for sp in reversed(static_result):
+        # Drain delta candidates with larger x (ties: larger y) first so
+        # the combined stream is visited in decreasing-x order.
+        while ci < cn and (
+            candidates[ci].x > sp.x
+            or (candidates[ci].x == sp.x and candidates[ci].y > sp.y)
+        ):
+            if candidates[ci].y > best_y:
+                kept_rev.append(candidates[ci])
+                best_y = candidates[ci].y
+            ci += 1
+        if sp.y > best_y:
+            kept_rev.append(sp)
+            best_y = sp.y
+    while ci < cn:
+        if candidates[ci].y > best_y:
+            kept_rev.append(candidates[ci])
+            best_y = candidates[ci].y
+        ci += 1
+    kept_rev.reverse()
+    return kept_rev

@@ -92,6 +92,8 @@ import dataclasses
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.locks import tracked_lock
+from repro.core.columns import filter_rect
 from repro.core.point import Point, resolve_victim_index
 from repro.core.queries import RangeQuery
 from repro.core.skyline import range_skyline
@@ -213,6 +215,16 @@ class SkylineService:
         self.recovery: Optional[Dict[str, int]] = None
         # Per-query traces of the most recent query_many call.
         self.last_traces: List[QueryExecutionTrace] = []
+        # Overlay lock: the one mutable-state lock of the read path.
+        # Snapshot-concurrent read batches (the serving tier's read gate)
+        # run query_many_traced on several threads at once; everything
+        # those calls *mutate* -- the result cache's LRU order, the
+        # coalesced counter, level-component ledger charges -- happens
+        # under this lock, whose acquisitions are also the sync points
+        # the ledger-ownership sanitizer requires between cross-thread
+        # charges.  Shard-level charges need no lock: the persistent
+        # worker pool pins each shard uid to one worker thread.
+        self._overlay = tracked_lock("service.overlay")
         # Pluggable batch executor with the execute_worklists signature
         # ``(worklists, shard_query, parallelism) -> {(position, sid): answer}``.
         # None = the default transient thread pool.  The serving tier
@@ -970,6 +982,25 @@ class SkylineService:
         After the call, :attr:`last_traces` holds one
         :class:`QueryExecutionTrace` per query (routing, cache hit,
         coalescing, tombstone fallback), aligned with the results.
+        ``last_traces`` makes this entry point single-caller; concurrent
+        callers (the engine's snapshot-concurrent batch path) use
+        :meth:`query_many_traced`, which returns the traces instead.
+        """
+        results, traces = self.query_many_traced(queries, use_cache)
+        self.last_traces = traces
+        return results
+
+    def query_many_traced(
+        self, queries: Sequence[RangeQuery], use_cache: bool = True
+    ) -> Tuple[List[List[Point]], List[QueryExecutionTrace]]:
+        """:meth:`query_many`, returning ``(results, traces)`` directly.
+
+        Safe for concurrent read-only callers (no writer may run beside
+        them -- the serving tier's read/write gate guarantees that):
+        nothing of the batch state lands on the service instance, and the
+        shared structures a call *does* mutate -- the result cache's LRU
+        order, the ``coalesced`` counter, level-component ledgers on
+        tombstone fallbacks -- are serialized under the overlay lock.
         """
         results: List[Optional[List[Point]]] = [None] * len(queries)
         traces: List[Optional[QueryExecutionTrace]] = [None] * len(queries)
@@ -986,7 +1017,11 @@ class SkylineService:
                     for sid in shard_ids
                 ],
             )
-            cached = self.cache.get(key) if use_cache else None
+            if use_cache:
+                with self._overlay:
+                    cached = self.cache.get(key)
+            else:
+                cached = None
             if cached is not None:
                 results[position] = cached
                 traces[position] = QueryExecutionTrace(
@@ -1017,22 +1052,28 @@ class SkylineService:
                 fallback = any(local[(position, sid)][1] for sid in shard_ids)
                 if self.lsm is not None:
                     sources: List[Sequence[Point]] = [merged]
-                    for comp in self.lsm.components():
-                        comp_result, comp_fallback = self._component_query(
-                            comp, query
-                        )
-                        sources.append(comp_result)
-                        fallback = fallback or comp_fallback
-                    # Unsorted is fine: merge_component_skylines orders
-                    # the whole union itself.
-                    sources.append(self.delta.candidates_in(query))
+                    # Component queries charge the components' private
+                    # ledgers; concurrent batches reach here from several
+                    # threads, so the charges serialize on the overlay
+                    # lock (each acquisition is a declared sync point).
+                    with self._overlay:
+                        for comp in self.lsm.components():
+                            comp_result, comp_fallback = self._component_query(
+                                comp, query
+                            )
+                            sources.append(comp_result)
+                            fallback = fallback or comp_fallback
+                        # Unsorted is fine: merge_component_skylines
+                        # orders the whole union itself.
+                        sources.append(self.delta.candidates_in(query))
                     merged = merge_component_skylines(sources)
                 else:
                     merged = merge_with_delta(
                         merged, self.delta.candidates_in(query)
                     )
                 if use_cache:
-                    self.cache.put(key, merged)
+                    with self._overlay:
+                        self.cache.put(key, merged)
                 results[position] = merged
                 # The fallback flag comes from the executors themselves
                 # (each computed it once) -- never re-derived here.
@@ -1040,14 +1081,15 @@ class SkylineService:
                     shard_ids=tuple(shard_ids),
                     tombstone_fallback=fallback,
                 )
-        self.coalesced += len(followers)
+        if followers:
+            with self._overlay:
+                self.coalesced += len(followers)
         for position, leader_position in followers:
             results[position] = list(results[leader_position])  # type: ignore[arg-type]
             leader_trace = traces[leader_position]
             assert leader_trace is not None
             traces[position] = dataclasses.replace(leader_trace, coalesced=True)
-        self.last_traces = traces  # type: ignore[assignment]
-        return results  # type: ignore[return-value]
+        return results, traces  # type: ignore[return-value]
 
     def _shard_query(self, sid: int, query: RangeQuery) -> Tuple[List[Point], bool]:
         """One shard's local skyline inside ``query``, tombstone-aware.
@@ -1093,18 +1135,22 @@ class SkylineService:
         shape slice handovers leave behind) is pruned too, not just one
         whose whole span misses the window.
         """
-        lo = bisect.bisect_left(comp.points, query.x_lo, key=lambda p: p.x)
+        lo = comp.columns.bisect_x_left(query.x_lo)
         if lo >= len(comp.points) or comp.points[lo].x > query.x_hi:
             return [], False
         if comp.index is None:
-            return (
-                [
-                    p
-                    for p in comp.points
-                    if query.contains(p) and not self.delta.is_deleted(p)
-                ],
-                False,
+            # Frozen memtable: the vectorized in-rectangle filter over the
+            # component's columns (bisected x-window + y mask) replaces
+            # the per-object contains() scan; pending tombstones are
+            # checked only when any exist.
+            candidates = filter_rect(
+                comp.columns, query.x_lo, query.x_hi, query.y_lo, query.y_hi
             )
+            if self.delta.tombstones:
+                candidates = [
+                    p for p in candidates if not self.delta.is_deleted(p)
+                ]
+            return candidates, False
         if self.delta.tombstone_hits(
             query, float("-inf"), float("inf"), comp.owner
         ):

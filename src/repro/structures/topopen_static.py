@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from repro.btree.rangemax import RangeMaxBTree
+from repro.core.columns import sort_points_by_x
 from repro.core.point import Point
 from repro.core.queries import RangeQuery, TopOpenQuery
 from repro.em.storage import StorageManager
@@ -79,8 +80,10 @@ class StaticTopOpenStructure:
             x_hi, y_lo, beta_prime
         )
         result = [seg.source for seg in segments if seg.source is not None]
-        result.sort(key=lambda p: p.x)
-        return result
+        # Candidate-set assembly is columnar: argsort one x array instead
+        # of a lambda-keyed object sort (pure in-memory work -- the
+        # transfers were already charged by the PPB-tree traversal).
+        return sort_points_by_x(result)
 
     def query_contour(self, x_hi: float) -> List[Point]:
         """Contour query (Figure 2g): the skyline of points left of ``x_hi``."""
