@@ -122,7 +122,7 @@ def main() -> None:
         print(
             f"{tick:>4} {len(results):>8} {hits:>11} {pruned:>7} "
             f"{read_io:>9} {write_io:>10} {len(service.delta.inserts):>9} "
-            f"{service.lsm.scheduler.merges_completed:>7}"
+            f"{service.merges_completed:>7}"
         )
 
     status = engine.describe()

@@ -52,10 +52,10 @@ def _fresh_updates(count: int, seed: int) -> List[Point]:
     ]
 
 
-def _probe_queries(universe: int, count: int, seed: int):
+def _probe_queries(universe: int, count: int, seed: int) -> List[RangeQuery]:
     """A fixed mix of top-open and 4-sided probes over the base universe."""
     rng = random.Random(seed)
-    probes = []
+    probes: List[RangeQuery] = []
     for _ in range(count):
         a, b = sorted(rng.uniform(0, universe) for _ in range(2))
         c = rng.uniform(0, universe)
@@ -154,11 +154,14 @@ def run_update_path_sweep(
                 "max_update_spike": max_spike,
                 "mean_query_io": round(mean_query, 3),
                 "compactions": service.compactions,
-                "merges_completed": 0
-                if service.lsm is None
-                else service.lsm.scheduler.merges_completed,
+                "merges_completed": service.merges_completed
+                if service.leveled
+                else 0,
                 "maintenance_io": engine.maintenance_io(),
-                "levels": 0 if service.lsm is None else len(service.lsm.levels),
+                "levels": max(
+                    (len(tower.levels) for tower in service.towers()),
+                    default=0,
+                ),
                 "amortized_bound": round(
                     amortized_update_io(
                         len(service),

@@ -22,6 +22,7 @@ ledger -- the invariant the engine's accounting tests pin down.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.api import RangeSkylineIndex
@@ -137,9 +138,10 @@ class Backend(Protocol):
         backend has no delta to fold)."""
         ...
 
-    def drain(self) -> Dict[str, int]:
+    def drain(self, sid: Optional[int] = None) -> Dict[str, int]:
         """Pay all outstanding incremental merge debt now (no-op when
-        the backend has no merge scheduler); returns the drain counters."""
+        the backend has no merge scheduler); with ``sid`` only that
+        shard's private tower is drained.  Returns the drain counters."""
         ...
 
     def split_shard(self, sid: int, cut: Optional[float] = None) -> Optional[float]:
@@ -262,7 +264,7 @@ class LocalIndexBackend:
     def compact(self) -> None:
         """No-op: the monolithic index applies updates in place."""
 
-    def drain(self) -> Dict[str, int]:
+    def drain(self, sid: Optional[int] = None) -> Dict[str, int]:
         """No-op: the monolithic index has no merge scheduler."""
         return {"merge_io": 0, "merges_completed": 0}
 
@@ -405,28 +407,47 @@ class ShardedServiceBackend:
             epsilon = max(0.25, epsilon)  # the shard index floors it too
         level_scopes: List[Tuple[int, int]] = []
         level_layout: List[Tuple[int, int]] = []
-        if service.lsm is not None:
-            # Level 0 counts the live memtable plus any sealed-but-not-yet-
-            # flushed frozen memtables, so summing the layout's record
-            # counts plus the base scopes always reproduces len(service)
-            # resident records.
-            level_layout.append(
-                (
-                    0,
-                    len(service.delta.inserts)
-                    + sum(len(c) for c in service.lsm.frozen),
-                )
-            )
+        if service.leveled:
+            # Towers are per-shard: the layout and the per-level search
+            # terms are instantiated over the *visited* shards' towers
+            # only -- exactly the structures this query's execution fans
+            # across.  Level 0 counts the visited shards' memtable cuts
+            # plus their sealed-but-not-yet-flushed frozen memtables;
+            # level -1 aggregates inherited components through their
+            # refs' adoption intervals.
             rect = request.rect
-            for level in sorted(service.lsm.levels):
-                comp = service.lsm.levels[level]
-                # Mirror the execution-side prune: a level with no point
-                # in the rectangle's x-window answers for free, so it
-                # adds no search term to the predicted cost.
-                lo = comp.columns.bisect_x_left(rect.x_lo)
-                if lo < len(comp.points) and comp.points[lo].x <= rect.x_hi:
-                    level_scopes.append((level, len(comp)))
-                level_layout.append((level, len(comp)))
+            layout: Dict[int, int] = {0: 0}
+            for sid in visited:
+                shard = service.shards[sid]
+                tower = shard.tower
+                assert tower is not None
+                layout[0] += tower.pending_inserts() + sum(
+                    len(c) for c in tower.frozen
+                )
+                for level in sorted(tower.levels):
+                    comp = tower.levels[level]
+                    # Mirror the execution-side prune: a level with no
+                    # point in the rectangle's x-window answers for free,
+                    # so it adds no search term to the predicted cost.
+                    lo = comp.columns.bisect_x_left(rect.x_lo)
+                    if lo < len(comp.points) and comp.points[lo].x <= rect.x_hi:
+                        level_scopes.append((level, len(comp)))
+                    layout[level] = layout.get(level, 0) + len(comp)
+                for ref in tower.inherited:
+                    comp = ref.comp
+                    layout[-1] = layout.get(-1, 0) + len(ref)
+                    # The prune bisect runs against the ref-narrowed
+                    # window, like the execution side.
+                    x_lo = max(rect.x_lo, ref.x_lo)
+                    x_hi = rect.x_hi
+                    if ref.x_hi != math.inf:
+                        x_hi = min(
+                            x_hi, math.nextafter(ref.x_hi, -math.inf)
+                        )
+                    lo = max(comp.columns.bisect_x_left(x_lo), ref.lo)
+                    if lo < ref.hi and comp.points[lo].x <= x_hi:
+                        level_scopes.append((-1, len(ref)))
+            level_layout = [(level, layout[level]) for level in sorted(layout)]
             update_path = "leveled"
             update_bound = BOUND_UPDATE_LEVELED
             update_io = amortized_update_io(
@@ -467,8 +488,8 @@ class ShardedServiceBackend:
     def compact(self) -> None:
         self.service.compact()
 
-    def drain(self) -> Dict[str, int]:
-        return self.service.drain()
+    def drain(self, sid: Optional[int] = None) -> Dict[str, int]:
+        return self.service.drain(sid)
 
     def split_shard(self, sid: int, cut: Optional[float] = None) -> Optional[float]:
         return self.service.split_shard(sid, cut)

@@ -544,7 +544,7 @@ class SkylineEngine:
         self._maintenance += (self.backend.snapshot() - before).total
         self._san_settle()
 
-    def drain(self) -> Dict[str, int]:
+    def drain(self, sid: Optional[int] = None) -> Dict[str, int]:
         """Pay all outstanding incremental merge debt now (a no-op on
         backends without a merge scheduler); returns the drain counters.
 
@@ -552,11 +552,13 @@ class SkylineEngine:
         active merge and every queued one in one call, charging the
         remaining debt to :meth:`maintenance_io` -- the accounting
         identity keeps holding, and subsequent queries run against fully
-        merged levels.
+        merged levels.  With ``sid`` only that shard's private tower is
+        drained (per-shard towers make a single shard's maintenance an
+        independently payable unit); its neighbours' debt is untouched.
         """
         self._san_pre()
         before = self.backend.snapshot()
-        counters = self.backend.drain()
+        counters = self.backend.drain(sid)
         self._maintenance += (self.backend.snapshot() - before).total
         self._san_settle()
         return counters

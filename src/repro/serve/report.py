@@ -14,9 +14,10 @@ benchmark in the repo reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, List, Optional
 
-from repro.engine.report import QueryResult, UpdateResult
+from repro.core.point import Point
+from repro.engine.report import ExecutionReport, QueryResult, UpdateResult
 
 LANE_READ = "read"
 LANE_WRITE = "write"
@@ -91,18 +92,18 @@ class ServedQuery:
     serving: ServingReport
 
     @property
-    def points(self):
+    def points(self) -> List[Point]:
         return self.result.points
 
     @property
-    def report(self):
+    def report(self) -> ExecutionReport:
         """The engine-side :class:`~repro.engine.report.ExecutionReport`."""
         return self.result.report
 
     def __len__(self) -> int:
         return len(self.result.points)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Point]:
         return iter(self.result.points)
 
 
@@ -118,6 +119,6 @@ class ServedUpdate:
         return self.result.applied
 
     @property
-    def report(self):
+    def report(self) -> ExecutionReport:
         """The engine-side :class:`~repro.engine.report.ExecutionReport`."""
         return self.result.report

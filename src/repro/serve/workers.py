@@ -32,9 +32,10 @@ from repro.service.batch import ShardAnswer, ShardQueryFn, WorkItem
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.service import SkylineService
 
-# One dispatched unit: (sid under the current topology, the worklist, the
-# shard-query callable, the future the results land on).
-_Task = Tuple[int, List[WorkItem], ShardQueryFn, "Future"]
+# One dispatched unit: ("query", (sid, worklist, shard_query), future) for
+# a read batch, or ("call", zero-arg callable, future) for one shard's
+# maintenance step (a per-shard tower drain).
+_Task = Tuple[str, object, "Future"]
 
 
 class _ShardWorker:
@@ -69,18 +70,22 @@ class _ShardWorker:
                     self._available.wait()
                 if self._stopped and not self._tasks:
                     return
-                sid, items, shard_query, future = self._tasks.pop(0)
+                kind, payload, future = self._tasks.pop(0)
             try:
-                answers = [
-                    ((position, sid), shard_query(sid, query))
-                    for position, query in items
-                ]
+                if kind == "query":
+                    sid, items, shard_query = payload  # type: ignore[misc]
+                    result: object = [
+                        ((position, sid), shard_query(sid, query))
+                        for position, query in items
+                    ]
+                    self.items += len(items)
+                else:  # "call": one maintenance step
+                    result = payload()  # type: ignore[operator]
             except BaseException as exc:  # surfaced on the batch future
                 future.set_exception(exc)
                 continue
             self.batches += 1
-            self.items += len(answers)
-            future.set_result(answers)
+            future.set_result(result)
 
 
 class ShardWorkerPool:
@@ -146,13 +151,48 @@ class ShardWorkerPool:
             future: Future = Future()
             # repro: calls(_ShardWorker.submit)
             self.workers[uid_of_sid[sid]].submit(
-                (sid, worklists[sid], shard_query, future)
+                ("query", (sid, worklists[sid], shard_query), future)
             )
             futures.append(future)
         results: Dict[Tuple[int, int], ShardAnswer] = {}
         for future in futures:
             results.update(future.result())
         # And batch exit hands the ledgers back to the caller.
+        _sanitize.sync_point()
+        return results
+
+    # ------------------------------------------------------------------
+    # Maintenance execution (the service's run_maintenance hook)
+    # ------------------------------------------------------------------
+    def run_maintenance(self, steps: Dict[int, object]) -> Dict[int, object]:
+        """Run one zero-arg maintenance callable per shard *uid* on that
+        shard's dedicated worker, in parallel; returns uid -> result.
+
+        Per-shard towers make this sound: each step drains one shard's
+        private tower and charges only tower-private ledgers, so
+        concurrent steps never touch the same counter and the totals are
+        bit-identical to a serial drain -- the same isolation argument
+        the query path proves.  Entry and exit are declared handoff
+        points, mirroring :meth:`__call__`.
+        """
+        _sanitize.sync_point()
+        self.sync()
+        futures: Dict[int, Future] = {}
+        for uid in sorted(steps):
+            future: Future = Future()
+            worker = self.workers.get(uid)
+            if worker is None:
+                # A uid the live topology no longer lists (the caller
+                # raced a topology change): run the step inline.
+                try:
+                    future.set_result(steps[uid]())  # type: ignore[operator]
+                except BaseException as exc:
+                    future.set_exception(exc)
+            else:
+                # repro: calls(_ShardWorker.submit)
+                worker.submit(("call", steps[uid], future))
+            futures[uid] = future
+        results = {uid: future.result() for uid, future in futures.items()}
         _sanitize.sync_point()
         return results
 

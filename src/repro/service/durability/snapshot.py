@@ -20,12 +20,15 @@ Level-aware snapshots
 ---------------------
 On the leveled update path a snapshot may also be anchored at a *drain*
 checkpoint, where levels 1..k, the memtable and the tombstone table are
-not empty.  The manifest then carries one block list per level (plus
-memtable and tombstone block lists), so recovery restores the *exact
-level layout* -- not just the flattened point set -- before replaying the
-WAL suffix.  Tombstone records name their owning component as a level
-number (base-resident victims are re-routed by x at load time, since
-recovery re-cuts the shards).
+not empty.  Towers are per-shard, so the manifest carries one block list
+per ``(shard, level)`` pair plus one *overlay* block list per shard --
+the union of the shard's inherited components clipped to its range, dead
+points included -- and recovery restores the *exact per-shard tower
+layout* (each overlay rebuilt as a single indexed component) before
+replaying the WAL suffix.  Tombstone records name their owner as a
+``(sid, level)`` pair, with level ``-1`` meaning the shard's overlay;
+base-resident victims carry neither and are re-routed by x at load time,
+since recovery re-cuts the shards.
 """
 
 from __future__ import annotations
@@ -42,15 +45,18 @@ from repro.service.durability.store import DurableStore
 class TombstoneRecord:
     """One serialised tombstone: the exact victim plus its owner.
 
-    ``level`` is the level number owning the victim (``None`` for a
-    base-shard resident, whose owning shard id recovery re-derives by
-    routing ``x`` through the re-cut router).
+    ``(sid, level)`` names the tower component owning the victim; level
+    ``-1`` is shard ``sid``'s overlay of inherited components.  Both
+    ``None`` (also the legacy single-tower encoding) marks a base-shard
+    resident, whose owning shard recovery re-derives by routing ``x``
+    through the re-cut router.
     """
 
     x: float
     y: float
     ident: Optional[int]
     level: Optional[int] = None
+    sid: Optional[int] = None
 
     def point(self) -> Point:
         return Point(self.x, self.y, self.ident)
@@ -87,9 +93,13 @@ class SnapshotManifest:
     point_count: int
     block_id: Optional[BlockId] = None
     # Leveled state (empty at compaction checkpoints, where everything is
-    # folded into the base; populated at drain checkpoints).
-    level_blocks: Tuple[Tuple[int, Tuple[BlockId, ...]], ...] = ()
-    level_counts: Tuple[Tuple[int, int], ...] = ()
+    # folded into the base; populated at drain checkpoints).  Level block
+    # lists are keyed by ``(sid, level)``; overlay block lists by ``sid``
+    # (each shard's inherited components, clipped and unioned).
+    level_blocks: Tuple[Tuple[Tuple[int, int], Tuple[BlockId, ...]], ...] = ()
+    level_counts: Tuple[Tuple[Tuple[int, int], int], ...] = ()
+    overlay_blocks: Tuple[Tuple[int, Tuple[BlockId, ...]], ...] = ()
+    overlay_counts: Tuple[Tuple[int, int], ...] = ()
     memtable_blocks: Tuple[BlockId, ...] = ()
     memtable_count: int = 0
     tombstone_blocks: Tuple[BlockId, ...] = ()
@@ -101,17 +111,20 @@ class SnapshotManifest:
         return (
             sum(len(blocks) for blocks in self.shard_blocks)
             + sum(len(blocks) for _, blocks in self.level_blocks)
+            + sum(len(blocks) for _, blocks in self.overlay_blocks)
             + len(self.memtable_blocks)
             + len(self.tombstone_blocks)
             + 1
         )
 
     def extra_blocks(self) -> List[BlockId]:
-        """Every non-base block (level, memtable, tombstone) this snapshot
-        owns -- the crash simulator and reclamation free these alongside
-        the shard blocks."""
+        """Every non-base block (level, overlay, memtable, tombstone) this
+        snapshot owns -- the crash simulator and reclamation free these
+        alongside the shard blocks."""
         extras: List[BlockId] = []
         for _, blocks in self.level_blocks:
+            extras.extend(blocks)
+        for _, blocks in self.overlay_blocks:
             extras.extend(blocks)
         extras.extend(self.memtable_blocks)
         extras.extend(self.tombstone_blocks)
@@ -125,10 +138,14 @@ class SnapshotManifest:
 @dataclass
 class SnapshotState:
     """Everything a level-aware snapshot restores: the base shard points,
-    the per-level point lists, the memtable, and the tombstone table."""
+    the per-``(sid, level)`` point lists, the per-shard overlays (clipped
+    inherited-component unions), the memtable, and the tombstone table."""
 
     base_points: List[Point] = field(default_factory=list)
-    levels: List[Tuple[int, List[Point]]] = field(default_factory=list)
+    levels: List[Tuple[Tuple[int, int], List[Point]]] = field(
+        default_factory=list
+    )
+    overlays: List[Tuple[int, List[Point]]] = field(default_factory=list)
     memtable: List[Point] = field(default_factory=list)
     tombstones: List[TombstoneRecord] = field(default_factory=list)
 
@@ -203,17 +220,28 @@ def load_snapshot_state(
     per-level points, the memtable, and the tombstone table (all charged
     one read per block, like :func:`load_snapshot`)."""
     state = SnapshotState(base_points=load_snapshot(store, manifest))
-    for (level, block_ids), (level_again, count) in zip(
+    for (slot, block_ids), (slot_again, count) in zip(
         manifest.level_blocks, manifest.level_counts
     ):
-        assert level == level_again
+        assert slot == slot_again
         points = [p for p in read_record_blocks(store, block_ids)]
         if len(points) != count:
             raise RuntimeError(
-                f"snapshot corrupt: level {level} promises {count} points, "
+                f"snapshot corrupt: level {slot} promises {count} points, "
                 f"blocks held {len(points)}"
             )
-        state.levels.append((level, points))
+        state.levels.append((slot, points))
+    for (sid, block_ids), (sid_again, count) in zip(
+        manifest.overlay_blocks, manifest.overlay_counts
+    ):
+        assert sid == sid_again
+        points = [p for p in read_record_blocks(store, block_ids)]
+        if len(points) != count:
+            raise RuntimeError(
+                f"snapshot corrupt: shard {sid} overlay promises {count} "
+                f"points, blocks held {len(points)}"
+            )
+        state.overlays.append((sid, points))
     state.memtable = list(read_record_blocks(store, manifest.memtable_blocks))
     if len(state.memtable) != manifest.memtable_count:
         raise RuntimeError("snapshot corrupt: memtable block count mismatch")

@@ -122,15 +122,31 @@ class WriteAheadLog:
         """A compaction checkpoint; forces the whole tail durable first."""
         return self.append(OP_COMPACT, force=True)
 
-    def log_flush(self) -> WalRecord:
+    def log_flush(self, sid: Optional[int] = None) -> WalRecord:
         """A memtable-seal marker (leveled path); group-committed like an
-        update -- a seal is a scheduling event, not a durability point."""
-        return self.append(OP_FLUSH)
+        update -- a seal is a scheduling event, not a durability point.
 
-    def log_drain(self) -> WalRecord:
+        Per-shard towers seal one shard's memtable cut at a time: the
+        record carries the shard position in ``ident`` so replay seals
+        exactly the same records.  ``None`` (the legacy encoding) seals
+        every shard's cut.
+        """
+        lsn = self.store.wal_durable + len(self._tail) + 1
+        record = WalRecord(lsn=lsn, op=OP_FLUSH, ident=sid)
+        self._tail.append(record)
+        if len(self._tail) >= self.group_commit_size:
+            self.flush()
+        return record
+
+    def log_drain(self, sid: Optional[int] = None) -> WalRecord:
         """A drain checkpoint (leveled path); forces the tail durable so a
-        snapshot may be anchored to it."""
-        return self.append(OP_DRAIN, force=True)
+        snapshot may be anchored to it.  ``ident`` carries the shard
+        position for a single-tower drain, ``None`` for a full drain."""
+        lsn = self.store.wal_durable + len(self._tail) + 1
+        record = WalRecord(lsn=lsn, op=OP_DRAIN, ident=sid)
+        self._tail.append(record)
+        self.flush()
+        return record
 
     def log_split(self, sid: int, cut: float) -> WalRecord:
         """A hot-shard split: shard position ``sid`` cut at ``cut``.

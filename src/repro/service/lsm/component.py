@@ -16,6 +16,17 @@ aggregate after the :class:`~repro.service.lsm.CompactionScheduler` has
 mirrored the build cost into the maintenance ledger in bounded steps and
 reset it -- that escrow is what turns an ``O(m/B)`` build into ``O(1)``
 visible work per update.
+
+Shared (inherited) components
+-----------------------------
+Per-shard towers turn topology changes into metadata moves: a split hands
+each child *whole components* instead of carving point slices out of
+them.  A component handed across a topology change may therefore be
+referenced by several towers at once -- :attr:`Component.refs` counts the
+referencing towers, and the component (with its ledger, machine and
+index) is retired only when the count drops to zero.  Adoption is a pure
+metadata move: :meth:`Component.adopt` wraps an existing shard's already
+built index, points and ledger without touching a single block.
 """
 
 from __future__ import annotations
@@ -55,6 +66,10 @@ class Component:
         self.stats: Optional[IOStats] = None
         self.storage: Optional[StorageManager] = None
         self.index: Optional[RangeSkylineIndex] = None
+        # Towers currently referencing this component (0 while it is a
+        # private level of exactly one tower -- only inherited components
+        # handed across topology changes are refcounted).
+        self.refs = 0
         if build_index:
             assert em_config is not None
             self.stats = IOStats()
@@ -62,6 +77,35 @@ class Component:
             self.index = RangeSkylineIndex(
                 self.storage, self.points, dynamic=False, epsilon=epsilon
             )
+
+    @classmethod
+    def adopt(
+        cls,
+        comp_id: int,
+        points: Sequence[Point],
+        stats: IOStats,
+        storage: Optional[StorageManager],
+        index: Optional[RangeSkylineIndex],
+    ) -> "Component":
+        """Wrap an already built index (a retiring base shard's) as a
+        component without touching a single block.
+
+        The donor's *ledger object itself* is transferred, not copied:
+        its history stays visible through the service aggregate exactly
+        as it did while the donor was a shard, so adoption moves zero
+        charges and loses zero charges.  ``points`` must already be
+        ``(x, y)``-sorted (a shard's always are); the columnar twin is
+        rebuilt in memory, which is free in the I/O model.
+        """
+        comp = cls.__new__(cls)
+        comp.comp_id = comp_id
+        comp.points = list(points)
+        comp.columns = PointColumns.from_points(comp.points)
+        comp.stats = stats
+        comp.storage = storage
+        comp.index = index
+        comp.refs = 0
+        return comp
 
     @property
     def owner(self) -> OwnerKey:

@@ -115,27 +115,6 @@ class CompactionScheduler:
         self.queue.clear()
         self.active = None
 
-    def cancel_active(self, requeue: bool = True) -> Optional[MergeJob]:
-        """Discard the staged output of the active merge (a topology
-        change rewrote one of its inputs underneath it).
-
-        The staged ledger never joined the aggregate, so dropping it
-        loses no charged transfer; debt already mirrored to the
-        maintenance ledger stays counted (the work was genuinely paid,
-        the output merely got superseded).  No captured tombstone was
-        consumed -- consumption happens only at completion -- so the
-        tombstone table is untouched.  With ``requeue`` the job returns
-        to the *front* of the queue and re-resolves its inputs when it
-        next starts (superseded inputs make it a no-op).
-        """
-        if self.active is None:
-            return None
-        job = self.active.job
-        self.active = None
-        if requeue:
-            self.queue.appendleft(job)
-        return job
-
     @property
     def merge_debt(self) -> int:
         """Outstanding transfers of the active job (0 when idle)."""
@@ -264,7 +243,16 @@ class CompactionScheduler:
         # transfers are counted exactly once.
         assert output.stats is not None
         output.stats.reset()
-        manager.install_level(active.out_level, output)
+        if output.points:
+            manager.install_level(active.out_level, output)
+        else:
+            # Every input record was tombstone-consumed.  An empty
+            # component would be unadoptable at a topology change (no
+            # point falls in any child's clip), so drop it instead of
+            # installing it; its ledger is already reset, and no re-owned
+            # tombstone can reference it (a post-start tombstone's victim
+            # would be in the output).
+            manager._on_layout_change()
         # Counted at completion, not at staging: a merge a compaction
         # discards mid-flight never happened as far as the counters go.
         self.merges_completed += 1

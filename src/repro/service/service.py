@@ -14,24 +14,28 @@ Update path
 -----------
 Writes never touch the static shard structures directly.  On the default
 ``"leveled"`` path (:mod:`repro.service.lsm`), inserts land in the
-level-0 memtable (the :class:`~repro.service.delta.DeltaBuffer`) and
-deletes of resident points become component-bucketed tombstones; when the
-memtable fills it is sealed and a
-:class:`~repro.service.lsm.CompactionScheduler` merges it -- and, as they
-overflow, the immutable levels of geometrically increasing capacity it
-feeds -- downwards in *bounded incremental steps* of at most
-``ServiceConfig.merge_step_blocks`` transfers piggybacked per update.  No
-single update ever pays an ``O(n/B)`` rebuild; the worst case drops to
-``O(1)`` transfers while the amortised cost stays the logarithmic-method
-``O((g/B) log_g n)``.  Queries fan across the memtable, the frozen
-memtables, every level and the base shards, folded by the generalised
-right-to-left running-max-y merge
+shared level-0 memtable (the :class:`~repro.service.delta.DeltaBuffer`,
+range-cut by shard) and deletes of resident points become
+component-bucketed tombstones.  *Every shard owns a private level
+tower*: when a shard's cut of the memtable fills it is sealed into that
+shard's :class:`~repro.service.lsm.LevelManager`, whose
+:class:`~repro.service.lsm.CompactionScheduler` merges it -- and, as
+they overflow, the immutable levels of geometrically increasing capacity
+it feeds -- downwards in *bounded incremental steps* of at most
+``ServiceConfig.merge_step_blocks`` transfers piggybacked per update.
+No single update ever pays an ``O(n/B)`` rebuild; the worst case drops
+to ``O(1)`` transfers while the amortised cost stays the
+logarithmic-method ``O((g/B) log_g n)``.  Queries fan across the
+memtable, the *visited shards'* towers and the base shards, folded by
+the generalised right-to-left running-max-y merge
 (:func:`~repro.service.merge.merge_component_skylines`).
-:meth:`SkylineService.drain` pays all outstanding merge debt at once, and
-:meth:`SkylineService.compact` remains the explicit *major* compaction
-that folds everything back into rebuilt, size-rebalanced base shards.
-The legacy ``"threshold-compact"`` path (flat delta, stop-the-world
-compaction at a size threshold) is kept for benchmarking the difference.
+:meth:`SkylineService.drain` pays all outstanding merge debt at once
+(per shard, or across every tower -- in parallel when a maintenance-
+capable batch executor is installed), and :meth:`SkylineService.compact`
+remains the explicit *major* compaction that folds everything back into
+rebuilt, size-rebalanced base shards.  The legacy
+``"threshold-compact"`` path (flat delta, stop-the-world compaction at a
+size threshold) is kept for benchmarking the difference.
 
 Topology
 --------
@@ -39,18 +43,22 @@ Shard cuts are no longer frozen between compactions: the
 :class:`~repro.service.topology.TopologyManager` (driven automatically
 with ``ServiceConfig.adaptive_topology``, or by hand through
 :meth:`SkylineService.split_shard` / :meth:`SkylineService.merge_shards`)
-splits a hot shard at the size-balanced midpoint of its range's live
-records -- rebuilding only the two children from the shard's residents
-plus the range's slice of the level components and memtable -- merges
-adjacent cold shards, and *folds* a level-tower-pressured shard back
-into its base structure in place, each a bounded local operation charged
-to the maintenance ledger.  Shard *identity* (:attr:`~repro.service.shard.Shard
-.uid`) is decoupled from shard *position*, so a topology change
-invalidates only the cached answers and tombstone buckets of the shards
-it actually rewrites.  On a durable service splits and merges are
-WAL-logged (``OP_SPLIT``/``OP_MERGE``) and snapshot manifests record the
-live cuts, so crash recovery restores the exact post-change topology at
-every WAL prefix.
+splits a hot shard, merges adjacent cold shards, and *folds* a
+tower-pressured shard back into its base structure in place.  Because
+towers are per shard, a split or merge is a pure **metadata move**: the
+retiring shard's base index is adopted as a zero-I/O component
+(:meth:`repro.service.lsm.Component.adopt`), its tower's components are
+handed to the children *whole* (refcounted, clipped to each child's
+x-range by every reader), and the shared memtable needs no work at all
+-- its range cut moves with the router.  No component block is read or
+rewritten; only a fold pays ``O(range mass / B)`` to compact one shard's
+private tower, charged to the maintenance ledger.  Shard *identity*
+(:attr:`~repro.service.shard.Shard.uid`) is decoupled from shard
+*position*, so a topology change invalidates only the cached answers and
+tombstone buckets of the shards it actually rewrites.  On a durable
+service splits and merges are WAL-logged (``OP_SPLIT``/``OP_MERGE``) and
+snapshot manifests record the live cuts, so crash recovery restores the
+exact post-change topology at every WAL prefix.
 
 I/O accounting
 --------------
@@ -58,10 +66,14 @@ Every shard machine and every level component charges a *private*
 :class:`~repro.em.counters.IOStats` ledger, and the service-wide total is
 an :class:`~repro.em.counters.IOStatsGroup` summing them (plus a
 retired-ledger accumulator that keeps totals monotone across rebuilds and
-merges, the *maintenance ledger* that incremental merge work is charged
-to, and the durability store's ledger when durability is on).  Nothing is
+merges, the *maintenance ledgers* -- one service-level plus one per
+tower, aggregated by :attr:`SkylineService.maintenance` -- that
+incremental merge work is charged to, and the durability store's ledger
+when durability is on; components shared between sibling towers are
+summed exactly once).  Nothing is
 ever shared between batch workers, so ``parallelism > 1`` charges
-bit-identical totals to a serial run.  When a tombstone forces a shard or
+bit-identical totals to a serial run -- for maintenance steps run per
+shard in parallel exactly as for queries.  When a tombstone forces a shard or
 level to recompute its local skyline from resident points, that scan is
 charged as ``ceil(resident / B)`` block reads on the component's ledger
 -- the fallback is never free, so comparisons stay honest under deletes.
@@ -190,10 +202,20 @@ class SkylineService:
         # Retired ledger: absorbs each dead shard generation's (and merged
         # level component's) counters, so io_total() stays monotone.
         self._retired = IOStats()
-        # Maintenance ledger: incremental merge work is charged here in
-        # bounded steps, never to any single update's shard ledgers.
-        self.maintenance = IOStats()
-        self.stats = IOStatsGroup([self._retired, self.maintenance])
+        # Service-level maintenance ledger: topology-change escrow charges
+        # land here.  Incremental merge work is charged to the *towers'*
+        # private maintenance ledgers (one per shard, so parallel
+        # maintenance never races a counter); ``self.maintenance``
+        # aggregates them all and absorbs a disposed tower's ledger here,
+        # keeping the maintenance total monotone.
+        self._maintenance = IOStats()
+        self.maintenance = IOStatsGroup([self._maintenance])
+        self.stats = IOStatsGroup([self._retired, self._maintenance])
+        # True while a parallel drain runs maintenance steps on worker
+        # threads: layout changes then skip the member refresh (it walks
+        # every tower's level tables, which the workers are mutating) and
+        # one main-thread refresh settles the aggregate afterwards.
+        self._suspend_refresh = False
         self.delta = DeltaBuffer()
         self.cache = ResultCache(self.config.cache_capacity)
         self.compactions = 0
@@ -238,20 +260,14 @@ class SkylineService:
         self._next_uid = 0
         self.store: Optional[DurableStore] = None
         self.wal: Optional[WriteAheadLog] = None
-        self.lsm: Optional[LevelManager] = None
-        if self.config.update_path == "leveled":
-            self.lsm = LevelManager(
-                em_config=self.config.shard_em_config(),
-                epsilon=self.config.epsilon,
-                block_size=self.config.block_size,
-                memtable_capacity=self.config.delta_threshold,
-                level_growth=self.config.level_growth,
-                merge_step_blocks=self.config.merge_step_blocks,
-                delta=self.delta,
-                maintenance=self.maintenance,
-                retired=self._retired,
-                on_layout_change=self._refresh_members,
-            )
+        # Global component-id allocator: component ids key tombstone owner
+        # buckets in the shared delta buffer, so they must stay unique
+        # across every shard's tower.
+        self._comp_ids = 0
+        # Lifetime merge counters of disposed towers, so merges_completed
+        # stays monotone across compactions and topology changes.
+        self._merges_retired = 0
+        self._records_merged_retired = 0
         self._build_shards(list(points), cuts=_initial_cuts)
         self.topology = TopologyManager(self)
         if self.config.durability:
@@ -361,16 +377,16 @@ class SkylineService:
                         assert record.ident is not None
                         service.fold_shard(record.ident)
                     elif record.op in (OP_FLUSH, OP_DRAIN):
-                        if service.lsm is None:
+                        if not service.leveled:
                             raise ValueError(
                                 "the WAL holds leveled-path records "
                                 f"({record.op!r}); open the store with "
                                 "update_path='leveled'"
                             )
                         if record.op == OP_FLUSH:
-                            service._seal_memtable()
+                            service._seal_memtable(record.ident)
                         else:
-                            service.drain()
+                            service.drain(record.ident)
                     else:  # pragma: no cover - corrupt record
                         raise ValueError(f"unknown WAL op {record.op!r}")
             finally:
@@ -409,24 +425,57 @@ class SkylineService:
         return service
 
     def _restore_snapshot_state(self, state: SnapshotState) -> None:
-        """Rebuild the exact level layout a level-aware snapshot recorded."""
-        if not state.levels and not state.memtable and not state.tombstones:
+        """Rebuild the per-shard tower layouts a level-aware snapshot
+        recorded.
+
+        Private levels are re-installed in their owning shard's tower
+        keyed by the manifest's ``(sid, level)`` entries.  A shard's
+        inherited components are collapsed into *one* indexed overlay
+        component (the manifest stores each shard's inherited union
+        clipped to its range, dead points included): the inheritance
+        *sharing* structure is an in-memory refcount optimisation, so
+        recovery materialising it per shard is answer-identical, and the
+        overlay build cost stays on the component's ledger where it is
+        reported as ``rebuild_io``.
+        """
+        if (
+            not state.levels
+            and not state.overlays
+            and not state.memtable
+            and not state.tombstones
+        ):
             return
-        if self.lsm is None:
+        if not self.leveled:
             raise ValueError(
                 "the snapshot holds a leveled layout; open it with "
                 "update_path='leveled'"
             )
-        level_owner: Dict[int, Tuple[str, int]] = {}
-        for level, points in state.levels:
+        comp_owner: Dict[Tuple[int, int], Tuple[str, int]] = {}
+        for (sid, level), points in state.levels:
+            tower = self.shards[sid].tower
+            assert tower is not None
             comp = Component(
-                self.lsm.next_component_id(),
+                self._next_comp_id(),
                 points,
                 em_config=self.config.shard_em_config(),
                 epsilon=self.config.epsilon,
             )
-            self.lsm.install_level(level, comp)
-            level_owner[level] = comp.owner
+            tower.install_level(level, comp)
+            comp_owner[(sid, level)] = comp.owner
+            for p in points:
+                self._live_xs.add(p.x)
+                self._live_ys.add(p.y)
+        for sid, points in state.overlays:
+            tower = self.shards[sid].tower
+            assert tower is not None
+            comp = Component(
+                self._next_comp_id(),
+                points,
+                em_config=self.config.shard_em_config(),
+                epsilon=self.config.epsilon,
+            )
+            tower.adopt_inherited(comp)
+            comp_owner[(sid, -1)] = comp.owner
             for p in points:
                 self._live_xs.add(p.x)
                 self._live_ys.add(p.y)
@@ -436,11 +485,13 @@ class SkylineService:
             self._live_ys.add(p.y)
         for record in state.tombstones:
             victim = record.point()
-            owner = (
-                level_owner[record.level]
-                if record.level is not None
-                else self.shards[self.router.route_point(victim.x)].owner
-            )
+            if record.level is None:
+                owner: Tuple[str, int] = self.shards[
+                    self.router.route_point(victim.x)
+                ].owner
+            else:
+                assert record.sid is not None
+                owner = comp_owner[(record.sid, record.level)]
             self.delta.add_tombstone(victim, owner)
             self._live_xs.discard(victim.x)
             self._live_ys.discard(victim.y)
@@ -448,17 +499,51 @@ class SkylineService:
     # ------------------------------------------------------------------
     # Construction / compaction
     # ------------------------------------------------------------------
+    @property
+    def leveled(self) -> bool:
+        """Whether the leveled (per-shard tower) update path is active."""
+        return self.config.update_path == "leveled"
+
+    def towers(self) -> List[LevelManager]:
+        """The live shards' towers, in shard order (empty on legacy)."""
+        return [
+            shard.tower for shard in self.shards if shard.tower is not None
+        ]
+
+    def _next_comp_id(self) -> int:
+        """Allocate a service-unique component id (tombstone owner keys
+        ``("c", comp_id)`` live in the shared delta buffer, so ids must
+        never collide across towers)."""
+        self._comp_ids += 1
+        return self._comp_ids
+
     def _refresh_members(self) -> None:
         """Recompute the aggregate's member ledgers: the accumulator and
-        maintenance ledgers, every shard machine, every visible level
-        component, and the durability store."""
-        members = [self._retired, self.maintenance]
-        members += [shard.stats for shard in self.shards]
-        if self.lsm is not None:
-            members += self.lsm.stats_members()
+        maintenance ledgers, every shard machine, every tower's
+        maintenance/retired pair and visible components (shared inherited
+        components deduplicated by identity, so they are summed exactly
+        once), and the durability store."""
+        if self._suspend_refresh:
+            return
+        members = [self._retired, self._maintenance]
+        maint_members = [self._maintenance]
+        seen: set = set()
+        for shard in self.shards:
+            members.append(shard.stats)
+            tower = shard.tower
+            if tower is None:
+                continue
+            members.append(tower.maintenance)
+            maint_members.append(tower.maintenance)
+            members.append(tower.retired)
+            for stats in tower.stats_members():
+                if id(stats) not in seen:
+                    seen.add(id(stats))
+                    members.append(stats)
         if self.store is not None:
             members.append(self.store.stats)
         self.stats.set_members(members)
+        self.maintenance.set_members(maint_members)
 
     def _build_shards(
         self, points: List[Point], cuts: Optional[Sequence[float]] = None
@@ -478,9 +563,12 @@ class SkylineService:
                 "points must be in general position (distinct x and distinct y); "
                 "pre-process with repro.core.point.ensure_general_position"
             )
-        # Retire the outgoing generation's ledgers before the new shards
-        # start charging, so the aggregate never loses what was paid.
+        # Retire the outgoing generation's ledgers (towers first: a full
+        # rebuild folds every component into the base) before the new
+        # shards start charging, so the aggregate never loses what was
+        # paid.
         for shard in self.shards:
+            self._dispose_tower(shard)
             self._retired.absorb(shard.stats)
         if cuts is None:
             cuts = size_balanced_cuts(points, self.config.shard_count)
@@ -510,10 +598,15 @@ class SkylineService:
 
         With ``charge_maintenance`` the build cost is mirrored onto the
         maintenance ledger and the shard's private ledger reset before it
-        joins the aggregate -- the split/merge escrow, matching how the
-        level scheduler charges staged merge outputs.  Without it the
+        joins the aggregate -- the topology-change escrow, matching how
+        the level scheduler charges staged merge outputs.  Without it the
         build stays on the shard's own ledger (construction/compaction
         generations, the logarithmic-method accounting).
+
+        On the leveled path the shard also gets its private level tower,
+        scoped to its x-range, with its own maintenance/retired ledger
+        pair (so per-shard maintenance can run on parallel workers
+        without racing a counter).
         """
         self._next_uid += 1
         shard = Shard(
@@ -527,10 +620,101 @@ class SkylineService:
             uid=self._next_uid,
         )
         if charge_maintenance:
-            self.maintenance.record_read(shard.stats.reads)
-            self.maintenance.record_write(shard.stats.writes)
+            self._maintenance.record_read(shard.stats.reads)
+            self._maintenance.record_write(shard.stats.writes)
             shard.stats.reset()
+        if self.leveled:
+            shard.tower = LevelManager(
+                em_config=self.config.shard_em_config(),
+                epsilon=self.config.epsilon,
+                block_size=self.config.block_size,
+                memtable_capacity=self.config.delta_threshold,
+                level_growth=self.config.level_growth,
+                merge_step_blocks=self.config.merge_step_blocks,
+                delta=self.delta,
+                maintenance=IOStats(),
+                retired=IOStats(),
+                on_layout_change=self._refresh_members,
+                next_comp_id=self._next_comp_id,
+                x_lo=x_lo,
+                x_hi=x_hi,
+            )
         return shard
+
+    def _dispose_tower(self, shard: Shard) -> None:
+        """Fully retire a shard's tower: every private component and the
+        last references to its inherited ones are folded into the
+        retired accumulator, its maintenance ledger into the service
+        maintenance ledger, and its lifetime merge counters into the
+        service accumulators -- so every aggregate stays monotone."""
+        tower = shard.tower
+        if tower is None:
+            return
+        self._merges_retired += tower.scheduler.merges_completed
+        self._records_merged_retired += tower.scheduler.records_merged
+        tower.reset()
+        self._maintenance.absorb(tower.maintenance)
+        self._retired.absorb(tower.retired)
+        shard.tower = None
+
+    def _release_tower_components(
+        self, shard: Shard
+    ) -> List[Tuple[Component, float, float]]:
+        """Hand a retiring shard's tower components over for a topology
+        change as ``(component, x_lo, x_hi)`` hand-over entries: private
+        components (answering for the whole shard range) and inherited
+        references (answering for their adoption intervals -- **not**
+        re-widened to the shard range, which could cover points a fold
+        already moved into a base) are released *without* being read or
+        retired (the caller re-adopts them into the child towers), the
+        scheduler's queue and staged output are discarded (debt already
+        mirrored stays counted; the staged ledger never joined the
+        aggregate), and the tower's ledgers and counters are folded into
+        the service accumulators."""
+        tower = shard.tower
+        if tower is None:
+            return []
+        self._merges_retired += tower.scheduler.merges_completed
+        self._records_merged_retired += tower.scheduler.records_merged
+        tower.scheduler.clear()
+        entries = [
+            (comp, tower.x_lo, tower.x_hi)
+            for comp in tower.private_components()
+        ]
+        for ref in list(tower.inherited):
+            tower.inherited.remove(ref)
+            ref.comp.refs -= 1
+            entries.append((ref.comp, ref.x_lo, ref.x_hi))
+        tower.frozen = []
+        tower.levels = {}
+        self._maintenance.absorb(tower.maintenance)
+        self._retired.absorb(tower.retired)
+        shard.tower = None
+        return entries
+
+    def _adopt_base_component(self, shard: Shard) -> Optional[Component]:
+        """Wrap a retiring shard's base index as a zero-I/O component.
+
+        The shard's ledger object moves into the component (nothing is
+        copied, nothing is double counted) and the shard's tombstone
+        bucket is re-owned to the component -- the victims stay resident
+        in the adopted points.  Returns ``None`` (retiring the ledger)
+        for an empty base.
+        """
+        if not shard.points:
+            self._retired.absorb(shard.stats)
+            return None
+        comp = Component.adopt(
+            self._next_comp_id(),
+            shard.points,
+            shard.stats,
+            shard.storage,
+            shard.index,
+        )
+        for key, victim in self.delta.owned_tombstones(shard.owner).items():
+            if key in self.delta.tombstones:
+                self.delta.add_tombstone(victim, comp.owner)
+        return comp
 
     def _bump_region(self, x: float) -> None:
         """Invalidate cached answers overlapping the shard region of ``x``."""
@@ -558,10 +742,10 @@ class SkylineService:
         checkpoint = None
         if self.wal is not None and not self._replaying:
             checkpoint = self.wal.log_compact()
+        # _build_shards disposes every old shard's tower (retiring its
+        # components and ledgers) before the rebuilt generation charges.
         self._build_shards(self.live_points())
         self.delta.clear()
-        if self.lsm is not None:
-            self.lsm.reset()
         self.cache.invalidate_all()
         self.compactions += 1
         if (
@@ -572,35 +756,74 @@ class SkylineService:
                 folded_lsn=checkpoint.lsn, installed_lsn=checkpoint.lsn
             )
 
-    def drain(self) -> Dict[str, int]:
+    def drain(self, sid: Optional[int] = None) -> Dict[str, int]:
         """Pay every outstanding transfer of incremental merge debt now.
 
-        The explicit full-drain entry point of the leveled path: completes
-        the active merge and every queued one (flushing nothing new -- the
-        memtable keeps absorbing writes), charging the remaining debt to
-        the maintenance ledger in one call.  A quiescent drain is a
-        durability checkpoint: it logs a ``drain`` WAL record and, on the
-        snapshot cadence, serialises a *level-aware* snapshot (per-level
-        blocks plus memtable and tombstone table) the next :meth:`open`
-        restores exactly.  A no-op on the legacy path.
+        The explicit full-drain entry point of the leveled path:
+        completes every tower's active merge and every queued one
+        (flushing nothing new -- the memtable keeps absorbing writes),
+        charging the remaining debt to the towers' maintenance ledgers in
+        one call.  With ``sid`` only that shard's private tower is
+        drained -- its neighbours' debt is untouched, the per-shard
+        maintenance the refactor buys.  A full drain is a durability
+        checkpoint: it logs a ``drain`` WAL record and, on the snapshot
+        cadence, serialises a *level-aware* snapshot (per-shard level
+        blocks plus overlays, memtable and tombstone table) the next
+        :meth:`open` restores exactly; a per-shard drain is WAL-logged
+        too (replay must reproduce the exact tower states) but is not a
+        snapshot anchor.  A no-op on the legacy path.
+
+        When the installed batch executor can run per-shard maintenance
+        (the serving tier's :class:`~repro.serve.workers.ShardWorkerPool`),
+        a full drain pays each tower's debt on that shard's dedicated
+        worker in parallel -- every charge lands on tower-private
+        ledgers, so the totals are bit-identical to a serial drain.
         """
-        if self.lsm is None:
+        if not self.leveled:
             return {"merge_io": 0, "merges_completed": 0}
+        if sid is not None and not 0 <= sid < len(self.shards):
+            raise ValueError(f"no shard {sid}: {len(self.shards)} shards")
         checkpoint = None
         if self.wal is not None and not self._replaying:
-            checkpoint = self.wal.log_drain()
-        charged = self.lsm.drain()
-        self.drains += 1
-        if (
-            checkpoint is not None
-            and self._checkpoints % self.config.snapshot_every_compactions == 0
-        ):
-            self._write_snapshot(
-                folded_lsn=checkpoint.lsn, installed_lsn=checkpoint.lsn
-            )
+            checkpoint = self.wal.log_drain(sid)
+        if sid is None:
+            towers = self.towers()
+            runner = getattr(self.batch_executor, "run_maintenance", None)
+            if runner is not None and len(towers) > 1:
+                # Worker-side merge completions would race the member
+                # refresh (it walks every tower's layout); suspend it and
+                # settle the aggregate once, on this thread, afterwards.
+                self._suspend_refresh = True
+                try:
+                    # repro: calls(ShardWorkerPool.run_maintenance)
+                    charges = runner(
+                        {
+                            shard.uid: shard.tower.drain
+                            for shard in self.shards
+                            if shard.tower is not None
+                        }
+                    )
+                finally:
+                    self._suspend_refresh = False
+                charged = sum(charges.values())
+                self._refresh_members()
+            else:
+                charged = sum(tower.drain() for tower in towers)
+            self.drains += 1
+            if (
+                checkpoint is not None
+                and self._checkpoints % self.config.snapshot_every_compactions
+                == 0
+            ):
+                self._write_snapshot(
+                    folded_lsn=checkpoint.lsn, installed_lsn=checkpoint.lsn
+                )
+        else:
+            tower = self.shards[sid].tower
+            charged = 0 if tower is None else tower.drain()
         return {
             "merge_io": charged,
-            "merges_completed": self.lsm.scheduler.merges_completed,
+            "merges_completed": self.merges_completed,
         }
 
     # ------------------------------------------------------------------
@@ -608,49 +831,80 @@ class SkylineService:
     # ------------------------------------------------------------------
     def _split_cut(self, sid: int) -> Optional[float]:
         """The size-balanced midpoint of shard ``sid``'s range's live
-        records (base residents, memtable, level slices); ``None`` when
-        fewer than two records live there."""
+        records (base residents, memtable, the shard's own tower);
+        ``None`` when fewer than two records live there."""
         x_lo, x_hi = self.router.shard_range(sid)
+        shard = self.shards[sid]
         candidates = [
-            p for p in self.shards[sid].points if not self.delta.is_deleted(p)
+            p for p in shard.points if not self.delta.is_deleted(p)
         ]
         candidates += [
             p for p in self.delta.inserts.values() if x_lo <= p.x < x_hi
         ]
-        if self.lsm is not None:
-            for comp in self.lsm.components():
-                pts = comp.points
-                lo = bisect.bisect_left(pts, x_lo, key=lambda p: p.x)
-                hi = bisect.bisect_left(pts, x_hi, key=lambda p: p.x)
+        if shard.tower is not None:
+            for comp in shard.tower.private_components():
                 candidates += [
-                    p for p in pts[lo:hi] if not self.delta.is_deleted(p)
+                    p for p in comp.points if not self.delta.is_deleted(p)
+                ]
+            for ref in shard.tower.inherited:
+                candidates += [
+                    p for p in ref.points() if not self.delta.is_deleted(p)
                 ]
         return size_balanced_midpoint(candidates)
+
+    def _assign_components(
+        self,
+        entries: List[Tuple[Component, float, float]],
+        children: List[Shard],
+    ) -> None:
+        """Hand released ``(component, x_lo, x_hi)`` entries to the child
+        towers: each child whose x-range holds at least one point of an
+        entry's interval adopts the component *for that intersection* (a
+        refcount bump; readers see only the interval).  Pure metadata --
+        no block is read.  A component both merge parents referenced
+        arrives as two entries with disjoint intervals and the child
+        adopts both: the intervals, not the child's range, decide what
+        is readable, so a region some earlier fold moved into a base can
+        never be resurrected.  Every entry finds at least one home: its
+        interval is non-empty and the children's ranges cover the
+        released towers' ranges."""
+        for comp, x_lo, x_hi in entries:
+            adopted = False
+            for child in children:
+                tower = child.tower
+                assert tower is not None
+                if tower.adopt_inherited(comp, x_lo, x_hi) is not None:
+                    adopted = True
+            assert adopted, f"component {comp!r} lost in topology change"
 
     def split_shard(
         self, sid: int, cut: Optional[float] = None
     ) -> Optional[float]:
-        """Split the hot shard ``sid`` in two at ``cut`` -- a bounded
-        *local* operation, never a global rebuild.
+        """Split the hot shard ``sid`` in two at ``cut`` -- on the
+        per-shard-tower path an O(1) *metadata move*, never a rebuild.
 
         The default cut is the size-balanced midpoint of every live
-        record in the shard's x-range.  The two children are rebuilt from
-        the shard's residents plus the range's slice of the level
-        components (handed over by :meth:`~repro.service.lsm.LevelManager
-        .handover_slice`, which also re-owns or consumes the affected
-        tombstones and re-queues any in-flight merge it supersedes) and
-        the memtable inserts routed there -- so the split is also a local
-        compaction of the hot region.  Every transfer (reading the old
-        shard and sliced components, building the children) is charged to
-        the maintenance ledger, the same escrow as incremental level
-        merges, keeping per-request reports and the ledger partition
-        exact.  On a durable service an ``OP_SPLIT`` record pins the cut
-        so replay reproduces the post-split topology bit-for-bit.
+        record in the shard's x-range.  The retiring shard's base index
+        is adopted as a zero-I/O component (its ledger object moves with
+        it), its tower's components are handed to the two children
+        *whole* -- refcounted, clipped to each child's range by every
+        reader -- and the shared memtable needs no cut at all: its
+        range partition moves with the router.  Nothing is read or
+        rewritten; the only charges are the children's empty base builds,
+        escrowed on the maintenance ledger.  Any staged (unpaid) merge
+        output of the retiring tower is discarded -- its inputs stay
+        visible, so correctness is untouched and already-mirrored debt
+        stays counted.  On a durable service an ``OP_SPLIT`` record pins
+        the cut so replay reproduces the post-split topology
+        bit-for-bit.
 
-        Returns the cut, or ``None`` when no valid cut exists (fewer than
-        two live records in the range).  Shards to the right shift one
-        position; their uids -- and therefore their cached answers and
-        tombstone buckets -- are untouched.
+        Returns the cut, or ``None`` when no valid cut exists (fewer
+        than two live records in the range).  Shards to the right shift
+        one position; their uids -- and therefore their cached answers
+        and tombstone buckets -- are untouched.
+
+        On the legacy path (no towers) the children are rebuilt from the
+        shard's live residents plus the memtable slice, as before.
         """
         if not 0 <= sid < len(self.shards):
             raise ValueError(f"no shard {sid}: {len(self.shards)} shards")
@@ -667,39 +921,57 @@ class SkylineService:
         if self.wal is not None and not self._replaying:
             self.wal.log_split(sid, cut)
         charged_before = self.maintenance.total
-        touched = len(shard.points)
-        handed: List[Point] = []
-        if self.lsm is not None:
-            slice_points, slice_touched = self.lsm.handover_slice(x_lo, x_hi)
-            handed.extend(slice_points)
-            touched += slice_touched
-        memtable_slice = self.delta.take_inserts_in_range(x_lo, x_hi)
-        handed.extend(memtable_slice)
-        touched += len(memtable_slice)
-        # The old shard's residents, minus its own tombstones (consumed:
-        # the children are built from live points, a local reclamation).
-        owned = self.delta.owned_tombstones(shard.owner)
-        union = [
-            p
-            for p in shard.points
-            if point_key(p) not in owned and not self.delta.is_deleted(p)
-        ]
-        union.extend(handed)
-        for key in owned:
-            if key in self.delta.tombstones:
-                self.delta.drop_tombstone(key)
-        if shard.points:
-            self.maintenance.record_read(
-                math.ceil(len(shard.points) / self.config.block_size)
-            )
-        self._retired.absorb(shard.stats)
-        self.router.split_cut(sid, cut)
-        left = [p for p in union if p.x < cut]
-        right = [p for p in union if p.x >= cut]
-        self.shards[sid : sid + 1] = [
-            self._new_shard(sid, x_lo, cut, left, charge_maintenance=True),
-            self._new_shard(sid + 1, cut, x_hi, right, charge_maintenance=True),
-        ]
+        if self.leveled:
+            tower = shard.tower
+            assert tower is not None
+            # Records whose *ownership* moves (for reporting); no block
+            # of any of them is transferred.
+            touched = len(shard.points) + tower.resident()
+            entries: List[Tuple[Component, float, float]] = []
+            base = self._adopt_base_component(shard)
+            if base is not None:
+                entries.append((base, x_lo, x_hi))
+            entries.extend(self._release_tower_components(shard))
+            self.router.split_cut(sid, cut)
+            children = [
+                self._new_shard(sid, x_lo, cut, [], charge_maintenance=True),
+                self._new_shard(
+                    sid + 1, cut, x_hi, [], charge_maintenance=True
+                ),
+            ]
+            self.shards[sid : sid + 1] = children
+            self._assign_components(entries, children)
+        else:
+            touched = len(shard.points)
+            memtable_slice = self.delta.take_inserts_in_range(x_lo, x_hi)
+            touched += len(memtable_slice)
+            # The old shard's residents, minus its own tombstones
+            # (consumed: the children are built from live points, a
+            # local reclamation).
+            owned = self.delta.owned_tombstones(shard.owner)
+            union = [
+                p
+                for p in shard.points
+                if point_key(p) not in owned and not self.delta.is_deleted(p)
+            ]
+            union.extend(memtable_slice)
+            for key in owned:
+                if key in self.delta.tombstones:
+                    self.delta.drop_tombstone(key)
+            if shard.points:
+                self._maintenance.record_read(
+                    math.ceil(len(shard.points) / self.config.block_size)
+                )
+            self._retired.absorb(shard.stats)
+            self.router.split_cut(sid, cut)
+            left = [p for p in union if p.x < cut]
+            right = [p for p in union if p.x >= cut]
+            self.shards[sid : sid + 1] = [
+                self._new_shard(sid, x_lo, cut, left, charge_maintenance=True),
+                self._new_shard(
+                    sid + 1, cut, x_hi, right, charge_maintenance=True
+                ),
+            ]
         for position in range(sid + 2, len(self.shards)):
             self.shards[position].sid = position
         self._refresh_members()
@@ -712,12 +984,16 @@ class SkylineService:
     def merge_shards(self, sid: int) -> float:
         """Merge the adjacent cold shards ``sid`` and ``sid + 1`` into one.
 
-        The merged shard is rebuilt from both inputs' residents minus
-        their owned tombstones (consumed -- a merge, like a split, is a
-        local reclamation), charged to the maintenance ledger; on a
-        durable service an ``OP_MERGE`` record replays the change at the
-        same boundary.  Returns the removed cut.  Shards to the right
-        shift one position left with uids untouched.
+        On the per-shard-tower path this is the same O(1) metadata move
+        as a split, run in reverse: both retiring bases are adopted as
+        zero-I/O components, both towers' component sets are handed to
+        the single child (a component both parents shared -- both halves
+        of an earlier split -- is handed over once), and the memtable
+        needs no work.  On the legacy path the merged shard is rebuilt
+        from both inputs' live residents, charged to the maintenance
+        ledger.  On a durable service an ``OP_MERGE`` record replays the
+        change at the same boundary.  Returns the removed cut.  Shards
+        to the right shift one position left with uids untouched.
         """
         if not 0 <= sid < len(self.shards) - 1:
             raise ValueError(
@@ -727,29 +1003,49 @@ class SkylineService:
             self.wal.log_merge(sid)
         charged_before = self.maintenance.total
         pair = self.shards[sid : sid + 2]
-        touched = sum(len(s.points) for s in pair)
-        union: List[Point] = []
-        for shard in pair:
-            owned = self.delta.owned_tombstones(shard.owner)
-            union.extend(
-                p
-                for p in shard.points
-                if point_key(p) not in owned and not self.delta.is_deleted(p)
-            )
-            for key in owned:
-                if key in self.delta.tombstones:
-                    self.delta.drop_tombstone(key)
-            if shard.points:
-                self.maintenance.record_read(
-                    math.ceil(len(shard.points) / self.config.block_size)
-                )
-            self._retired.absorb(shard.stats)
         x_lo, _ = self.router.shard_range(sid)
         _, x_hi = self.router.shard_range(sid + 1)
-        cut = self.router.merge_cut(sid)
-        self.shards[sid : sid + 2] = [
-            self._new_shard(sid, x_lo, x_hi, union, charge_maintenance=True)
-        ]
+        if self.leveled:
+            touched = sum(
+                len(s.points)
+                + (0 if s.tower is None else s.tower.resident())
+                for s in pair
+            )
+            entries: List[Tuple[Component, float, float]] = []
+            for shard in pair:
+                base = self._adopt_base_component(shard)
+                if base is not None:
+                    entries.append((base, shard.x_lo, shard.x_hi))
+                entries.extend(self._release_tower_components(shard))
+            cut = self.router.merge_cut(sid)
+            children = [
+                self._new_shard(sid, x_lo, x_hi, [], charge_maintenance=True)
+            ]
+            self.shards[sid : sid + 2] = children
+            self._assign_components(entries, children)
+        else:
+            touched = sum(len(s.points) for s in pair)
+            union: List[Point] = []
+            for shard in pair:
+                owned = self.delta.owned_tombstones(shard.owner)
+                union.extend(
+                    p
+                    for p in shard.points
+                    if point_key(p) not in owned
+                    and not self.delta.is_deleted(p)
+                )
+                for key in owned:
+                    if key in self.delta.tombstones:
+                        self.delta.drop_tombstone(key)
+                if shard.points:
+                    self._maintenance.record_read(
+                        math.ceil(len(shard.points) / self.config.block_size)
+                    )
+                self._retired.absorb(shard.stats)
+            cut = self.router.merge_cut(sid)
+            self.shards[sid : sid + 2] = [
+                self._new_shard(sid, x_lo, x_hi, union, charge_maintenance=True)
+            ]
         for position in range(sid + 1, len(self.shards)):
             self.shards[position].sid = position
         self._refresh_members()
@@ -763,14 +1059,19 @@ class SkylineService:
         """Rebuild shard ``sid`` in place from its range's live records --
         no cut moves, no neighbours touched.
 
-        The topology manager's pressure-relief action: the shard's slice
-        of the level tower and the memtable is handed down into the
-        rebuilt shard (exactly as at a split) and the range's tombstones
-        are consumed, so queries over the range stop paying the level
-        fan-out -- a *local* compaction of one x-range, charged to the
-        maintenance ledger and bounded by the range's resident and
-        overlay data.  Logged as an ``OP_FOLD`` record on a durable
-        service.  Returns the number of records the fold touched.
+        The topology manager's pressure-relief action, and the one
+        topology operation that *does* move data: the shard's private
+        tower (frozen memtables, levels, its clip of every inherited
+        component) and its memtable cut are compacted into a rebuilt
+        base, and every tombstone whose victim lies in the range is
+        consumed -- masked copies left in surviving shared components
+        are unreachable, since no tower clips that range any more.
+        Reading the shard's base and the indexed components' clipped
+        slices plus building the child is charged to the maintenance
+        ledger, bounded by the range's resident and tower mass.  A
+        shared component's last reference retires it here.  Logged as an
+        ``OP_FOLD`` record on a durable service.  Returns the number of
+        records the fold touched.
         """
         if not 0 <= sid < len(self.shards):
             raise ValueError(f"no shard {sid}: {len(self.shards)} shards")
@@ -781,27 +1082,44 @@ class SkylineService:
         x_lo, x_hi = self.router.shard_range(sid)
         touched = len(shard.points)
         handed: List[Point] = []
-        if self.lsm is not None:
-            slice_points, slice_touched = self.lsm.handover_slice(x_lo, x_hi)
-            handed.extend(slice_points)
-            touched += slice_touched
+        tower = shard.tower
+        if tower is not None:
+            # Pull the tower's live mass (private components whole,
+            # inherited ones through their refs' intervals) into the
+            # fold, charging the reads a real handover performs.
+            slices = [
+                (comp, comp.points) for comp in tower.private_components()
+            ] + [(ref.comp, ref.points()) for ref in tower.inherited]
+            for comp, rows in slices:
+                if not rows:
+                    continue
+                touched += len(rows)
+                if comp.index is not None:
+                    self._maintenance.record_read(
+                        math.ceil(len(rows) / self.config.block_size)
+                    )
+                handed.extend(
+                    p for p in rows if not self.delta.is_deleted(p)
+                )
         memtable_slice = self.delta.take_inserts_in_range(x_lo, x_hi)
         handed.extend(memtable_slice)
         touched += len(memtable_slice)
-        owned = self.delta.owned_tombstones(shard.owner)
         union = [
-            p
-            for p in shard.points
-            if point_key(p) not in owned and not self.delta.is_deleted(p)
+            p for p in shard.points if not self.delta.is_deleted(p)
         ]
         union.extend(handed)
-        for key in owned:
-            if key in self.delta.tombstones:
+        # Consume every tombstone whose victim lies in the folded range,
+        # whoever owns it: the new base is built from live points only,
+        # and any masked copy left in a surviving shared component is
+        # outside every referencing tower's clip.
+        for key, victim in list(self.delta.tombstones.items()):
+            if x_lo <= victim.x < x_hi:
                 self.delta.drop_tombstone(key)
         if shard.points:
-            self.maintenance.record_read(
+            self._maintenance.record_read(
                 math.ceil(len(shard.points) / self.config.block_size)
             )
+        self._dispose_tower(shard)
         self._retired.absorb(shard.stats)
         self.router.version += 1
         self.shards[sid] = self._new_shard(
@@ -845,43 +1163,89 @@ class SkylineService:
         return self.compactions + self.drains
 
     def _write_snapshot(self, folded_lsn: int, installed_lsn: int) -> None:
-        """Serialise the shards -- and, at a drain checkpoint, the level
-        layout, memtable and tombstone table -- and chain a manifest."""
+        """Serialise the shards -- and, at a drain checkpoint, every
+        shard's tower layout, the memtable and the tombstone table -- and
+        chain a manifest.
+
+        Private levels are keyed ``(sid, level)``.  A shard's inherited
+        components are serialised as one *overlay* per shard: the union
+        of their points clipped to the shard's range, dead points
+        included -- exactly what :meth:`_restore_snapshot_state` rebuilds
+        as a single overlay component.  Tombstones name their owner as
+        ``(sid, level)`` for a private level, ``(sid, -1)`` for the
+        overlay of the shard whose range holds the victim, or base
+        (re-routed by x at load).
+        """
         assert self.store is not None
         blocks, total = write_snapshot_blocks(
             self.store, [shard.points for shard in self.shards]
         )
-        level_blocks: Tuple[Tuple[int, Tuple], ...] = ()
-        level_counts: Tuple[Tuple[int, int], ...] = ()
+        level_blocks: Tuple[Tuple[Tuple[int, int], Tuple], ...] = ()
+        level_counts: Tuple[Tuple[Tuple[int, int], int], ...] = ()
+        overlay_blocks: Tuple[Tuple[int, Tuple], ...] = ()
+        overlay_counts: Tuple[Tuple[int, int], ...] = ()
         memtable_points: List[Point] = []
         tombstone_records: List[TombstoneRecord] = []
-        if self.lsm is not None:
-            # Snapshots are only taken at quiescent checkpoints: no frozen
-            # memtable awaits a flush and no merge is in flight, so the
-            # level layout is exactly the visible levels.
-            assert not self.lsm.frozen and self.lsm.scheduler.active is None
-            owner_level = {
-                self.lsm.levels[j].owner: j for j in self.lsm.levels
-            }
-            for j in sorted(self.lsm.levels):
-                comp = self.lsm.levels[j]
-                level_blocks += (
-                    (j, write_record_blocks(self.store, comp.points)),
-                )
-                level_counts += ((j, len(comp.points)),)
+        if self.leveled:
+            # Owner key of a private level component -> its (sid, level).
+            owner_slot: Dict[object, Tuple[int, int]] = {}
+            for shard in self.shards:
+                tower = shard.tower
+                assert tower is not None
+                # Snapshots are only taken at quiescent checkpoints: no
+                # frozen memtable awaits a flush and no merge is in
+                # flight in any tower, so each layout is exactly the
+                # visible levels plus the inherited overlay.
+                assert not tower.frozen and tower.scheduler.active is None
+                for j in sorted(tower.levels):
+                    comp = tower.levels[j]
+                    level_blocks += (
+                        (
+                            (shard.sid, j),
+                            write_record_blocks(self.store, comp.points),
+                        ),
+                    )
+                    level_counts += (((shard.sid, j), len(comp.points)),)
+                    owner_slot[comp.owner] = (shard.sid, j)
+                overlay_points: List[Point] = []
+                for ref in tower.inherited:
+                    overlay_points.extend(ref.points())
+                overlay_points.sort(key=lambda p: (p.x, p.y))
+                if overlay_points:
+                    overlay_blocks += (
+                        (
+                            shard.sid,
+                            write_record_blocks(self.store, overlay_points),
+                        ),
+                    )
+                    overlay_counts += ((shard.sid, len(overlay_points)),)
             memtable_points = sorted(
                 self.delta.inserts.values(), key=lambda p: (p.x, p.y)
             )
             for key, victim in self.delta.tombstones.items():
                 owner = self.delta.tombstone_owner(key)
-                tombstone_records.append(
-                    TombstoneRecord(
+                if owner in owner_slot:
+                    slot_sid, slot_level = owner_slot[owner]
+                    record = TombstoneRecord(
                         victim.x,
                         victim.y,
                         victim.ident,
-                        level=owner_level.get(owner),
+                        level=slot_level,
+                        sid=slot_sid,
                     )
-                )
+                elif isinstance(owner, tuple) and owner[0] == "c":
+                    # An inherited component owns the victim: it lands in
+                    # the overlay of the shard whose range holds it.
+                    record = TombstoneRecord(
+                        victim.x,
+                        victim.y,
+                        victim.ident,
+                        level=-1,
+                        sid=self.router.route_point(victim.x),
+                    )
+                else:
+                    record = TombstoneRecord(victim.x, victim.y, victim.ident)
+                tombstone_records.append(record)
         memtable_blocks = write_record_blocks(self.store, memtable_points)
         tombstone_blocks = write_record_blocks(self.store, tombstone_records)
         self.store.install_manifest(
@@ -894,6 +1258,8 @@ class SkylineService:
                 point_count=total,
                 level_blocks=level_blocks,
                 level_counts=level_counts,
+                overlay_blocks=overlay_blocks,
+                overlay_counts=overlay_counts,
                 memtable_blocks=memtable_blocks,
                 memtable_count=len(memtable_points),
                 tombstone_blocks=tombstone_blocks,
@@ -903,8 +1269,10 @@ class SkylineService:
 
     def delta_exceeds_threshold(self) -> bool:
         """Whether a background scheduler should trigger :meth:`compact`
-        (legacy path) or a memtable seal is due (leveled path)."""
-        if self.lsm is not None:
+        (legacy path) or a memtable seal is due (leveled path -- the
+        memtable is one shared in-memory budget, so the bar is the total
+        pending insert count, exactly as on the legacy path)."""
+        if self.leveled:
             return len(self.delta.inserts) >= self.config.delta_threshold
         return len(self.delta) >= self.config.delta_threshold
 
@@ -916,15 +1284,29 @@ class SkylineService:
         if self.config.auto_compact and self.delta_exceeds_threshold():
             self.compact()
 
+    def _tick(self, x: float) -> None:
+        """Pay one update's bounded merge step on the tower owning ``x``.
+
+        Per-shard towers localise the piggyback: an update pays down the
+        merge debt of the shard it landed in, never a neighbour's."""
+        shard = self.shards[self.router.route_point(x)]
+        assert shard.tower is not None
+        shard.tower.tick()
+
     def _maybe_seal(self) -> None:
-        """Seal the memtable when it fills (leveled path; logged so replay
-        seals at exactly the same record boundary)."""
-        if self._replaying or self.lsm is None:
+        """Seal the memtable when its shared budget fills (leveled path).
+
+        The threshold is the *total* pending insert count -- the memtable
+        is one in-memory budget cut by shard range, not a per-shard one
+        -- and a seal freezes every shard's non-empty cut into its own
+        tower.  Logged as one all-shards flush record; replay seals the
+        same cuts at the same boundary (shard-scoped flush records,
+        ``ident=sid``, replay a single shard's cut)."""
+        if self._replaying or not self.leveled:
             return
-        if (
-            self.config.auto_compact
-            and len(self.delta.inserts) >= self.config.delta_threshold
-        ):
+        if not self.config.auto_compact:
+            return
+        if len(self.delta.inserts) >= self.config.delta_threshold:
             if self.wal is not None:
                 self.wal.log_flush()
             self._seal_memtable()
@@ -943,7 +1325,7 @@ class SkylineService:
         many deletes the cost is the same logarithmic-method budget, and
         the routine insert path still never triggers a rebuild.
         """
-        if self._replaying or self.lsm is None or not self.config.auto_compact:
+        if self._replaying or not self.leveled or not self.config.auto_compact:
             return
         if (
             len(self.delta.tombstones)
@@ -951,13 +1333,20 @@ class SkylineService:
         ):
             self.compact()
 
-    def _seal_memtable(self) -> None:
-        """Freeze the pending inserts into an immutable component and
-        schedule its incremental flush into level 1."""
-        assert self.lsm is not None
-        sealed = self.delta.seal_inserts()
-        if sealed:
-            self.lsm.seal(sealed)
+    def _seal_memtable(self, sid: Optional[int] = None) -> None:
+        """Freeze shard ``sid``'s cut of the pending inserts into an
+        immutable frozen component on its tower and schedule the
+        incremental flush into level 1.  ``None`` seals every shard's cut
+        (full drains, and replay of pre-per-shard WAL flush records that
+        carry no shard id)."""
+        assert self.leveled
+        targets = list(self.shards) if sid is None else [self.shards[sid]]
+        for shard in targets:
+            tower = shard.tower
+            assert tower is not None
+            sealed = self.delta.take_inserts_in_range(shard.x_lo, shard.x_hi)
+            if sealed:
+                tower.seal(sealed)
 
     # ------------------------------------------------------------------
     # Queries
@@ -1050,19 +1439,41 @@ class SkylineService:
                     [local[(position, sid)][0] for sid in shard_ids]
                 )
                 fallback = any(local[(position, sid)][1] for sid in shard_ids)
-                if self.lsm is not None:
+                if self.leveled:
                     sources: List[Sequence[Point]] = [merged]
                     # Component queries charge the components' private
                     # ledgers; concurrent batches reach here from several
                     # threads, so the charges serialize on the overlay
                     # lock (each acquisition is a declared sync point).
+                    # The fan covers exactly the visited shards' towers:
+                    # private components whole, inherited ones through
+                    # their refs' adoption intervals (disjoint across
+                    # live refs, so a component shared by two visited
+                    # towers contributes each point at most once, and a
+                    # region an earlier fold moved into a base is never
+                    # re-read from the shared component).
                     with self._overlay:
-                        for comp in self.lsm.components():
-                            comp_result, comp_fallback = self._component_query(
-                                comp, query
-                            )
-                            sources.append(comp_result)
-                            fallback = fallback or comp_fallback
+                        for sid in shard_ids:
+                            shard = self.shards[sid]
+                            tower = shard.tower
+                            assert tower is not None
+                            for comp in tower.private_components():
+                                comp_result, comp_fallback = (
+                                    self._component_query(comp, query)
+                                )
+                                sources.append(comp_result)
+                                fallback = fallback or comp_fallback
+                            for ref in tower.inherited:
+                                comp_result, comp_fallback = (
+                                    self._component_query(
+                                        ref.comp,
+                                        query,
+                                        clip_lo=ref.x_lo,
+                                        clip_hi=ref.x_hi,
+                                    )
+                                )
+                                sources.append(comp_result)
+                                fallback = fallback or comp_fallback
                         # Unsorted is fine: merge_component_skylines
                         # orders the whole union itself.
                         sources.append(self.delta.candidates_in(query))
@@ -1115,28 +1526,49 @@ class SkylineService:
         return shard.query(query), False
 
     def _component_query(
-        self, comp: Component, query: RangeQuery
+        self,
+        comp: Component,
+        query: RangeQuery,
+        clip_lo: float = float("-inf"),
+        clip_hi: float = float("inf"),
     ) -> Tuple[List[Point], bool]:
-        """One level component's local skyline inside ``query``.
+        """One component's local skyline inside ``query``, restricted to
+        the half-open x-range ``[clip_lo, clip_hi)`` (the visiting
+        tower's, when the component is inherited).
+
+        The clip narrows the query's x-window -- ``x_hi`` is inclusive,
+        so the open upper bound becomes the previous float -- and every
+        downstream step (the prune bisect, the rectangle filter, the
+        tombstone check, the fallback rescan) runs against the clipped
+        window, so a shared component charges and returns only the
+        visiting shard's slice.  Skyline-exactness survives the cut
+        because sibling towers' clips are disjoint and
+        ``merge_component_skylines`` re-runs dominance over the union.
 
         Frozen memtables are in memory: the scan is free, like the flat
-        delta of old.  Indexed levels answer through their static
-        structure unless a tombstone they own lies inside the rectangle,
-        in which case the local skyline is recomputed from the level's
-        resident live points -- charged as ``ceil(resident / B)`` block
-        reads on the component's own ledger, the same fallback discipline
-        as the base shards.  A component with *no point* in the
-        rectangle's x-window is pruned for free: its points are x-sorted,
+        delta of old.  Indexed components answer through their static
+        structure unless a tombstone they own lies inside the clipped
+        rectangle, in which case the local skyline is recomputed from the
+        clip's resident live points -- charged as ``ceil(resident / B)``
+        block reads on the component's own ledger, the same fallback
+        discipline as the base shards.  A component with *no point* in
+        the clipped x-window is pruned for free: its points are x-sorted,
         so one bisect of directory metadata decides it, and a point
         outside the window can neither lie in nor dominate anything in
-        the answer -- the same argument as router shard pruning.  The
-        content check subsumes the old endpoint-span check: a component
-        whose cold points straddle a hot region it holds nothing of (the
-        shape slice handovers leave behind) is pruned too, not just one
-        whose whole span misses the window.
+        the answer -- the same argument as router shard pruning.
         """
-        lo = comp.columns.bisect_x_left(query.x_lo)
-        if lo >= len(comp.points) or comp.points[lo].x > query.x_hi:
+        x_lo = max(query.x_lo, clip_lo)
+        x_hi = query.x_hi
+        if clip_hi != float("inf"):
+            x_hi = min(x_hi, math.nextafter(clip_hi, float("-inf")))
+        if x_lo > x_hi:
+            return [], False
+        if x_lo != query.x_lo or x_hi != query.x_hi:
+            query = RangeQuery(
+                x_lo=x_lo, x_hi=x_hi, y_lo=query.y_lo, y_hi=query.y_hi
+            )
+        lo = comp.columns.bisect_x_left(x_lo)
+        if lo >= len(comp.points) or comp.points[lo].x > x_hi:
             return [], False
         if comp.index is None:
             # Frozen memtable: the vectorized in-rectangle filter over the
@@ -1151,14 +1583,26 @@ class SkylineService:
                     p for p in candidates if not self.delta.is_deleted(p)
                 ]
             return candidates, False
-        if self.delta.tombstone_hits(
-            query, float("-inf"), float("inf"), comp.owner
-        ):
+        if self.delta.tombstone_hits(query, clip_lo, clip_hi, comp.owner):
+            c_lo = (
+                0
+                if clip_lo == float("-inf")
+                else comp.columns.bisect_x_left(clip_lo)
+            )
+            c_hi = (
+                len(comp.points)
+                if clip_hi == float("inf")
+                else comp.columns.bisect_x_left(clip_hi)
+            )
             assert comp.stats is not None
             comp.stats.record_read(
-                max(1, math.ceil(len(comp.points) / self.config.block_size))
+                max(1, math.ceil((c_hi - c_lo) / self.config.block_size))
             )
-            live = [p for p in comp.points if not self.delta.is_deleted(p)]
+            live = [
+                p
+                for p in comp.points[c_lo:c_hi]
+                if not self.delta.is_deleted(p)
+            ]
             return range_skyline(live, query), True
         return comp.index.query(query), False
 
@@ -1193,8 +1637,8 @@ class SkylineService:
         self._live_ys.add(point.y)
         self.delta.insert(point)
         self._bump_region(point.x)
-        if self.lsm is not None:
-            self.lsm.tick()
+        if self.leveled:
+            self._tick(point.x)
             self._maybe_seal()
         else:
             self._maybe_compact()
@@ -1219,18 +1663,31 @@ class SkylineService:
             self._live_xs.discard(removed.x)
             self._live_ys.discard(removed.y)
             self._bump_region(removed.x)
-            if self.lsm is not None:
-                self.lsm.tick()
+            if self.leveled:
+                self._tick(removed.x)
             self._maybe_rebalance()
             return True
         victim = None
         owner: object = None
-        if self.lsm is not None:
-            for comp in self.lsm.components():
+        if self.leveled:
+            # Only the tower owning the coordinate can hold the victim:
+            # private components are range-scoped by construction and an
+            # inherited component's points outside the ref's interval
+            # belong to some sibling's ref -- or to no ref at all (a
+            # fold already moved them into a base), in which case the
+            # masked copy must never be chosen as a victim.
+            tower = self.shards[self.router.route_point(point.x)].tower
+            assert tower is not None
+            windows = [
+                (comp, 0, len(comp.points))
+                for comp in tower.private_components()
+            ] + [(ref.comp, ref.lo, ref.hi) for ref in tower.inherited]
+            for comp, w_lo, w_hi in windows:
                 # comp.points is x-sorted: bisect to the coordinate-match
                 # run instead of scanning the whole component per delete.
                 lo = bisect.bisect_left(comp.points, point.x, key=lambda p: p.x)
                 hi = bisect.bisect_right(comp.points, point.x, key=lambda p: p.x)
+                lo, hi = max(lo, w_lo), min(hi, w_hi)
                 candidates = [
                     p
                     for p in comp.points[lo:hi]
@@ -1262,8 +1719,8 @@ class SkylineService:
         self._live_xs.discard(victim.x)
         self._live_ys.discard(victim.y)
         self._bump_region(victim.x)
-        if self.lsm is not None:
-            self.lsm.tick()
+        if self.leveled:
+            self._tick(victim.x)
             self._maybe_reclaim_tombstones()
         else:
             self._maybe_compact()
@@ -1282,15 +1739,20 @@ class SkylineService:
             for p in shard.points
             if not self.delta.is_deleted(p)
         ]
-        if self.lsm is not None:
-            live.extend(self.lsm.live_points())
+        for tower in self.towers():
+            live.extend(tower.live_points())
         live.extend(self.delta.inserts.values())
         return live
 
     def __len__(self) -> int:
+        # Each tower counts inherited components through its refs'
+        # adoption intervals; live intervals are pairwise disjoint and
+        # cover exactly the still-reachable slice of each shared
+        # component (a folded region's points were re-homed into a base
+        # and its ref dropped), so summing towers counts every reachable
+        # physical record exactly once.
         resident = sum(len(shard) for shard in self.shards)
-        if self.lsm is not None:
-            resident += self.lsm.resident()
+        resident += sum(tower.resident() for tower in self.towers())
         return resident + len(self.delta.inserts) - len(self.delta.tombstones)
 
     def io_total(self) -> int:
@@ -1299,9 +1761,26 @@ class SkylineService:
         return self.stats.total
 
     def maintenance_io(self) -> int:
-        """Transfers charged to the maintenance ledger: incremental merge
-        work paid in bounded steps alongside updates and drains."""
+        """Transfers charged to maintenance: incremental merge work paid
+        in bounded steps alongside updates and drains, summed over the
+        service accumulator and every live tower's escrow ledger."""
         return self.maintenance.total
+
+    @property
+    def merges_completed(self) -> int:
+        """Lifetime completed merges across every tower, including towers
+        already disposed by topology changes and compactions."""
+        return self._merges_retired + sum(
+            tower.scheduler.merges_completed for tower in self.towers()
+        )
+
+    @property
+    def records_merged(self) -> int:
+        """Lifetime records written by completed merges (same scope as
+        :attr:`merges_completed`)."""
+        return self._records_merged_retired + sum(
+            tower.scheduler.records_merged for tower in self.towers()
+        )
 
     def snapshot(self) -> IOSnapshot:
         return self.stats.snapshot()
@@ -1354,24 +1833,32 @@ class SkylineService:
         for shard in self.shards:
             if shard.storage is not None:
                 shard.storage.drop_cache()
-        if self.lsm is not None:
-            for comp in self.lsm.components():
-                if comp.storage is not None:
-                    comp.storage.drop_cache()
+        for comp in self._all_components().values():
+            if comp.storage is not None:
+                comp.storage.drop_cache()
+
+    def _all_components(self) -> Dict[int, Component]:
+        """Every component of every live tower, deduplicated by object
+        identity (an inherited component shared by sibling towers appears
+        once), keyed by ``id()``."""
+        seen: Dict[int, Component] = {}
+        for tower in self.towers():
+            for comp in tower.components():
+                seen[id(comp)] = comp
+        return seen
 
     def blocks_in_use(self) -> int:
-        """Allocated blocks across all shard and level machines."""
+        """Allocated blocks across all shard and component machines."""
         total = sum(
             shard.storage.blocks_in_use()
             for shard in self.shards
             if shard.storage is not None
         )
-        if self.lsm is not None:
-            total += sum(
-                comp.storage.blocks_in_use()
-                for comp in self.lsm.components()
-                if comp.storage is not None
-            )
+        total += sum(
+            comp.storage.blocks_in_use()
+            for comp in self._all_components().values()
+            if comp.storage is not None
+        )
         return total
 
     def describe(self) -> Dict[str, object]:
@@ -1385,9 +1872,52 @@ class SkylineService:
         populate per-request execution reports without reaching into
         private state.
         """
-        if self.lsm is not None:
-            levels = self.lsm.describe_levels()
-            scheduler = self.lsm.scheduler.describe()
+        if self.leveled:
+            towers: List[Dict[str, object]] = []
+            agg: Dict[int, Dict[str, object]] = {}
+            for shard in self.shards:
+                tower = shard.tower
+                assert tower is not None
+                rows = tower.describe_levels()
+                towers.append(
+                    {"sid": shard.sid, "uid": shard.uid, "levels": rows}
+                )
+                for row in rows:
+                    j = int(row["level"])  # type: ignore[arg-type]
+                    acc = agg.setdefault(
+                        j,
+                        {
+                            "level": j,
+                            "records": 0,
+                            "tombstones": 0,
+                            "capacity": row["capacity"],
+                            "merge_debt": 0,
+                        },
+                    )
+                    acc["records"] = int(acc["records"]) + int(row["records"])  # type: ignore[arg-type]
+                    acc["tombstones"] = int(acc["tombstones"]) + int(row["tombstones"])  # type: ignore[arg-type]
+                    acc["merge_debt"] = int(acc["merge_debt"]) + int(row["merge_debt"])  # type: ignore[arg-type]
+                    if j == 0:
+                        for key in ("frozen", "inherited"):
+                            merged_list = list(acc.get(key, []))  # type: ignore[call-overload]
+                            merged_list.extend(row[key])  # type: ignore[arg-type]
+                            acc[key] = merged_list
+            levels = [agg[j] for j in sorted(agg)]
+            active = [
+                desc
+                for desc in (
+                    t.scheduler.describe()["active"] for t in self.towers()
+                )
+                if desc is not None
+            ]
+            scheduler = {
+                "active": active or None,
+                "queued_jobs": sum(
+                    len(t.scheduler.queue) for t in self.towers()
+                ),
+                "merges_completed": self.merges_completed,
+                "records_merged": self.records_merged,
+            }
         else:
             levels = [
                 {
@@ -1399,6 +1929,7 @@ class SkylineService:
                 }
             ]
             scheduler = None
+            towers = []
         status: Dict[str, object] = {
             # The *router's* shard count -- authoritative everywhere: it
             # can differ from ServiceConfig.shard_count both downward
@@ -1429,6 +1960,7 @@ class SkylineService:
         }
         if scheduler is not None:
             status["scheduler"] = scheduler
+            status["towers"] = towers
         if self.store is not None and self.wal is not None:
             durability = dict(self.store.describe())
             durability["wal_pending"] = self.wal.pending

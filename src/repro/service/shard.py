@@ -24,7 +24,7 @@ re-numbered shard keeps finding exactly its own tombstones.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.api import RangeSkylineIndex
 from repro.core.point import Point
@@ -32,6 +32,9 @@ from repro.core.queries import RangeQuery
 from repro.em.config import EMConfig
 from repro.em.counters import IOStats
 from repro.em.storage import StorageManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.lsm import LevelManager
 
 #: Owner key of a base shard in the tombstone table -- same shape as a
 #: level component's ``("c", comp_id)`` key, distinguishable from it.
@@ -72,6 +75,10 @@ class Shard:
         # Bumped by the service on every update routed into this shard's
         # x-range; cache keys embed it so invalidation stays shard-scoped.
         self.write_version = 0
+        # The shard's private level tower (leveled update path only; the
+        # service assigns it at shard creation).  Topology changes move
+        # whole towers and component sets, never point slices.
+        self.tower: Optional["LevelManager"] = None
         self.points: List[Point] = []
         self.storage: Optional[StorageManager] = None
         self.index: Optional[RangeSkylineIndex] = None

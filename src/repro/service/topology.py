@@ -11,16 +11,17 @@ plus the memtable and level records resident in each shard's x-range --
 and keeps the layout balanced with three bounded local operations:
 
 * **split** a hot shard at the size-balanced midpoint of its range's live
-  records, rebuilding only the two children from the shard's residents
-  plus its slice of the level components
-  (:meth:`~repro.service.SkylineService.split_shard`);
+  records -- with per-shard towers an O(1) *metadata move*: the parent's
+  base index and whole components are handed to the children, no block
+  is read or rebuilt (:meth:`~repro.service.SkylineService.split_shard`);
 * **merge** two adjacent cold shards into one
   (:meth:`~repro.service.SkylineService.merge_shards`);
-* **fold** a shard whose range's weight has piled up in the shared level
-  tower back into its own base structure, cuts untouched
+* **fold** a shard whose private level tower has piled up back into its
+  own base structure, cuts untouched
   (:meth:`~repro.service.SkylineService.fold_shard`) -- the pressure
   valve that keeps a skewed stream from burying its hot region under an
-  ever-deeper level fan-out.
+  ever-deeper level fan-out, compacting one tower without touching its
+  neighbours.
 
 All three are charged to the maintenance ledger (the same escrow
 discipline as the incremental level merges), WAL-logged as
@@ -38,7 +39,6 @@ topology degrades beyond 2x.
 
 from __future__ import annotations
 
-import bisect
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -76,13 +76,15 @@ class TopologyManager:
         routed there, and the frozen/level records inside the range.
         This is the load a split would actually rebalance: the split
         children are built from exactly these records.  ``slices[sid]``
-        is the level-tower share of that load, the *pressure* the fold
-        trigger watches.  Cost: one routing pass over the memtable plus
-        one bisect per (component, cut) -- everything computed in a
-        single sweep so a policy check does the component walk once.
+        is the tower share of that load -- everything resident in shard
+        ``sid``'s private tower, inherited components counted through its
+        clip -- the *pressure* the fold trigger watches.  Towers are
+        per-shard, so the sweep is one routing pass over the memtable
+        plus one :meth:`~repro.service.lsm.LevelManager.resident` call
+        per shard (a handful of bisects each); the cross-shard component
+        walk of the shared-tower era is gone.
         """
         service = self.service
-        cuts = service.router.cuts
         count = len(service.shards)
         loads = [
             len(shard) - len(service.delta.owned_tombstones(shard.owner))
@@ -91,20 +93,9 @@ class TopologyManager:
         for p in service.delta.inserts.values():
             loads[service.router.route_point(p.x)] += 1
         slices = [0] * count
-        if service.lsm is not None:
-            for comp in service.lsm.components():
-                pts = comp.points
-                prev = 0
-                for sid in range(count):
-                    hi = (
-                        len(pts)
-                        if sid == count - 1
-                        else bisect.bisect_left(
-                            pts, cuts[sid], key=lambda p: p.x
-                        )
-                    )
-                    slices[sid] += hi - prev
-                    prev = hi
+        for sid, shard in enumerate(service.shards):
+            if shard.tower is not None:
+                slices[sid] = shard.tower.resident()
         for sid in range(count):
             loads[sid] += slices[sid]
         return loads, slices

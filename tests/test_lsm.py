@@ -74,6 +74,29 @@ LEVELED = dict(
 )
 
 
+def towers(service):
+    """Every live shard's private tower, in shard order."""
+    return [s.tower for s in service.shards if s.tower is not None]
+
+
+def all_levels(service):
+    """``(sid, level) -> component`` across every shard's tower."""
+    return {
+        (shard.sid, j): comp
+        for shard in service.shards
+        if shard.tower is not None
+        for j, comp in shard.tower.levels.items()
+    }
+
+
+def total_merge_debt(service):
+    return sum(t.scheduler.merge_debt for t in towers(service))
+
+
+def total_pending_jobs(service):
+    return sum(t.scheduler.pending_jobs for t in towers(service))
+
+
 # ----------------------------------------------------------------------
 # Acceptance: correct at every intermediate merge step
 # ----------------------------------------------------------------------
@@ -123,7 +146,7 @@ def test_queries_correct_at_every_incremental_step(seed, shard_count, growth, st
         got = service.query_many(queries, use_cache=False)
         assert [canon_xy(r) for r in got] == naive_answers(live, queries), (
             f"answers diverge after op {i} "
-            f"(debt={service.lsm.scheduler.merge_debt})"
+            f"(debt={total_merge_debt(service)})"
         )
         assert len(service) == len(live)
     assert canon(service.live_points()) == canon(live)
@@ -139,15 +162,16 @@ def test_single_step_pauses_with_explicit_scheduler_stepping():
         point = Point(700_000.0 + i, 800_000.0 + i * 1.5, 70_000 + i)
         service.insert(point)
         live.append(point)
-    scheduler = service.lsm.scheduler
     probe = RangeQuery()
     expected = canon_xy(range_skyline(live, probe))
     steps = 0
-    while scheduler.pending_jobs and steps < 10_000:
-        scheduler.pay(1)
-        steps += 1
-        assert canon_xy(service.query(probe)) == expected
-    assert scheduler.pending_jobs == 0
+    while total_pending_jobs(service) and steps < 10_000:
+        for tower in towers(service):
+            if tower.scheduler.pending_jobs:
+                tower.scheduler.pay(1)
+                steps += 1
+                assert canon_xy(service.query(probe)) == expected
+    assert total_pending_jobs(service) == 0
     assert canon(service.live_points()) == canon(live)
 
 
@@ -217,7 +241,7 @@ def test_worst_case_update_bounded_over_long_run():
             live.append(point)
         worst = max(worst, (service.snapshot() - before).total)
     assert worst <= service.config.merge_step_blocks
-    assert service.lsm.scheduler.merges_completed >= 3
+    assert service.merges_completed >= 3
     assert canon(service.live_points()) == canon(live)
 
 
@@ -283,7 +307,7 @@ def test_plan_prunes_levels_outside_the_rectangle():
         )
     engine.drain()
     service = engine.backend.service
-    assert service.lsm.levels
+    assert all_levels(service)
     narrow = TopOpenQuery(0.0, 1_000.0, 0.0)  # misses every level's x-span
     plan = engine.explain(narrow)
     assert [s for s in plan.scopes if s.level is not None] == []
@@ -307,7 +331,10 @@ def test_merge_consumes_tombstones_and_reowns_late_ones():
     for point in fresh:
         service.insert(point)
     service.drain()
-    level_one = service.lsm.levels[1]
+    # The fresh points all route to one shard: its private tower holds
+    # the indexed level.
+    tower = service.shards[service.router.route_point(500_000.0)].tower
+    level_one = tower.levels[1]
     assert canon(level_one.points) == canon(fresh)
     # Delete a level-resident point: the tombstone is owned by the level.
     victim = fresh[2]
@@ -318,7 +345,7 @@ def test_merge_consumes_tombstones_and_reowns_late_ones():
         service.insert(Point(600_000.0 + i * 1.25, 600_000.0 + i * 1.5, 31_000 + i))
     service.drain()
     assert point_key(victim) not in service.delta.tombstones
-    merged = service.lsm.levels[max(service.lsm.levels)]
+    merged = tower.levels[max(tower.levels)]
     assert point_key(victim) not in {point_key(p) for p in merged.points}
     assert canon(service.live_points()) == canon(
         [p for p in points + fresh if p.ident != victim.ident]
@@ -351,7 +378,7 @@ def test_revive_during_inflight_merge_keeps_the_point_alive():
     # the staged output has already dropped the victim.
     for i in range(4):
         service.insert(Point(410_000.0 + i, 460_000.0 + i * 1.5, 21_000 + i))
-    scheduler = service.lsm.scheduler
+    scheduler = service.shards[0].tower.scheduler
     if scheduler.active is None:
         assert scheduler._start_next()
     assert point_key(victim) in scheduler.active.consumed
@@ -395,11 +422,13 @@ def test_drain_snapshot_restores_exact_level_layout():
     manifest = service.store.latest_manifest()
     assert manifest.level_blocks, "drain snapshot must serialise the levels"
     recovered = SkylineService.open(service.store)
-    # The exact level layout -- not just the flattened point set.
-    assert sorted(recovered.lsm.levels) == sorted(service.lsm.levels)
-    for level in service.lsm.levels:
-        assert canon(recovered.lsm.levels[level].points) == canon(
-            service.lsm.levels[level].points
+    # The exact per-shard level layout -- not just the flattened point set.
+    want_levels = all_levels(service)
+    got_levels = all_levels(recovered)
+    assert sorted(got_levels) == sorted(want_levels)
+    for slot in want_levels:
+        assert canon(got_levels[slot].points) == canon(
+            want_levels[slot].points
         )
     assert canon(
         [p for p in recovered.delta.inserts.values()]
@@ -408,21 +437,32 @@ def test_drain_snapshot_restores_exact_level_layout():
         service.delta.tombstones.values()
     )
     assert canon(recovered.live_points()) == canon(live)
-    assert recovered.recovery["snapshot_levels"] == len(service.lsm.levels)
+    assert recovered.recovery["snapshot_levels"] == len(want_levels)
 
 
 def layout_snapshot(service):
-    """The full observable LSM state: levels, frozen memtables, memtable,
-    tombstones, and the scheduler's in-flight progress."""
+    """The full observable LSM state: every shard's levels, inherited
+    overlays and frozen memtables, the memtable, tombstones, and the
+    schedulers' in-flight progress."""
     return {
         "levels": {
-            j: canon(comp.points) for j, comp in service.lsm.levels.items()
+            slot: canon(comp.points)
+            for slot, comp in all_levels(service).items()
         },
-        "frozen": sorted(canon(c.points) for c in service.lsm.frozen),
+        "overlays": {
+            shard.sid: canon(
+                [p for ref in shard.tower.inherited for p in ref.points()]
+            )
+            for shard in service.shards
+            if shard.tower is not None and shard.tower.inherited
+        },
+        "frozen": sorted(
+            canon(c.points) for t in towers(service) for c in t.frozen
+        ),
         "memtable": canon(service.delta.inserts.values()),
         "tombstones": canon(service.delta.tombstones.values()),
-        "merge_debt": service.lsm.scheduler.merge_debt,
-        "pending_jobs": service.lsm.scheduler.pending_jobs,
+        "merge_debt": total_merge_debt(service),
+        "pending_jobs": total_pending_jobs(service),
     }
 
 
@@ -545,11 +585,15 @@ def test_explain_reports_level_layout_and_update_bound():
     assert "amortized" in plan.update_bound
     layout = dict(plan.level_layout)
     assert layout[0] == len(service.delta.inserts)
-    for level, comp in service.lsm.levels.items():
-        assert layout[level] == len(comp)
-    # One scope per visited shard plus one per level structure.
+    levels = all_levels(service)
+    for depth in {level for _, level in levels}:
+        assert layout[depth] == sum(
+            len(comp) for (_, level), comp in levels.items() if level == depth
+        )
+    # One scope per visited shard plus one per level structure (the full
+    # rectangle prunes nothing, so every shard's levels all contribute).
     level_scopes = [s for s in plan.scopes if s.level is not None]
-    assert len(level_scopes) == len(service.lsm.levels)
+    assert len(level_scopes) == len(levels)
     assert plan.shards_visited == len(service.shards)
     # The instantiated amortized bound: (g/B) * log_g(n/c).
     g = service.config.level_growth

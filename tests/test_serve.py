@@ -147,6 +147,54 @@ def test_identical_requests_coalesce_onto_one_execution():
     assert server.metrics.coalesced_followers == 11
 
 
+def test_contained_rectangle_is_served_from_larger_computation():
+    base = uniform_points(256, universe=100_000, seed=3)
+    engine = SkylineEngine.sharded(base, cache_capacity=0, **CFG)
+    big = RangeQuery(x_lo=10_000.0)  # dominant corner (inf, inf)
+    mid = RangeQuery(x_lo=30_000.0)
+    small = RangeQuery(x_lo=50_000.0, y_lo=20_000.0)
+    expected = {q: _canon(engine.query(q).points) for q in (big, mid, small)}
+    server = SkylineServer(engine, start=False)
+    futures = {
+        q: [server.submit_query(q) for _ in range(2)]
+        for q in (small, mid, big)
+    }
+    server.start()
+    served = {q: [f.result(timeout=30) for f in fs] for q, fs in futures.items()}
+    server.stop()
+    for q, responses in served.items():
+        assert all(_canon(s.points) == expected[q] for s in responses), q
+    # Only the outermost rectangle executed; the nested ones were served
+    # by filtering its answer (exact: shared dominant corner).
+    assert server.metrics.executed_reads == 1
+    assert server.metrics.coalesced_followers == 5
+    for responses in served.values():
+        assert all(s.serving.coalesce_fanin == 6 for s in responses)
+    for q in (mid, small):
+        assert all(s.report.coalesced for s in served[q])
+        assert all(s.report.blocks == 0 for s in served[q])
+
+
+def test_containment_requires_shared_dominant_corner():
+    base = uniform_points(256, universe=100_000, seed=7)
+    engine = SkylineEngine.sharded(base, cache_capacity=0, **CFG)
+    big = RangeQuery(x_lo=10_000.0)
+    clipped = RangeQuery(x_lo=30_000.0, x_hi=60_000.0)  # x_hi differs
+    expected = {q: _canon(engine.query(q).points) for q in (big, clipped)}
+    server = SkylineServer(engine, start=False)
+    futures = [server.submit_query(clipped), server.submit_query(big)]
+    server.start()
+    served = [f.result(timeout=30) for f in futures]
+    server.stop()
+    # Geometric containment alone is not servable -- a point of the
+    # clipped rectangle may be dominated only by points beyond its top
+    # or right edge -- so both rectangles execute.
+    assert server.metrics.executed_reads == 2
+    assert server.metrics.coalesced_followers == 0
+    assert _canon(served[0].points) == expected[clipped]
+    assert _canon(served[1].points) == expected[big]
+
+
 def test_uncoalesced_mode_serves_same_answers():
     base = uniform_points(256, universe=100_000, seed=3)
     engine = SkylineEngine.sharded(base, cache_capacity=0, **CFG)

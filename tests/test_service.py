@@ -479,16 +479,19 @@ def test_leveled_path_seals_instead_of_compacting():
     for i in range(8):
         service.insert(Point(points[i].x + 0.5, points[i].y + 0.5, 500 + i))
     assert service.compactions == 0
-    assert len(service.delta.inserts) == 0  # sealed into a frozen memtable
-    assert service.lsm is not None
-    assert service.lsm.scheduler.pending_jobs >= 1
+    assert len(service.delta.inserts) == 0  # sealed into frozen memtables
+    assert service.towers()
+    assert sum(t.scheduler.pending_jobs for t in service.towers()) >= 1
     # The base shards were not rebuilt; the new points live in the
-    # frozen/leveled components until merges push them down.
+    # frozen/leveled components (each shard's cut in its own tower)
+    # until merges push them down.
     assert sum(len(s) for s in service.shards) == 200
     assert len(service) == 208
     service.drain()
-    assert service.lsm.scheduler.pending_jobs == 0
-    assert sum(len(c) for c in service.lsm.components()) == 8
+    assert sum(t.scheduler.pending_jobs for t in service.towers()) == 0
+    assert (
+        sum(len(c) for t in service.towers() for c in t.components()) == 8
+    )
 
 
 def test_general_position_enforced_on_insert():

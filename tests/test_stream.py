@@ -337,6 +337,47 @@ def test_scope_vectors_skip_unwritten_subscriptions():
     )
 
 
+def test_batched_pump_probes_each_scope_group_once():
+    """Subscriptions sharing a scope vector cost one staleness probe."""
+    engine = SkylineEngine.sharded(
+        _POOL[:32], shard_count=4, block_size=16, memory_blocks=8
+    )
+    service = engine.backend.service
+    manager = SubscriptionManager(engine)
+    _lo, hi = service.router.shard_range(0)
+    narrow = RangeQuery(x_hi=hi / 2.0)
+    for _ in range(8):
+        manager.register(SubscribeRequest(narrow))
+    manager.register(SubscribeRequest(RangeQuery()))
+    assert manager.pump() == {}
+    counters = manager.describe()
+    assert counters["skipped"] == 9
+    # Two distinct scope vectors -> two probes, not nine router walks.
+    assert counters["scope_scans"] == 2
+
+
+def test_pump_recomputes_after_topology_retires_scope_uids():
+    """A topology cut retires uids, so scoped staleness still fires."""
+    engine = SkylineEngine.sharded(
+        _POOL[:32], shard_count=2, block_size=16, memory_blocks=8
+    )
+    service = engine.backend.service
+    manager = SubscriptionManager(engine)
+    sub, _ = manager.register(SubscribeRequest(RangeQuery()))
+    assert service.split_shard(0) is not None
+    deltas = manager.pump()
+    assert manager.describe()["recomputed"] == 1
+    # A metadata-only split changes no answer, so nothing is delivered,
+    # but the scope vector was refreshed to the children's uids.
+    assert deltas == {}
+    assert sub.scopes is not None
+    live = {shard.uid for shard in service.shards}
+    assert {uid for uid, _v in sub.scopes} <= live
+    assert _canon(sub.snapshot()) == _canon(
+        engine.query(QueryRequest(rect=RangeQuery())).points
+    )
+
+
 def test_scope_vectors_on_local_backend_always_recompute():
     engine = SkylineEngine.local(_POOL[:16], dynamic=True)
     manager = SubscriptionManager(engine)

@@ -141,7 +141,7 @@ def test_split_merge_fold_keep_answers_exact():
     ]
 
 
-def test_split_hands_over_level_slice_and_consumes_range_tombstones():
+def test_split_hands_over_whole_components_and_fold_reclaims_tombstones():
     points = seed_points(120, seed=5)
     service = SkylineService(points, ServiceConfig(**LEVELED))
     live = list(points)
@@ -155,19 +155,43 @@ def test_split_hands_over_level_slice_and_consumes_range_tombstones():
         service.insert(p)
         live.append(p)
     service.drain()
-    assert service.lsm.levels
+    sid = len(service.shards) - 1
+    tower = service.shards[sid].tower
+    assert tower.levels  # the fresh points sit in its private tower
+    level_comps = list(tower.levels.values())
     victim = fresh[3]
     assert service.delete(victim)
     live.remove(victim)
-    # Split the rightmost shard (it owns the fresh points' x-range).
-    sid = len(service.shards) - 1
+    # Split the rightmost shard (it owns the fresh points' x-range): a
+    # pure metadata move -- the level components are handed to the
+    # children *whole* (same objects, refcounted, clipped by readers),
+    # and not one of their blocks is read or rewritten.
+    comp_io_before = sum(
+        c.stats.total for c in level_comps if c.stats is not None
+    )
     assert service.split_shard(sid) is not None
-    # The handed-over range is clean: no level component holds a point in
-    # it any more, and the tombstone was consumed by the handover.
-    x_lo, _ = service.router.shard_range(sid)
-    for comp in service.lsm.components():
-        assert all(not (x_lo <= p.x) for p in comp.points)
-    assert not service.delta.tombstones
+    children = service.shards[sid : sid + 2]
+    for comp in level_comps:
+        holders = [
+            child
+            for child in children
+            for ref in child.tower.inherited
+            if ref.comp is comp
+        ]
+        assert holders, "handed-over component lost in the split"
+    assert (
+        sum(c.stats.total for c in level_comps if c.stats is not None)
+        == comp_io_before
+    )
+    # The tombstone rode along with the handover: still present, still
+    # masking the victim through the inherited clip.
+    victim_key = (victim.x, victim.y, victim.ident)
+    assert victim_key in service.delta.tombstones
+    checked(service, live, [RangeQuery()])
+    # Folding the victim's shard rebuilds its range from live points and
+    # consumes every tombstone whose victim lies inside it.
+    service.fold_shard(service.router.route_point(victim.x))
+    assert victim_key not in service.delta.tombstones
     checked(service, live, [RangeQuery()])
 
 
@@ -343,8 +367,12 @@ def test_interleaved_topology_ops_match_naive_and_partition_ledger(
             engine.merge_shards(rng.randrange(len(service.shards) - 1))
         elif roll < 0.85:
             engine.fold_shard(rng.randrange(len(service.shards)))
-        elif roll < 0.95:
+        elif roll < 0.9:
             engine.query(rng.choice(queries))
+        elif roll < 0.95:
+            # Per-shard drain: one private tower's debt paid, the
+            # neighbours' untouched -- the per-shard maintenance surface.
+            engine.drain(rng.randrange(len(service.shards)))
         else:
             engine.drain()
         # Ledger partition after every op, whatever the interleaving.
@@ -352,6 +380,22 @@ def test_interleaved_topology_ops_match_naive_and_partition_ledger(
             engine.attributed_io() + engine.maintenance_io()
             == engine.io_total() - engine.build_io
         ), f"partition broke after op {i}"
+        # Inherited-ref partition: the live intervals referencing one
+        # shared component are pairwise disjoint, so every reachable
+        # record is answered by exactly one tower (the invariant that
+        # makes a later merge unable to resurrect folded points).
+        intervals: dict = {}
+        for shard in service.shards:
+            assert shard.tower is not None
+            for ref in shard.tower.inherited:
+                intervals.setdefault(id(ref.comp), []).append(
+                    (ref.lo, ref.hi)
+                )
+        for rows in intervals.values():
+            rows.sort()
+            for (_, a_hi), (b_lo, _) in zip(rows, rows[1:]):
+                assert a_hi <= b_lo, f"overlapping inherited refs at op {i}"
+        assert len(service) == len(live), f"resident count off at op {i}"
         # Verification reads go through the engine too, so they stay
         # inside the accounting identity checked above.
         for q in queries:
